@@ -1,0 +1,78 @@
+// Command experiments runs the full claim-validation suite (E1–E10 from
+// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-trials N] [-seed S] [-only E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wcdsnet/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick  = flag.Bool("quick", false, "small instances (smoke run)")
+		trials = flag.Int("trials", 0, "trials per row (0 = config default)")
+		seed   = flag.Int64("seed", 0, "seed (0 = config default)")
+		only   = flag.String("only", "", "run a single experiment, e.g. E6")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	type namedRunner struct {
+		id  string
+		run exp.Runner
+	}
+	var runners []namedRunner
+	for i, r := range exp.All() {
+		runners = append(runners, namedRunner{id: fmt.Sprintf("E%d", i+1), run: r})
+	}
+	for i, r := range exp.Ablations() {
+		runners = append(runners, namedRunner{id: fmt.Sprintf("A%d", i+1), run: r})
+	}
+	failed := 0
+	for _, nr := range runners {
+		id, runner := nr.id, nr.run
+		if *only != "" && !strings.EqualFold(*only, id) {
+			continue
+		}
+		start := time.Now()
+		res, err := runner(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %s)\n\n", res.ID, time.Since(start).Round(time.Millisecond))
+		if !res.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed their bound checks", failed)
+	}
+	return nil
+}

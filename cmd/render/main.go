@@ -1,0 +1,131 @@
+// Command render regenerates analogues of the paper's six illustrative
+// figures as SVG files on seeded random scenes:
+//
+//	fig1: a unit-disk graph (paper Fig. 1)
+//	fig2: a WCDS and its weakly induced subgraph (paper Fig. 2)
+//	fig3: a node with its (≤5) MIS neighbours highlighted (Lemma 1 / Fig. 3)
+//	fig4: MIS dominators within 3 hops of one dominator (Lemma 2 / Fig. 4)
+//	fig5: the ID-ranked MIS with complementary 2–3 hop structure (Fig. 5)
+//	fig6: the level-ranked spanning tree with levels annotated (Fig. 6)
+//
+// Usage:
+//
+//	render [-out DIR] [-seed S] [-n N] [-degree D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wcdsnet"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/render"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "figures", "output directory")
+		seed   = flag.Int64("seed", 2003, "RNG seed")
+		n      = flag.Int("n", 120, "node count")
+		degree = flag.Float64("degree", 9, "target average degree")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	nw, err := wcdsnet.GenerateNetwork(*seed, *n, *degree)
+	if err != nil {
+		return err
+	}
+
+	write := func(name string, opts render.Options) error {
+		path := filepath.Join(*out, name)
+		if err := render.WriteFile(path, nw, opts); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+
+	// fig1: the raw unit-disk graph.
+	if err := write("fig1-udg.svg", render.Options{ShowAllEdges: true}); err != nil {
+		return err
+	}
+
+	// fig2: Algorithm II's WCDS with the weakly induced subgraph in black.
+	res2 := wcdsnet.AlgorithmII(nw)
+	if err := write("fig2-wcds-spanner.svg", render.Options{
+		Dominators:   res2.MISDominators,
+		Additional:   res2.AdditionalDominators,
+		Spanner:      res2.Spanner,
+		ShowAllEdges: true,
+	}); err != nil {
+		return err
+	}
+
+	// fig3: an MIS with every dominator filled — the Lemma 1 packing view.
+	misSet := mis.Greedy(nw.G, mis.ByID(nw.ID))
+	if err := write("fig3-mis-packing.svg", render.Options{
+		Dominators:   misSet,
+		ShowAllEdges: true,
+	}); err != nil {
+		return err
+	}
+
+	// fig4: dominators within three hops of the first dominator, rendered
+	// as "additional" squares around it (the Lemma 2 annulus).
+	center := misSet[0]
+	dist, _ := nw.G.BFSBounded(center, 3)
+	var within []int
+	for _, v := range misSet {
+		if v != center && dist[v] >= 2 {
+			within = append(within, v)
+		}
+	}
+	if err := write("fig4-three-hop-doms.svg", render.Options{
+		Dominators:   []int{center},
+		Additional:   within,
+		ShowAllEdges: true,
+	}); err != nil {
+		return err
+	}
+
+	// fig5: the ID-ranked MIS over the auxiliary 2–3-hop structure (shown
+	// via the weakly induced subgraph of the plain MIS).
+	if err := write("fig5-id-mis.svg", render.Options{
+		Dominators: misSet,
+		Spanner:    wcdsnet.WeaklyInduced(nw, misSet),
+	}); err != nil {
+		return err
+	}
+
+	// fig6: BFS spanning tree with levels — the level-based ranking.
+	levels, parent := nw.G.BFS(maxIDNode(nw.ID))
+	if err := write("fig6-level-tree.svg", render.Options{
+		TreeParent: parent,
+		Levels:     levels,
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func maxIDNode(ids []int) int {
+	best := 0
+	for v, id := range ids {
+		if id > ids[best] {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,237 @@
+// Command wcds generates a random wireless ad hoc network, constructs a
+// backbone with one of the implemented algorithms, verifies it, and prints
+// (optionally exports) the results.
+//
+// Usage:
+//
+//	wcds [flags]
+//
+//	-n 500          number of nodes
+//	-degree 10      target average degree
+//	-seed 42        RNG seed
+//	-algo II        backbone construction: I, II, greedy-wcds, greedy-cds
+//	-engine sync    distributed engine for I/II: sync, async, centralized
+//	-dilation 500   dilation sample pairs (0 = exhaustive, -1 = skip)
+//	-svg out.svg    write an SVG rendering of the backbone
+//	-json out.json  write the result as JSON
+//	-load s.json    load a scene instead of generating; -save s.json to save
+//	-timeline       print the per-round message-type timeline (sync engine)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wcdsnet"
+	"wcdsnet/internal/baseline"
+	"wcdsnet/internal/render"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wcds:", err)
+		os.Exit(1)
+	}
+}
+
+type output struct {
+	N                    int     `json:"n"`
+	Edges                int     `json:"edges"`
+	AvgDegree            float64 `json:"avgDegree"`
+	Algorithm            string  `json:"algorithm"`
+	Engine               string  `json:"engine"`
+	Dominators           []int   `json:"dominators"`
+	MISDominators        []int   `json:"misDominators,omitempty"`
+	AdditionalDominators []int   `json:"additionalDominators,omitempty"`
+	SpannerEdges         int     `json:"spannerEdges"`
+	IsWCDS               bool    `json:"isWCDS"`
+	Messages             int     `json:"messages,omitempty"`
+	Rounds               int     `json:"rounds,omitempty"`
+	WorstTopoRatio       float64 `json:"worstTopoRatio,omitempty"`
+	WorstGeoRatio        float64 `json:"worstGeoRatio,omitempty"`
+	TopoBoundHolds       *bool   `json:"topoBoundHolds,omitempty"`
+	GeoBoundHolds        *bool   `json:"geoBoundHolds,omitempty"`
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 500, "number of nodes")
+		degree   = flag.Float64("degree", 10, "target average degree")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		algo     = flag.String("algo", "II", "algorithm: I, II, greedy-wcds, greedy-cds")
+		engine   = flag.String("engine", "sync", "engine for I/II: sync, async, centralized")
+		dilation = flag.Int("dilation", 500, "dilation sample pairs (0 = exhaustive, -1 = skip)")
+		svgPath  = flag.String("svg", "", "write SVG rendering to this path")
+		jsonPath = flag.String("json", "", "write JSON result to this path")
+		load     = flag.String("load", "", "load a scene JSON instead of generating")
+		save     = flag.String("save", "", "save the scene JSON for reproduction")
+		timeline = flag.Bool("timeline", false, "print the per-round message-type timeline (sync engine, algo I/II)")
+	)
+	flag.Parse()
+
+	var (
+		nw  *wcdsnet.Network
+		err error
+	)
+	if *load != "" {
+		nw, err = udg.LoadScene(*load)
+	} else {
+		nw, err = wcdsnet.GenerateNetwork(*seed, *n, *degree)
+	}
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		if err := udg.SaveScene(*save, nw); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *save)
+	}
+	out := output{
+		N:         nw.N(),
+		Edges:     nw.G.M(),
+		AvgDegree: nw.G.AvgDegree(),
+		Algorithm: *algo,
+		Engine:    *engine,
+	}
+
+	var res wcdsnet.Result
+	switch *algo {
+	case "I", "II":
+		if *timeline && *engine == "sync" {
+			var tl *simnet.Timeline
+			res, tl, out.Messages, out.Rounds, err = runWithTimeline(nw, *algo)
+			if err != nil {
+				return err
+			}
+			fmt.Println("per-round message-type timeline:")
+			fmt.Print(tl.String())
+		} else {
+			res, out.Messages, out.Rounds, err = runAlgo(nw, *algo, *engine, *seed)
+			if err != nil {
+				return err
+			}
+		}
+	case "greedy-wcds":
+		set, err := baseline.GreedyWCDS(nw.G)
+		if err != nil {
+			return err
+		}
+		res = wcdsnet.Result{Dominators: set, Spanner: wcds.WeaklyInduced(nw.G, set)}
+	case "greedy-cds":
+		set, err := baseline.GreedyCDS(nw.G)
+		if err != nil {
+			return err
+		}
+		res = wcdsnet.Result{Dominators: set, Spanner: wcds.WeaklyInduced(nw.G, set)}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	out.Dominators = res.Dominators
+	out.MISDominators = res.MISDominators
+	out.AdditionalDominators = res.AdditionalDominators
+	out.SpannerEdges = res.Spanner.M()
+	out.IsWCDS = wcdsnet.IsWCDS(nw, res.Dominators)
+
+	if *dilation >= 0 {
+		pairs := *dilation
+		rep, err := wcdsnet.MeasureDilation(nw, res, pairs, *seed)
+		if err != nil {
+			return err
+		}
+		out.WorstTopoRatio = rep.WorstTopo.TopoRatio()
+		out.WorstGeoRatio = rep.WorstGeo.GeoRatio()
+		out.TopoBoundHolds = &rep.TopoBoundHolds
+		out.GeoBoundHolds = &rep.GeoBoundHolds
+	}
+
+	fmt.Printf("network:   n=%d edges=%d avg degree %.2f\n", out.N, out.Edges, out.AvgDegree)
+	fmt.Printf("backbone:  algo=%s engine=%s |WCDS|=%d (MIS %d + additional %d)\n",
+		out.Algorithm, out.Engine, len(out.Dominators), len(out.MISDominators), len(out.AdditionalDominators))
+	fmt.Printf("spanner:   %d edges (%.2f per node), valid WCDS: %v\n",
+		out.SpannerEdges, float64(out.SpannerEdges)/float64(out.N), out.IsWCDS)
+	if out.Messages > 0 {
+		fmt.Printf("cost:      %d messages", out.Messages)
+		if out.Rounds > 0 {
+			fmt.Printf(", %d rounds", out.Rounds)
+		}
+		fmt.Println()
+	}
+	if out.TopoBoundHolds != nil {
+		fmt.Printf("dilation:  worst topological %.2f (3h+2 holds: %v), worst geometric %.2f (6l+5 holds: %v)\n",
+			out.WorstTopoRatio, *out.TopoBoundHolds, out.WorstGeoRatio, *out.GeoBoundHolds)
+	}
+
+	if *svgPath != "" {
+		err := render.WriteFile(*svgPath, nw, render.Options{
+			Dominators:   out.MISDominators,
+			Additional:   out.AdditionalDominators,
+			Spanner:      res.Spanner,
+			ShowAllEdges: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+	return nil
+}
+
+// runWithTimeline executes the chosen algorithm on the synchronous engine
+// with a timeline trace attached.
+func runWithTimeline(nw *wcdsnet.Network, algo string) (wcdsnet.Result, *simnet.Timeline, int, int, error) {
+	tl, opt := simnet.NewTimelineTrace()
+	runner := wcds.SyncRunner(opt)
+	var (
+		res   wcdsnet.Result
+		stats wcdsnet.RunStats
+		err   error
+	)
+	if algo == "I" {
+		res, stats, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
+	} else {
+		res, stats, err = wcds.Algo2Distributed(nw.G, nw.ID, wcds.Deferred, runner)
+	}
+	return res, tl, stats.Messages, stats.Rounds, err
+}
+
+func runAlgo(nw *wcdsnet.Network, algo, engine string, seed int64) (wcdsnet.Result, int, int, error) {
+	switch engine {
+	case "centralized":
+		if algo == "I" {
+			return wcdsnet.AlgorithmI(nw), 0, 0, nil
+		}
+		return wcdsnet.AlgorithmII(nw), 0, 0, nil
+	case "sync", "async":
+		async := engine == "async"
+		var (
+			res   wcdsnet.Result
+			stats wcdsnet.RunStats
+			err   error
+		)
+		if algo == "I" {
+			res, stats, err = wcdsnet.AlgorithmIDistributed(nw, async, seed)
+		} else {
+			res, stats, err = wcdsnet.AlgorithmIIDistributed(nw, wcdsnet.Deferred, async, seed)
+		}
+		return res, stats.Messages, stats.Rounds, err
+	default:
+		return wcdsnet.Result{}, 0, 0, fmt.Errorf("unknown engine %q", engine)
+	}
+}

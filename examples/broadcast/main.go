@@ -1,0 +1,48 @@
+// Broadcast: the paper's Section 1 motivation — reduce the nodes
+// responsible for network-wide dissemination to (roughly) the backbone.
+// Compares blind flooding against broadcast over the WCDS relay set across
+// network densities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wcdsnet"
+)
+
+func main() {
+	fmt.Println("density sweep: broadcast cost, blind flooding vs WCDS backbone")
+	fmt.Println()
+	fmt.Printf("%6s %6s %9s %12s %12s %9s %9s\n",
+		"n", "deg", "relays", "backboneTx", "blindTx", "txSaved", "rxSaved")
+
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{200, 400, 800} {
+		for _, deg := range []float64{8, 16, 24} {
+			nw, err := wcdsnet.GenerateNetwork(rng.Int63(), n, deg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, tables, _, err := wcdsnet.AlgorithmIIWithTables(nw)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src := rng.Intn(nw.N())
+			backbone := wcdsnet.BackboneBroadcast(nw, res, tables, src)
+			blind := wcdsnet.BlindFlood(nw, src)
+			if !backbone.Covered {
+				log.Fatalf("backbone broadcast failed to cover n=%d deg=%.0f", n, deg)
+			}
+			txSaved := 1 - float64(backbone.Transmissions)/float64(blind.Transmissions)
+			rxSaved := 1 - float64(backbone.Receptions)/float64(blind.Receptions)
+			fmt.Printf("%6d %6.0f %9d %12d %12d %8.0f%% %8.0f%%\n",
+				n, deg, backbone.RelaySetSize, backbone.Transmissions,
+				blind.Transmissions, 100*txSaved, 100*rxSaved)
+		}
+	}
+	fmt.Println()
+	fmt.Println("every row: backbone broadcast reached all nodes; savings grow with density,")
+	fmt.Println("because the relay set tracks the (constant-ratio) WCDS instead of n.")
+}

@@ -1,0 +1,76 @@
+// Compare: backbone sizes and spanner quality across constructions —
+// the paper's two algorithms against the classic greedy WCDS/CDS baselines
+// and the exact optimum (small instances).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wcdsnet"
+	"wcdsnet/internal/baseline"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/udg"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	fmt.Println("== exact comparison (n=12, avg over 25 instances) ==")
+	var ew, ec, a1, a2 float64
+	const smallTrials = 25
+	for t := 0; t < smallTrials; t++ {
+		nw, err := udg.GenConnected(rng, 12, udg.SideForAvgDegree(12, 5), 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optW, err := baseline.ExactMinWCDS(nw.G)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optC, err := baseline.ExactMinCDS(nw.G)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ew += float64(len(optW))
+		ec += float64(len(optC))
+		a1 += float64(len(wcdsnet.AlgorithmI(nw).Dominators))
+		a2 += float64(len(wcdsnet.AlgorithmII(nw).Dominators))
+	}
+	fmt.Printf("  MWCDS %.2f  MCDS %.2f  (weak connectivity buys %.0f%% smaller minimum)\n",
+		ew/smallTrials, ec/smallTrials, 100*(1-ew/ec))
+	fmt.Printf("  AlgoI %.2f (%.2f× opt)  AlgoII %.2f (%.2f× opt)\n",
+		a1/smallTrials, a1/ew, a2/smallTrials, a2/ew)
+	fmt.Println()
+
+	fmt.Println("== large-scale comparison ==")
+	fmt.Printf("%6s %5s | %6s %6s %6s %10s %9s | %11s %12s\n",
+		"n", "deg", "MIS", "algoI", "algoII", "greedyWCDS", "greedyCDS", "spannerI/n", "spannerII/n")
+	for _, n := range []int{300, 600} {
+		for _, deg := range []float64{8, 16} {
+			nw, err := wcdsnet.GenerateNetwork(rng.Int63(), n, deg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			misSet := mis.Greedy(nw.G, mis.ByID(nw.ID))
+			r1 := wcdsnet.AlgorithmI(nw)
+			r2 := wcdsnet.AlgorithmII(nw)
+			gw, err := baseline.GreedyWCDS(nw.G)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gc, err := baseline.GreedyCDS(nw.G)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d %5.0f | %6d %6d %6d %10d %9d | %11.2f %12.2f\n",
+				n, deg, len(misSet), len(r1.Dominators), len(r2.Dominators), len(gw), len(gc),
+				float64(r1.Spanner.M())/float64(n), float64(r2.Spanner.M())/float64(n))
+		}
+	}
+	fmt.Println()
+	fmt.Println("notes: the greedy baselines are centralized and need global state; the paper's")
+	fmt.Println("algorithms pay a constant-factor size premium for O(n)-message local construction,")
+	fmt.Println("and Algorithm II additionally guarantees dilation (3, 6) for its spanner.")
+}

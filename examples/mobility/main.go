@@ -1,0 +1,75 @@
+// Mobility: maintain the WCDS while nodes move (random waypoint steps) and
+// switch on/off — the maintenance process the paper sketches in §4.2.
+// Reports how local the repairs are.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wcdsnet"
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/udg"
+)
+
+func main() {
+	const (
+		n      = 250
+		degree = 12
+		events = 500
+	)
+	nw, err := wcdsnet.GenerateNetwork(5, n, degree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := wcdsnet.NewMaintainer(nw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("start: %d nodes, backbone size %d\n", n, len(m.Dominators()))
+
+	rng := rand.New(rand.NewSource(17))
+	side := udg.SideForAvgDegree(n, degree)
+	box := geom.Square(side)
+
+	radiusHist := map[int]int{}
+	applied, skipped, churn := 0, 0, 0
+	for ev := 0; ev < events; ev++ {
+		v := rng.Intn(n)
+		old := m.Network().Pos[v]
+		step := geom.Point{X: rng.NormFloat64() * 0.5, Y: rng.NormFloat64() * 0.5}
+		rep, err := m.MoveNode(v, box.Clamp(old.Add(step)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Connected {
+			// The WCDS guarantee needs a connected network; undo moves
+			// that partition it (a real deployment would track components).
+			if _, err := m.MoveNode(v, old); err != nil {
+				log.Fatal(err)
+			}
+			skipped++
+			continue
+		}
+		applied++
+		churn += rep.ConnectorChanges
+		radiusHist[rep.AffectedRadius]++
+		if err := m.Validate(); err != nil {
+			log.Fatalf("invariants broken after event %d: %v", ev, err)
+		}
+	}
+
+	fmt.Printf("events: %d applied, %d skipped (would disconnect)\n", applied, skipped)
+	fmt.Printf("connector churn: %.2f reassignments per event\n", float64(churn)/float64(applied))
+	fmt.Println("repair radius histogram (hops from the moved node):")
+	for r := 0; r <= 8; r++ {
+		if c, ok := radiusHist[r]; ok {
+			fmt.Printf("  %d hops: %4d events (%4.1f%%)\n", r, c, 100*float64(c)/float64(applied))
+		}
+	}
+	if c := radiusHist[-1]; c > 0 {
+		fmt.Printf("  unreachable: %d events\n", c)
+	}
+	fmt.Printf("end: backbone size %d, invariants valid\n", len(m.Dominators()))
+}

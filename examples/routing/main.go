@@ -1,0 +1,73 @@
+// Routing: run the paper's Section 4.2 clusterhead unicast over the
+// Algorithm II spanner and compare route lengths with shortest paths in
+// the full graph — the operational form of Theorem 11.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wcdsnet"
+)
+
+func main() {
+	nw, err := wcdsnet.GenerateNetwork(7, 300, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The distributed run hands back each node's 1/2/3-hop dominator
+	// tables — exactly the state the paper's clusterheads route with.
+	res, tables, _, err := wcdsnet.AlgorithmIIWithTables(nw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := wcdsnet.NewRouter(nw, res, tables)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes; backbone: %d dominators, spanner %d edges\n",
+		nw.N(), len(res.Dominators), res.Spanner.M())
+
+	rng := rand.New(rand.NewSource(1))
+	var totalStretch float64
+	var worstStretch float64
+	queries := 0
+	boundViolations := 0
+	for q := 0; q < 2000; q++ {
+		src, dst := rng.Intn(nw.N()), rng.Intn(nw.N())
+		if src == dst {
+			continue
+		}
+		path, err := router.Route(src, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := nw.G.HopDist(src, dst)
+		if h <= 0 {
+			continue
+		}
+		routeHops := len(path) - 1
+		if routeHops > 3*h+2 {
+			boundViolations++
+		}
+		stretch := float64(routeHops) / float64(h)
+		totalStretch += stretch
+		if stretch > worstStretch {
+			worstStretch = stretch
+		}
+		queries++
+	}
+	fmt.Printf("routing:  %d queries, avg stretch %.2f, worst stretch %.2f\n",
+		queries, totalStretch/float64(queries), worstStretch)
+	fmt.Printf("bound:    h_route ≤ 3·h + 2 violated %d times (expect 0)\n", boundViolations)
+
+	// Show one concrete route.
+	path, err := router.Route(0, nw.N()-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("example:  route 0 → %d takes %d hops via clusterhead %d: %v\n",
+		nw.N()-1, len(path)-1, router.Clusterhead(0), path)
+}

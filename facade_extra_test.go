@@ -1,0 +1,82 @@
+package wcdsnet
+
+import "testing"
+
+func TestZeroKnowledgeFacade(t *testing.T) {
+	nw, err := GenerateNetwork(21, 70, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AlgorithmII(nw)
+	got, stats, err := AlgorithmIIZeroKnowledge(nw, Deferred, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dominators) != len(want.Dominators) {
+		t.Errorf("zero-knowledge |WCDS| %d != centralized %d", len(got.Dominators), len(want.Dominators))
+	}
+	for i := range want.Dominators {
+		if got.Dominators[i] != want.Dominators[i] {
+			t.Fatalf("dominator sets differ at %d", i)
+		}
+	}
+	if stats.Messages <= nw.N() {
+		t.Errorf("messages = %d, expected more than one HELLO per node", stats.Messages)
+	}
+	// Async variant too.
+	gotAsync, _, err := AlgorithmIIZeroKnowledge(nw, Deferred, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Dominators {
+		if gotAsync.Dominators[i] != want.Dominators[i] {
+			t.Fatalf("async zero-knowledge diverged at %d", i)
+		}
+	}
+}
+
+func TestClusterByFacade(t *testing.T) {
+	nw, err := GenerateNetwork(22, 90, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := AlgorithmII(nw)
+	p, err := ClusterBy(nw, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != len(res.MISDominators) {
+		t.Errorf("clusters = %d, heads = %d", p.Count(), len(res.MISDominators))
+	}
+	total := 0
+	for _, s := range p.Sizes() {
+		total += s
+	}
+	if total != nw.N() {
+		t.Errorf("cluster sizes sum to %d of %d", total, nw.N())
+	}
+	if p.Radius(nw.G) > 1 {
+		t.Errorf("cluster radius %d > 1", p.Radius(nw.G))
+	}
+}
+
+func TestDiscoverNeighborsFacade(t *testing.T) {
+	nw, err := GenerateNetwork(23, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, stats, err := DiscoverNeighbors(nw, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != nw.N() {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if stats.Messages != 2*nw.N() {
+		t.Errorf("messages = %d, want %d", stats.Messages, 2*nw.N())
+	}
+	// The first node's one-hop table must match the graph exactly.
+	if len(tables[0].OneHop) != nw.G.Degree(0) {
+		t.Errorf("node 0 discovered %d neighbours of %d", len(tables[0].OneHop), nw.G.Degree(0))
+	}
+}

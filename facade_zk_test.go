@@ -1,0 +1,36 @@
+package wcdsnet
+
+import "testing"
+
+func TestAlgorithmIZeroKnowledgeFacade(t *testing.T) {
+	nw, err := GenerateNetwork(31, 60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync zero-knowledge Algorithm I equals the centralized reference
+	// (lockstep HELLO phase preserves the BFS election tree).
+	want := AlgorithmI(nw)
+	got, stats, err := AlgorithmIZeroKnowledge(nw, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dominators) != len(want.Dominators) {
+		t.Fatalf("|WCDS| %d != %d", len(got.Dominators), len(want.Dominators))
+	}
+	for i := range want.Dominators {
+		if got.Dominators[i] != want.Dominators[i] {
+			t.Fatalf("dominators differ at %d", i)
+		}
+	}
+	if stats.Messages == 0 {
+		t.Error("no messages recorded")
+	}
+	// Async variant must still be a valid WCDS.
+	res, _, err := AlgorithmIZeroKnowledge(nw, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsWCDS(nw, res.Dominators) {
+		t.Error("async zero-knowledge Algorithm I result invalid")
+	}
+}

@@ -1,0 +1,3 @@
+module wcdsnet
+
+go 1.22

@@ -1,0 +1,305 @@
+// Package baseline implements the comparators the paper positions itself
+// against: a centralized greedy WCDS in the style of Chen & Liestman
+// (approximation ratio O(ln Δ)), a centralized greedy CDS in the style of
+// Guha & Khuller, and exact minimum WCDS / CDS solvers for small instances
+// (used to measure true approximation ratios in experiment E4).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/wcds"
+)
+
+// ErrTooLarge is returned by the exact solvers for instances beyond the
+// bitmask budget.
+var ErrTooLarge = errors.New("baseline: instance too large for exact search")
+
+// GreedyWCDS computes a weakly-connected dominating set with the classic
+// coverage greedy: the first dominator is the node covering the most nodes;
+// every later dominator is chosen among nodes that preserve weak
+// connectivity (dominated nodes, or undominated nodes adjacent to a
+// dominated node) to maximize newly dominated nodes. The graph must be
+// connected.
+func GreedyWCDS(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	if !g.Connected() {
+		return nil, errors.New("baseline: greedy WCDS requires a connected graph")
+	}
+	const (
+		whiteC = iota // undominated
+		grayC         // dominated, not selected
+		blackC        // selected
+	)
+	color := make([]int8, n)
+	whiteLeft := n
+
+	// coverage(v) = number of white nodes in v's closed neighbourhood.
+	coverage := func(v int) int {
+		c := 0
+		if color[v] == whiteC {
+			c++
+		}
+		for _, w := range g.Neighbors(v) {
+			if color[w] == whiteC {
+				c++
+			}
+		}
+		return c
+	}
+	// eligible reports whether selecting v keeps the chosen set weakly
+	// connected (always true for the first pick).
+	eligible := func(v int, first bool) bool {
+		if color[v] == blackC {
+			return false
+		}
+		if first {
+			return true
+		}
+		if color[v] == grayC {
+			return true
+		}
+		for _, w := range g.Neighbors(v) {
+			if color[w] == grayC {
+				return true
+			}
+		}
+		return false
+	}
+	pick := func(v int) {
+		if color[v] == whiteC {
+			whiteLeft--
+		}
+		color[v] = blackC
+		for _, w := range g.Neighbors(v) {
+			if color[w] == whiteC {
+				color[w] = grayC
+				whiteLeft--
+			}
+		}
+	}
+
+	var set []int
+	for whiteLeft > 0 {
+		best, bestCov := -1, -1
+		for v := 0; v < n; v++ {
+			if !eligible(v, len(set) == 0) {
+				continue
+			}
+			if cov := coverage(v); cov > bestCov || (cov == bestCov && best != -1 && v < best) {
+				best, bestCov = v, cov
+			}
+		}
+		if best == -1 || bestCov == 0 {
+			return nil, fmt.Errorf("baseline: greedy WCDS stalled with %d undominated nodes", whiteLeft)
+		}
+		pick(best)
+		set = append(set, best)
+	}
+	return sortedCopy(set), nil
+}
+
+// GreedyCDS computes a connected dominating set: the first dominator is the
+// maximum-degree node; every later dominator is a dominated (gray) node
+// covering the most undominated nodes, so the selected set always induces a
+// connected subgraph. The graph must be connected.
+func GreedyCDS(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	if !g.Connected() {
+		return nil, errors.New("baseline: greedy CDS requires a connected graph")
+	}
+	if n == 1 {
+		return []int{0}, nil
+	}
+	const (
+		whiteC = iota
+		grayC
+		blackC
+	)
+	color := make([]int8, n)
+	whiteLeft := n
+
+	whiteNbrs := func(v int) int {
+		c := 0
+		for _, w := range g.Neighbors(v) {
+			if color[w] == whiteC {
+				c++
+			}
+		}
+		return c
+	}
+	pick := func(v int) {
+		if color[v] == whiteC {
+			whiteLeft--
+		}
+		color[v] = blackC
+		for _, w := range g.Neighbors(v) {
+			if color[w] == whiteC {
+				color[w] = grayC
+				whiteLeft--
+			}
+		}
+	}
+
+	first := 0
+	for v := 1; v < n; v++ {
+		if g.Degree(v) > g.Degree(first) {
+			first = v
+		}
+	}
+	pick(first)
+	set := []int{first}
+	for whiteLeft > 0 {
+		best, bestCov := -1, 0
+		for v := 0; v < n; v++ {
+			if color[v] != grayC {
+				continue
+			}
+			if cov := whiteNbrs(v); cov > bestCov || (cov == bestCov && cov > 0 && v < best) {
+				best, bestCov = v, cov
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("baseline: greedy CDS stalled with %d undominated nodes", whiteLeft)
+		}
+		pick(best)
+		set = append(set, best)
+	}
+	return sortedCopy(set), nil
+}
+
+// maxExactN bounds the exact solvers: closed neighbourhoods are uint64
+// bitmasks.
+const maxExactN = 26
+
+// ExactMinWCDS finds a minimum-cardinality WCDS by exhaustive search over
+// subset sizes, smallest first. The graph must be connected and have at
+// most 26 nodes.
+func ExactMinWCDS(g *graph.Graph) ([]int, error) {
+	return exactSearch(g, func(set []int) bool { return wcds.IsWCDS(g, set) })
+}
+
+// ExactMinCDS finds a minimum-cardinality connected dominating set. Same
+// limits as ExactMinWCDS.
+func ExactMinCDS(g *graph.Graph) ([]int, error) {
+	return exactSearch(g, func(set []int) bool {
+		return mis.IsDominating(g, set) && inducedConnected(g, set)
+	})
+}
+
+// exactSearch enumerates subsets in increasing size with a coverage-based
+// pruning bound and returns the first subset accepted by valid.
+func exactSearch(g *graph.Graph, valid func([]int) bool) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxExactN {
+		return nil, fmt.Errorf("%w: n=%d > %d", ErrTooLarge, n, maxExactN)
+	}
+	if !g.Connected() {
+		return nil, errors.New("baseline: exact search requires a connected graph")
+	}
+
+	closed := make([]uint64, n) // closed neighbourhood masks
+	for v := 0; v < n; v++ {
+		closed[v] = 1 << uint(v)
+		for _, w := range g.Neighbors(v) {
+			closed[v] |= 1 << uint(w)
+		}
+	}
+	full := uint64(1)<<uint(n) - 1
+	maxCover := 0
+	for v := 0; v < n; v++ {
+		if c := bits.OnesCount64(closed[v]); c > maxCover {
+			maxCover = c
+		}
+	}
+
+	var chosen []int
+	var rec func(start, remaining int, covered uint64) []int
+	rec = func(start, remaining int, covered uint64) []int {
+		if remaining == 0 {
+			if covered == full && valid(chosen) {
+				return sortedCopy(chosen)
+			}
+			return nil
+		}
+		// Coverage pruning: even covering maxCover new nodes per pick
+		// cannot dominate everything.
+		missing := bits.OnesCount64(full &^ covered)
+		if missing > remaining*maxCover {
+			return nil
+		}
+		for v := start; v <= n-remaining; v++ {
+			chosen = append(chosen, v)
+			if res := rec(v+1, remaining-1, covered|closed[v]); res != nil {
+				return res
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil
+	}
+	for k := 1; k <= n; k++ {
+		chosen = chosen[:0]
+		if res := rec(0, k, 0); res != nil {
+			return res, nil
+		}
+	}
+	return nil, errors.New("baseline: exact search failed on a connected graph (bug)")
+}
+
+// inducedConnected reports whether the subgraph induced by set (set nodes
+// and edges among them) is connected. Empty sets are not connected unless
+// the graph itself is empty.
+func inducedConnected(g *graph.Graph, set []int) bool {
+	if len(set) == 0 {
+		return g.N() == 0
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	seen := map[int]bool{set[0]: true}
+	queue := []int{set[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if in[w] && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// MISLowerBound returns ⌈|MIS|/5⌉, a valid lower bound on the minimum WCDS
+// size of a unit-disk graph: each WCDS node dominates at most five MIS
+// nodes (Lemma 1), plus itself if it is in the MIS — Lemma 7's counting
+// gives |MIS| ≤ 5·opt.
+func MISLowerBound(g *graph.Graph, ids []int) int {
+	misSize := len(mis.Greedy(g, mis.ByID(ids)))
+	return (misSize + 4) / 5
+}
+
+func sortedCopy(set []int) []int {
+	out := append([]int(nil), set...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

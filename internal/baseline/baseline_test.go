@@ -1,0 +1,251 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func starGraph(t *testing.T, leaves int) *graph.Graph {
+	t.Helper()
+	g := graph.New(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestGreedyWCDSStar(t *testing.T) {
+	g := starGraph(t, 6)
+	set, err := GreedyWCDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 0 {
+		t.Errorf("set = %v, want hub only", set)
+	}
+}
+
+func TestGreedyWCDSPath(t *testing.T) {
+	g := pathGraph(t, 7)
+	set, err := GreedyWCDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wcds.IsWCDS(g, set) {
+		t.Errorf("greedy WCDS %v is not a WCDS", set)
+	}
+}
+
+func TestGreedyWCDSDisconnected(t *testing.T) {
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(2, 3)
+	if _, err := GreedyWCDS(g); err == nil {
+		t.Error("expected error on disconnected graph")
+	}
+}
+
+func TestGreedyWCDSEmpty(t *testing.T) {
+	set, err := GreedyWCDS(graph.New(0))
+	if err != nil || set != nil {
+		t.Errorf("empty graph: set=%v err=%v", set, err)
+	}
+}
+
+func TestGreedyCDSStarAndPath(t *testing.T) {
+	g := starGraph(t, 5)
+	set, err := GreedyCDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 0 {
+		t.Errorf("star CDS = %v", set)
+	}
+	p := pathGraph(t, 6)
+	set, err = GreedyCDS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mis.IsDominating(p, set) || !inducedConnected(p, set) {
+		t.Errorf("path CDS %v invalid", set)
+	}
+}
+
+func TestGreedyCDSSingleNode(t *testing.T) {
+	set, err := GreedyCDS(graph.New(1))
+	if err != nil || len(set) != 1 {
+		t.Errorf("single node: set=%v err=%v", set, err)
+	}
+}
+
+func TestGreedyAlwaysValidOnUDGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(100)
+		nw, err := udg.GenConnectedAvgDegree(rng, n, 5+rng.Float64()*10, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wset, err := GreedyWCDS(nw.G)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !wcds.IsWCDS(nw.G, wset) {
+			t.Fatalf("trial %d: greedy WCDS invalid", trial)
+		}
+		cset, err := GreedyCDS(nw.G)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !mis.IsDominating(nw.G, cset) || !inducedConnected(nw.G, cset) {
+			t.Fatalf("trial %d: greedy CDS invalid", trial)
+		}
+	}
+}
+
+func TestExactMinWCDSHandGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{name: "single", g: graph.New(1), want: 1},
+		{name: "edge", g: pathGraph(t, 2), want: 1},
+		{name: "path4", g: pathGraph(t, 4), want: 2},
+		{name: "path7", g: pathGraph(t, 7), want: 3},
+		{name: "star", g: starGraph(t, 8), want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			set, err := ExactMinWCDS(tt.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(set) != tt.want {
+				t.Errorf("|MWCDS| = %d (%v), want %d", len(set), set, tt.want)
+			}
+			if !wcds.IsWCDS(tt.g, set) {
+				t.Errorf("exact result %v is not a WCDS", set)
+			}
+		})
+	}
+}
+
+func TestExactMinCDSHandGraphs(t *testing.T) {
+	// On the 7-path the MCDS is the 5 interior nodes; the MWCDS is 3 —
+	// the separation the paper's introduction motivates.
+	g := pathGraph(t, 7)
+	cds, err := ExactMinCDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cds) != 5 {
+		t.Errorf("|MCDS| = %d (%v), want 5", len(cds), cds)
+	}
+	wset, err := ExactMinWCDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wset) >= len(cds) {
+		t.Errorf("MWCDS (%d) should beat MCDS (%d) on the 7-path", len(wset), len(cds))
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	g := graph.New(30)
+	for i := 0; i+1 < 30; i++ {
+		_ = g.AddEdge(i, i+1)
+	}
+	if _, err := ExactMinWCDS(g); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactVsGreedyOnSmallUDGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(6)
+		nw, err := udg.GenConnected(rng, n, udg.SideForAvgDegree(n, 5), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := ExactMinWCDS(nw.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := GreedyWCDS(nw.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(greedy) < len(opt) {
+			t.Fatalf("trial %d: greedy %d beats exact optimum %d", trial, len(greedy), len(opt))
+		}
+		optCDS, err := ExactMinCDS(nw.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(optCDS) < len(opt) {
+			t.Fatalf("trial %d: MCDS %d smaller than MWCDS %d", trial, len(optCDS), len(opt))
+		}
+	}
+}
+
+func TestLemma7RatioAgainstExactOpt(t *testing.T) {
+	// Lemma 7: Algorithm I's WCDS is at most 5·opt. Verified against the
+	// true optimum on small instances.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(7)
+		nw, err := udg.GenConnected(rng, n, udg.SideForAvgDegree(n, 5), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := ExactMinWCDS(nw.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := wcds.Algo1Centralized(nw.G, nw.ID)
+		if len(res.Dominators) > 5*len(opt) {
+			t.Fatalf("trial %d: Lemma 7 violated: |WCDS|=%d > 5·opt=%d",
+				trial, len(res.Dominators), 5*len(opt))
+		}
+	}
+}
+
+func TestMISLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(8)
+		nw, err := udg.GenConnected(rng, n, udg.SideForAvgDegree(n, 5), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := ExactMinWCDS(nw.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := MISLowerBound(nw.G, nw.ID)
+		if lb > len(opt) {
+			t.Fatalf("trial %d: lower bound %d exceeds optimum %d", trial, lb, len(opt))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"errors"
+	"sort"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+)
+
+// MISTreeCDS constructs a connected dominating set in the style of the
+// authors' companion work (references [2]–[5] of the paper): take a
+// greedy-by-ID MIS and connect it into a tree by adding the intermediate
+// nodes of one 2- or 3-hop path per spanning-tree edge of the dominator
+// graph. The result has size ≤ 3·|MIS| − 2 ≤ 15·opt and induces a
+// connected subgraph, making it the natural CDS comparator for the WCDS
+// constructions. The graph must be connected.
+func MISTreeCDS(g *graph.Graph, ids []int) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	if !g.Connected() {
+		return nil, errors.New("baseline: MIS-tree CDS requires a connected graph")
+	}
+	set := mis.Greedy(g, mis.ByID(ids))
+	if len(set) == 1 {
+		return set, nil
+	}
+
+	// Dominator graph: MIS pairs within 3 hops (Lemma 3 guarantees
+	// connectivity on connected graphs).
+	h := mis.SubsetGraph(g, set, 3)
+	if !h.Connected() {
+		return nil, errors.New("baseline: dominator graph disconnected (Lemma 3 violated?)")
+	}
+	_, parent := h.BFS(0)
+
+	inCDS := make(map[int]bool, 3*len(set))
+	for _, v := range set {
+		inCDS[v] = true
+	}
+	// For every tree edge, splice in the intermediates of one shortest
+	// path in G between the two dominators.
+	for child := 0; child < h.N(); child++ {
+		p := parent[child]
+		if p == -1 {
+			continue
+		}
+		u, w := set[p], set[child]
+		path := shortestPathBounded(g, u, w, 3)
+		if path == nil {
+			return nil, errors.New("baseline: tree edge endpoints not within 3 hops (bug)")
+		}
+		for _, v := range path[1 : len(path)-1] {
+			inCDS[v] = true
+		}
+	}
+
+	out := make([]int, 0, len(inCDS))
+	for v := range inCDS {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// shortestPathBounded returns one shortest hop path from u to w of length
+// at most maxHops, or nil. Deterministic for sorted adjacency lists.
+func shortestPathBounded(g *graph.Graph, u, w, maxHops int) []int {
+	if u == w {
+		return []int{u}
+	}
+	dist, _ := g.BFSBounded(u, maxHops)
+	if dist[w] == graph.Unreachable {
+		return nil
+	}
+	// Walk backwards choosing the smallest-index predecessor each step.
+	path := []int{w}
+	cur := w
+	for cur != u {
+		next := -1
+		for _, x := range g.Neighbors(cur) {
+			if dist[x] == dist[cur]-1 && (next == -1 || x < next) {
+				next = x
+			}
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// IsCDS reports whether set is a connected dominating set of g.
+func IsCDS(g *graph.Graph, set []int) bool {
+	if g.N() == 0 {
+		return true
+	}
+	if len(set) == 0 {
+		return false
+	}
+	return mis.IsDominating(g, set) && inducedConnected(g, set)
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/udg"
+)
+
+func TestMISTreeCDSPath(t *testing.T) {
+	// Path 0..6, IDs = indices: MIS {0,2,4,6}; consecutive pairs 2 hops
+	// apart, so one connector each: {1,3,5}. CDS = all 7 nodes.
+	g := pathGraph(t, 7)
+	ids := []int{0, 1, 2, 3, 4, 5, 6}
+	set, err := MISTreeCDS(g, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 7 {
+		t.Errorf("CDS = %v, want all nodes on a path", set)
+	}
+	if !IsCDS(g, set) {
+		t.Error("result is not a CDS")
+	}
+}
+
+func TestMISTreeCDSStar(t *testing.T) {
+	g := starGraph(t, 6)
+	ids := []int{0, 1, 2, 3, 4, 5, 6} // hub has lowest ID → MIS = {hub}
+	set, err := MISTreeCDS(g, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 0 {
+		t.Errorf("CDS = %v, want hub only", set)
+	}
+}
+
+func TestMISTreeCDSValidOnUDGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 30 + rng.Intn(150)
+		nw, err := udg.GenConnectedAvgDegree(rng, n, 5+rng.Float64()*12, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := MISTreeCDS(nw.G, nw.ID)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !IsCDS(nw.G, set) {
+			t.Fatalf("trial %d: not a CDS", trial)
+		}
+		misSize := len(mis.Greedy(nw.G, mis.ByID(nw.ID)))
+		if len(set) > 3*misSize-2 {
+			t.Fatalf("trial %d: |CDS|=%d exceeds 3·|MIS|-2 = %d", trial, len(set), 3*misSize-2)
+		}
+	}
+}
+
+func TestMISTreeCDSDegenerate(t *testing.T) {
+	if set, err := MISTreeCDS(graph.New(0), nil); err != nil || set != nil {
+		t.Errorf("empty graph: %v, %v", set, err)
+	}
+	if set, err := MISTreeCDS(graph.New(1), []int{7}); err != nil || len(set) != 1 {
+		t.Errorf("single node: %v, %v", set, err)
+	}
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(2, 3)
+	if _, err := MISTreeCDS(g, []int{0, 1, 2, 3}); err == nil {
+		t.Error("expected error on disconnected graph")
+	}
+}
+
+func TestShortestPathBounded(t *testing.T) {
+	g := pathGraph(t, 5)
+	path := shortestPathBounded(g, 0, 3, 3)
+	if len(path) != 4 || path[0] != 0 || path[3] != 3 {
+		t.Errorf("path = %v", path)
+	}
+	if shortestPathBounded(g, 0, 4, 3) != nil {
+		t.Error("4-hop target should be out of a 3-hop bound")
+	}
+	if p := shortestPathBounded(g, 2, 2, 3); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestIsCDS(t *testing.T) {
+	g := pathGraph(t, 5)
+	if !IsCDS(g, []int{1, 2, 3}) {
+		t.Error("{1,2,3} is a CDS of the 5-path")
+	}
+	if IsCDS(g, []int{1, 3}) {
+		t.Error("{1,3} is not connected in the induced subgraph")
+	}
+	if IsCDS(g, nil) {
+		t.Error("empty set is not a CDS of a nonempty graph")
+	}
+}
+
+func TestMISTreeCDSVsWCDSSizes(t *testing.T) {
+	// The WCDS relaxation should usually produce smaller backbones than
+	// the MIS-tree CDS built from the SAME MIS (it omits most connectors).
+	rng := rand.New(rand.NewSource(2))
+	cdsTotal, trials := 0, 12
+	misTotal := 0
+	for trial := 0; trial < trials; trial++ {
+		nw, err := udg.GenConnectedAvgDegree(rng, 100, 8, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cds, err := MISTreeCDS(nw.G, nw.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdsTotal += len(cds)
+		misTotal += len(mis.Greedy(nw.G, mis.ByID(nw.ID)))
+	}
+	if cdsTotal <= misTotal {
+		t.Errorf("CDS total %d should exceed its own MIS total %d", cdsTotal, misTotal)
+	}
+	t.Logf("avg: MIS %.1f, MIS-tree CDS %.1f", float64(misTotal)/float64(trials), float64(cdsTotal)/float64(trials))
+}

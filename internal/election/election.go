@@ -1,0 +1,276 @@
+// Package election implements the first two phases of the paper's
+// Algorithm I: distributed leader election with spanning-tree construction,
+// followed by the level-calculation phase and its COMPLETE convergecast.
+//
+// The paper delegates election to Cidon–Mokryn [9] (O(n log n) messages).
+// We substitute a flood-max ("extinction") election with per-wave echo
+// acknowledgements: every node floods its own ID; higher IDs extinguish
+// lower waves; the echo lets the surviving originator — the maximum-ID
+// node — detect completion in-protocol, with the adoption pointers of the
+// winning wave forming a spanning tree rooted at the leader. Worst-case
+// message complexity is O(n·m); on random unit-disk graphs it is close to
+// linear, and experiment E7 reports the measured counts.
+//
+// Once elected, the root starts the level phase: it announces level 0, and
+// every node, on hearing its tree parent's level, adopts parent+1 and
+// announces it, recording the levels of all radio neighbours. Leaves then
+// send COMPLETE up the tree; when the root has COMPLETE from every child
+// the rank assignment (level, ID) is globally ready and the root's
+// OnRootComplete hook fires — Algorithm I's colour-marking phase (in the
+// wcds package) starts there.
+//
+// Core is embeddable: protocols that need phases 1–2 wrap a Core, forward
+// unrecognised messages to their own handlers, and react to the hooks.
+package election
+
+import (
+	"wcdsnet/internal/simnet"
+)
+
+// Message types exchanged during phases 1–2. They are exported so wrapping
+// protocols and traces can identify them.
+type (
+	// ElectMsg floods a leader-candidate ID.
+	ElectMsg struct{ ID int }
+	// AckMsg acknowledges one ElectMsg for wave ID. Child is true when the
+	// sender adopted the receiver as its tree parent.
+	AckMsg struct {
+		ID    int
+		Child bool
+	}
+	// LevelMsg announces the sender's tree level.
+	LevelMsg struct{ Level int }
+	// CompleteMsg is the convergecast notification that the sender's whole
+	// subtree has determined its levels.
+	CompleteMsg struct{}
+)
+
+// LevelUnknown marks a level not yet learned.
+const LevelUnknown = -1
+
+// Core is the per-node state machine for election + level calculation.
+// Embed it in a larger protocol or drive it directly through Proc.
+//
+// A Core must be initialised with NewCore and used from a single node's
+// handler context only.
+type Core struct {
+	id int // this node's unique protocol ID
+
+	// Election state.
+	bestID   int
+	parent   int // node index of tree parent; -1 while self is best
+	pending  int // outstanding acks for the current wave
+	children []int
+	elected  bool // the winning wave's echo has closed at this node
+
+	// Level phase state.
+	level          int
+	neighborLevels map[int]int // node index -> level
+	completeCount  int
+	completeSent   bool
+	rootDone       bool
+
+	// OnRootComplete fires exactly once, at the root, when every node has
+	// determined its level (phase 2 done). Optional.
+	OnRootComplete func(ctx *simnet.Context)
+	// OnReady fires exactly once per node when its own level and all of its
+	// neighbours' levels are known — the moment its (level, ID) rank
+	// context is complete. Optional.
+	OnReady func(ctx *simnet.Context)
+
+	readyFired bool
+}
+
+// NewCore returns a Core for a node with the given unique protocol ID.
+func NewCore(id int) *Core {
+	return &Core{
+		id:             id,
+		bestID:         id,
+		parent:         -1,
+		level:          LevelUnknown,
+		neighborLevels: make(map[int]int),
+	}
+}
+
+// ID returns this node's protocol ID.
+func (c *Core) ID() int { return c.id }
+
+// IsRoot reports whether this node won the election (valid once the level
+// phase has started; the root is the unique node with no parent).
+func (c *Core) IsRoot() bool { return c.parent == -1 }
+
+// Parent returns the tree parent's node index, or -1 at the root.
+func (c *Core) Parent() int { return c.parent }
+
+// Children returns the tree children recorded for the winning wave. The
+// slice is owned by the Core.
+func (c *Core) Children() []int { return c.children }
+
+// Level returns this node's tree level, or LevelUnknown before phase 2
+// reaches it.
+func (c *Core) Level() int { return c.level }
+
+// NeighborLevel returns the recorded level of neighbour v, or LevelUnknown.
+func (c *Core) NeighborLevel(v int) int {
+	if l, ok := c.neighborLevels[v]; ok {
+		return l
+	}
+	return LevelUnknown
+}
+
+// Ready reports whether this node knows its own level and the level of
+// every neighbour.
+func (c *Core) Ready(ctx *simnet.Context) bool {
+	return c.level != LevelUnknown && len(c.neighborLevels) == ctx.Degree()
+}
+
+// LeaderID returns the best leader ID known so far; after quiescence it is
+// the global maximum ID.
+func (c *Core) LeaderID() int { return c.bestID }
+
+// Init starts the node's own election wave.
+func (c *Core) Init(ctx *simnet.Context) {
+	c.pending = ctx.Degree()
+	if c.pending == 0 {
+		// Isolated node: trivially the leader of its own component.
+		c.becomeElected(ctx)
+		return
+	}
+	ctx.Broadcast(ElectMsg{ID: c.bestID})
+}
+
+// Handle processes one delivered message, returning true when it consumed
+// the message (i.e. the payload belonged to phases 1–2).
+func (c *Core) Handle(ctx *simnet.Context, from int, payload any) bool {
+	switch m := payload.(type) {
+	case ElectMsg:
+		c.handleElect(ctx, from, m)
+	case AckMsg:
+		c.handleAck(ctx, from, m)
+	case LevelMsg:
+		c.handleLevel(ctx, from, m)
+	case CompleteMsg:
+		c.handleComplete(ctx, from)
+	default:
+		return false
+	}
+	return true
+}
+
+func (c *Core) handleElect(ctx *simnet.Context, from int, m ElectMsg) {
+	switch {
+	case m.ID > c.bestID:
+		// A better wave extinguishes ours: adopt the sender as parent and
+		// relay. The ack to the new parent is deferred until our whole
+		// rebroadcast has been answered.
+		c.bestID = m.ID
+		c.parent = from
+		c.children = c.children[:0]
+		c.pending = ctx.Degree()
+		ctx.Broadcast(ElectMsg{ID: m.ID})
+	case m.ID == c.bestID:
+		// Duplicate of the current wave: answer immediately so the
+		// sender's counter closes (as a non-child).
+		ctx.Send(from, AckMsg{ID: m.ID})
+	default:
+		// A stale lower wave is discarded WITHOUT a reply. This is what
+		// guarantees that only the maximum-ID originator's echo can ever
+		// close: a lower wave hits a higher-ID node somewhere and starves
+		// there, so its originator never collects a full set of acks.
+	}
+}
+
+func (c *Core) handleAck(ctx *simnet.Context, from int, m AckMsg) {
+	if m.ID != c.bestID || c.elected {
+		return // echo of an extinguished wave
+	}
+	if m.Child {
+		c.children = append(c.children, from)
+	}
+	c.pending--
+	if c.pending > 0 {
+		return
+	}
+	if c.parent != -1 {
+		// Our subtree of the current wave is fully acknowledged.
+		ctx.Send(c.parent, AckMsg{ID: c.bestID, Child: true})
+		return
+	}
+	// The echo closed at the originator: only the global maximum ID can
+	// ever get here, because any other wave is extinguished somewhere.
+	c.becomeElected(ctx)
+}
+
+// becomeElected transitions the root into phase 2.
+func (c *Core) becomeElected(ctx *simnet.Context) {
+	c.elected = true
+	c.level = 0
+	if ctx.Degree() > 0 {
+		ctx.Broadcast(LevelMsg{Level: 0})
+	}
+	c.maybeReady(ctx)
+	c.maybeComplete(ctx)
+}
+
+func (c *Core) handleLevel(ctx *simnet.Context, from int, m LevelMsg) {
+	c.neighborLevels[from] = m.Level
+	if from == c.parent && c.level == LevelUnknown {
+		c.level = m.Level + 1
+		ctx.Broadcast(LevelMsg{Level: c.level})
+	}
+	c.maybeReady(ctx)
+	c.maybeComplete(ctx)
+}
+
+func (c *Core) handleComplete(ctx *simnet.Context, from int) {
+	c.completeCount++
+	c.maybeComplete(ctx)
+}
+
+func (c *Core) maybeReady(ctx *simnet.Context) {
+	if c.readyFired || !c.Ready(ctx) {
+		return
+	}
+	c.readyFired = true
+	if c.OnReady != nil {
+		c.OnReady(ctx)
+	}
+}
+
+// maybeComplete sends COMPLETE up the tree (or fires the root hook) once
+// this node's level context is ready and every child subtree has reported.
+func (c *Core) maybeComplete(ctx *simnet.Context) {
+	if c.completeSent || !c.Ready(ctx) || c.completeCount < len(c.children) {
+		return
+	}
+	c.completeSent = true
+	if c.parent != -1 {
+		ctx.Send(c.parent, CompleteMsg{})
+		return
+	}
+	c.rootDone = true
+	if c.OnRootComplete != nil {
+		c.OnRootComplete(ctx)
+	}
+}
+
+// RootDone reports whether the root-completion hook has fired at this node.
+func (c *Core) RootDone() bool { return c.rootDone }
+
+// Proc adapts a bare Core to simnet.Proc for standalone use and testing.
+type Proc struct {
+	Core *Core
+}
+
+// NewProc returns a standalone phases-1–2 protocol node.
+func NewProc(id int) *Proc {
+	return &Proc{Core: NewCore(id)}
+}
+
+// Init implements simnet.Proc.
+func (p *Proc) Init(ctx *simnet.Context) { p.Core.Init(ctx) }
+
+// Recv implements simnet.Proc.
+func (p *Proc) Recv(ctx *simnet.Context, from int, payload any) {
+	p.Core.Handle(ctx, from, payload)
+}

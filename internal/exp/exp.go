@@ -1,0 +1,138 @@
+// Package exp is the experiment harness: one runner per experiment in
+// DESIGN.md's per-experiment index (E1–E10), each regenerating the numbers
+// recorded in EXPERIMENTS.md and checking the paper's bound for that claim.
+//
+// The paper itself reports no measurement tables (it is analytical), so
+// each experiment validates a stated theorem/lemma empirically and records
+// the measured distributions; see DESIGN.md §2.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wcdsnet/internal/udg"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Trials is the number of random instances per table row.
+	Trials int
+	// Quick shrinks instance sizes for use in unit tests and smoke runs.
+	Quick bool
+}
+
+// DefaultConfig is the configuration used to produce EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Seed: 20030519, Trials: 20} // ICDCS 2003 conference date
+}
+
+// QuickConfig is a fast configuration for tests.
+func QuickConfig() Config {
+	return Config{Seed: 1, Trials: 3, Quick: true}
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim restates the paper claim under test.
+	Claim string
+	// Table is the rendered measurement table.
+	Table string
+	// Pass reports whether every checked bound held.
+	Pass bool
+	// Notes carries free-form observations.
+	Notes []string
+}
+
+// String renders the result as a markdown-ish section.
+func (r Result) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "## %s — %s [%s]\n\nClaim: %s\n\n```\n%s```\n", r.ID, r.Title, status, r.Claim, r.Table)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner func(cfg Config) (Result, error)
+
+// All returns the experiment runners in index order.
+func All() []Runner {
+	return []Runner{
+		RunE1, RunE2, RunE3, RunE4, RunE5,
+		RunE6, RunE7, RunE8, RunE9, RunE10,
+		RunE11, RunE12,
+	}
+}
+
+// RunAll executes every experiment and returns the results; it stops at the
+// first infrastructure error (bound violations are reported via Pass, not
+// via errors).
+func RunAll(cfg Config) ([]Result, error) {
+	var out []Result
+	for _, run := range All() {
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// sizes returns experiment instance sizes, shrunk under Quick.
+func (c Config) sizes(full ...int) []int {
+	if !c.Quick {
+		return full
+	}
+	out := make([]int, 0, len(full))
+	for _, n := range full {
+		if n/4 >= 10 {
+			out = append(out, n/4)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{20}
+	}
+	if len(out) > 2 {
+		out = out[:2]
+	}
+	return out
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 1
+	}
+	return c.Trials
+}
+
+// genNet draws a connected network with a target average degree, retrying
+// generously.
+func genNet(rng *rand.Rand, n int, deg float64) (*udg.Network, error) {
+	nw, err := udg.GenConnectedAvgDegree(rng, n, deg, 2000)
+	if err != nil {
+		return nil, fmt.Errorf("exp: generate n=%d deg=%.0f: %w", n, deg, err)
+	}
+	return nw, nil
+}
+
+// passMark renders a boolean as a table cell.
+func passMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickConfigSizes(t *testing.T) {
+	cfg := QuickConfig()
+	sizes := cfg.sizes(200, 400, 800)
+	if len(sizes) == 0 || len(sizes) > 2 {
+		t.Fatalf("quick sizes = %v", sizes)
+	}
+	for _, n := range sizes {
+		if n >= 200 {
+			t.Errorf("quick size %d not shrunk", n)
+		}
+	}
+	full := DefaultConfig().sizes(200, 400)
+	if len(full) != 2 || full[0] != 200 {
+		t.Errorf("full sizes = %v", full)
+	}
+}
+
+func TestTrialsFloor(t *testing.T) {
+	c := Config{}
+	if c.trials() != 1 {
+		t.Errorf("zero trials should floor to 1, got %d", c.trials())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "E0", Title: "t", Claim: "c", Table: "x\n", Pass: true, Notes: []string{"note"}}
+	s := r.String()
+	for _, want := range []string{"E0", "PASS", "c", "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("result string missing %q: %s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Error("failing result should render FAIL")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment at quick scale and demands
+// every checked bound passes — this is the repository's end-to-end
+// regression of the paper's claims.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	results, err := RunAll(QuickConfig())
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(results))
+	}
+	for _, r := range results {
+		if r.Table == "" {
+			t.Errorf("%s produced no table", r.ID)
+		}
+		if !r.Pass {
+			t.Errorf("%s FAILED its bound checks:\n%s", r.ID, r.String())
+		}
+	}
+}
+
+// TestAblationsQuick runs the design-decision ablations (A1–A2) at quick
+// scale.
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite skipped in -short mode")
+	}
+	for _, runner := range Ablations() {
+		res, err := runner(QuickConfig())
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if !res.Pass {
+			t.Errorf("%s FAILED:\n%s", res.ID, res.String())
+		}
+	}
+}

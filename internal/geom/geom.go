@@ -1,0 +1,82 @@
+// Package geom provides the planar geometry primitives used by the
+// unit-disk-graph model: points, distances, and axis-aligned rectangles.
+//
+// All coordinates are float64. The unit-disk radius is always 1 by
+// convention (the paper normalizes every node's transmission range to one
+// unit), so distance comparisons against the radio range are comparisons
+// against 1.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Use it for
+// range comparisons to avoid the square root on hot paths.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{X: p.X * f, Y: p.Y * f} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4f, %.4f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and Max
+// the upper-right corner; a Rect with Max coordinates below Min is empty.
+type Rect struct {
+	Min, Max Point
+}
+
+// Square returns the axis-aligned square [0,side] × [0,side].
+func Square(side float64) Rect {
+	return Rect{Max: Point{X: side, Y: side}}
+}
+
+// Width returns the horizontal extent of r (0 if empty).
+func (r Rect) Width() float64 { return math.Max(0, r.Max.X-r.Min.X) }
+
+// Height returns the vertical extent of r (0 if empty).
+func (r Rect) Height() float64 { return math.Max(0, r.Max.Y-r.Min.Y) }
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// PathLength returns the total Euclidean length of the polyline through
+// pts. Fewer than two points yield zero.
+func PathLength(pts []Point) float64 {
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		total += pts[i-1].Dist(pts[i])
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{name: "same point", p: Point{1, 2}, q: Point{1, 2}, want: 0},
+		{name: "unit x", p: Point{0, 0}, q: Point{1, 0}, want: 1},
+		{name: "unit y", p: Point{0, 0}, q: Point{0, 1}, want: 1},
+		{name: "3-4-5", p: Point{0, 0}, q: Point{3, 4}, want: 5},
+		{name: "negative coords", p: Point{-1, -1}, q: Point{2, 3}, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Restrict to a sane range to avoid overflow-driven mismatch.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Point{clamp(ax), clamp(ay)}
+		q := Point{clamp(bx), clamp(by)}
+		d := p.Dist(q)
+		return math.Abs(p.Dist2(q)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{ax, ay}
+		q := Point{bx, by}
+		d1, d2 := p.Dist(q), q.Dist(p)
+		return (math.IsNaN(d1) && math.IsNaN(d2)) || d1 == d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	r := Square(5)
+	if r.Width() != 5 || r.Height() != 5 {
+		t.Fatalf("Square(5) has size %vx%v", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{5, 5}) || !r.Contains(Point{2.5, 2.5}) {
+		t.Error("Square(5) should contain corners and center")
+	}
+	if r.Contains(Point{5.001, 2}) || r.Contains(Point{-0.001, 2}) {
+		t.Error("Square(5) should not contain outside points")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Square(1)
+	tests := []struct {
+		give, want Point
+	}{
+		{Point{0.5, 0.5}, Point{0.5, 0.5}},
+		{Point{-1, 0.5}, Point{0, 0.5}},
+		{Point{2, 2}, Point{1, 1}},
+		{Point{0.5, -3}, Point{0.5, 0}},
+	}
+	for _, tt := range tests {
+		if got := r.Clamp(tt.give); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestClampAlwaysInside(t *testing.T) {
+	r := Rect{Min: Point{-2, 1}, Max: Point{3, 4}}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	tests := []struct {
+		name string
+		pts  []Point
+		want float64
+	}{
+		{name: "empty", pts: nil, want: 0},
+		{name: "single", pts: []Point{{1, 1}}, want: 0},
+		{name: "segment", pts: []Point{{0, 0}, {3, 4}}, want: 5},
+		{name: "L shape", pts: []Point{{0, 0}, {1, 0}, {1, 1}}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PathLength(tt.pts); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("PathLength = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	r := Rect{Min: Point{2, 2}, Max: Point{1, 1}}
+	if r.Width() != 0 || r.Height() != 0 {
+		t.Errorf("empty rect has nonzero size %v x %v", r.Width(), r.Height())
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import "sort"
+
+// ArticulationPoints returns the cut vertices of the graph — nodes whose
+// removal increases the number of connected components — sorted ascending.
+// Iterative Tarjan lowlink computation, O(V+E).
+//
+// The mobility layer uses this to predict whether switching a node off (or
+// moving it away) can disconnect the network before actually applying the
+// event.
+func (g *Graph) ArticulationPoints() []int {
+	n := len(g.adj)
+	disc := make([]int, n) // discovery times, 0 = unvisited
+	low := make([]int, n)
+	parent := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := 0
+
+	// Iterative DFS frame: node + index into its adjacency list.
+	type frame struct {
+		v  int
+		ai int
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		rootChildren := 0
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack := []frame{{v: root}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ai < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ai]
+				f.ai++
+				switch {
+				case disc[w] == 0:
+					parent[w] = f.v
+					if f.v == root {
+						rootChildren++
+					}
+					timer++
+					disc[w] = timer
+					low[w] = timer
+					stack = append(stack, frame{v: w})
+				case w != parent[f.v]:
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate lowlink to the parent.
+			stack = stack[:len(stack)-1]
+			p := parent[f.v]
+			if p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if p != root && low[f.v] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootChildren >= 2 {
+			isCut[root] = true
+		}
+	}
+
+	var out []int
+	for v, c := range isCut {
+		if c {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Bridges returns the cut edges of the graph — edges whose removal
+// disconnects their component — with smaller endpoint first, sorted.
+func (g *Graph) Bridges() [][2]int {
+	n := len(g.adj)
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := 0
+	var bridges [][2]int
+
+	type frame struct {
+		v  int
+		ai int
+		// parentEdgeUsed guards against treating one copy of a parallel
+		// path through the parent as a back edge; simple graphs only need
+		// the first parent occurrence skipped.
+		parentSkipped bool
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack := []frame{{v: root}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ai < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ai]
+				f.ai++
+				switch {
+				case disc[w] == 0:
+					parent[w] = f.v
+					timer++
+					disc[w] = timer
+					low[w] = timer
+					stack = append(stack, frame{v: w})
+				case w == parent[f.v] && !f.parentSkipped:
+					f.parentSkipped = true
+				default:
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			p := parent[f.v]
+			if p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if low[f.v] > disc[p] {
+					e := [2]int{p, f.v}
+					if e[0] > e[1] {
+						e[0], e[1] = e[1], e[0]
+					}
+					bridges = append(bridges, e)
+				}
+			}
+		}
+	}
+	sort.Slice(bridges, func(i, j int) bool {
+		if bridges[i][0] != bridges[j][0] {
+			return bridges[i][0] < bridges[j][0]
+		}
+		return bridges[i][1] < bridges[j][1]
+	})
+	return bridges
+}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func equalPairs(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArticulationPointsPath(t *testing.T) {
+	g := New(5)
+	for i := 0; i+1 < 5; i++ {
+		_ = g.AddEdge(i, i+1)
+	}
+	got := g.ArticulationPoints()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("cut vertices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cut vertices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArticulationPointsCycle(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		_ = g.AddEdge(i, (i+1)%5)
+	}
+	if got := g.ArticulationPoints(); len(got) != 0 {
+		t.Errorf("cycle has no cut vertices, got %v", got)
+	}
+}
+
+func TestArticulationPointsTwoTriangles(t *testing.T) {
+	// Two triangles sharing node 2: node 2 is the only cut vertex.
+	g := New(5)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(2, 3)
+	_ = g.AddEdge(3, 4)
+	_ = g.AddEdge(2, 4)
+	got := g.ArticulationPoints()
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("cut vertices = %v, want [2]", got)
+	}
+}
+
+func TestArticulationPointsStar(t *testing.T) {
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		_ = g.AddEdge(0, i)
+	}
+	got := g.ArticulationPoints()
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("star cut vertices = %v, want [0]", got)
+	}
+}
+
+func TestArticulationPointsDisconnected(t *testing.T) {
+	g := New(6)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(3, 4)
+	_ = g.AddEdge(4, 5)
+	got := g.ArticulationPoints()
+	want := []int{1, 4}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("cut vertices = %v, want %v", got, want)
+	}
+}
+
+func TestBridgesPathAndCycle(t *testing.T) {
+	p := New(4)
+	for i := 0; i+1 < 4; i++ {
+		_ = p.AddEdge(i, i+1)
+	}
+	if got := p.Bridges(); !equalPairs(got, [][2]int{{0, 1}, {1, 2}, {2, 3}}) {
+		t.Errorf("path bridges = %v", got)
+	}
+	c := New(4)
+	for i := 0; i < 4; i++ {
+		_ = c.AddEdge(i, (i+1)%4)
+	}
+	if got := c.Bridges(); len(got) != 0 {
+		t.Errorf("cycle bridges = %v, want none", got)
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by the bridge {2,3}.
+	g := New(6)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(3, 4)
+	_ = g.AddEdge(4, 5)
+	_ = g.AddEdge(3, 5)
+	_ = g.AddEdge(2, 3)
+	got := g.Bridges()
+	if !equalPairs(got, [][2]int{{2, 3}}) {
+		t.Errorf("bridges = %v, want [[2 3]]", got)
+	}
+}
+
+// Reference implementations by brute force: remove each vertex/edge and
+// compare component counts.
+func bruteCutVertices(g *Graph) []int {
+	base := len(g.Components())
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		h := New(g.N())
+		for _, e := range g.Edges() {
+			if e[0] != v && e[1] != v {
+				_ = h.AddEdge(e[0], e[1])
+			}
+		}
+		// Removing v leaves it isolated in h; compare component counts
+		// excluding the removed vertex's singleton.
+		comps := 0
+		for _, c := range h.Components() {
+			if len(c) == 1 && c[0] == v {
+				continue
+			}
+			comps++
+		}
+		if comps > base {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func bruteBridges(g *Graph) [][2]int {
+	base := len(g.Components())
+	var out [][2]int
+	for _, e := range g.Edges() {
+		h := New(g.N())
+		for _, f := range g.Edges() {
+			if f != e {
+				_ = h.AddEdge(f[0], f[1])
+			}
+		}
+		if len(h.Components()) > base {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestCutsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		edges := rng.Intn(2 * n)
+		for e := 0; e < edges; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		g.SortAdjacency()
+
+		gotCuts := g.ArticulationPoints()
+		wantCuts := bruteCutVertices(g)
+		if len(gotCuts) != len(wantCuts) {
+			t.Fatalf("trial %d: cuts %v, want %v", trial, gotCuts, wantCuts)
+		}
+		for i := range wantCuts {
+			if gotCuts[i] != wantCuts[i] {
+				t.Fatalf("trial %d: cuts %v, want %v", trial, gotCuts, wantCuts)
+			}
+		}
+
+		gotBridges := g.Bridges()
+		wantBridges := bruteBridges(g)
+		if !equalPairs(gotBridges, wantBridges) {
+			t.Fatalf("trial %d: bridges %v, want %v", trial, gotBridges, wantBridges)
+		}
+	}
+}
+
+func TestCutsEmptyAndSingle(t *testing.T) {
+	if got := New(0).ArticulationPoints(); got != nil {
+		t.Errorf("empty graph cuts = %v", got)
+	}
+	if got := New(1).Bridges(); got != nil {
+		t.Errorf("single node bridges = %v", got)
+	}
+}

@@ -1,0 +1,516 @@
+// Package maintain implements the WCDS maintenance sketched in the paper's
+// Section 4.2 for mobile networks: "the key technique in our approach is to
+// maintain the MIS in the unit-disk graph at all times, and to maintain
+// information about all MIS-dominators within three-hop distance", with
+// repairs applied locally around topology changes.
+//
+// The paper defers the detailed maintenance protocol to future work; this
+// package implements the sketch as a state-machine over network events:
+//
+//  1. After a node moves (or toggles off/on), the MIS invariants are
+//     repaired with local rules — adjacent dominator pairs demote the
+//     higher-ID member, undominated nodes promote themselves — processed
+//     deterministically until a fixpoint.
+//  2. The additional-dominator (connector) assignments for three-hop
+//     dominator pairs are recomputed with the same canonical selection the
+//     construction uses, and the diff is reported.
+//
+// Experiment E10 measures how far role changes propagate from the event
+// site (the paper's locality claim).
+package maintain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+// Maintainer tracks a network and its maintained WCDS across events.
+type Maintainer struct {
+	nw         *udg.Network
+	inMIS      []bool
+	active     []bool // off nodes keep their slot but have no edges
+	connectors map[[2]int][2]int
+
+	// distributedRepair switches the MIS repair step from the local
+	// worklist rules to the message-passing protocol of
+	// RepairMISDistributed (run on the synchronous engine). Both
+	// strategies restore the same invariants; the resulting MIS may
+	// differ on ties.
+	distributedRepair bool
+	// RepairMessages accumulates the protocol cost of distributed repairs.
+	RepairMessages int
+}
+
+// SetDistributedRepair selects the repair strategy for subsequent events.
+func (m *Maintainer) SetDistributedRepair(on bool) { m.distributedRepair = on }
+
+// Report describes the effect of one maintenance event.
+type Report struct {
+	// Promoted and Demoted list nodes whose MIS role changed.
+	Promoted, Demoted []int
+	// ConnectorChanges counts three-hop pairs whose connector assignment
+	// changed (added, removed, or reassigned).
+	ConnectorChanges int
+	// RoleChanged lists every node whose dominator status (MIS or
+	// additional) changed.
+	RoleChanged []int
+	// AffectedRadius is the maximum hop distance, in the post-event graph,
+	// from the event node to any role-changed node; 0 when nothing beyond
+	// the event node changed, -1 if a role-changed node became unreachable.
+	AffectedRadius int
+	// Connected reports whether the post-event active graph is connected
+	// (the WCDS guarantee only applies to connected graphs).
+	Connected bool
+}
+
+// New builds a Maintainer with the canonical Algorithm II state for the
+// network's current topology. The network must be connected.
+func New(nw *udg.Network) (*Maintainer, error) {
+	if !nw.G.Connected() {
+		return nil, errors.New("maintain: initial network must be connected")
+	}
+	m := &Maintainer{
+		nw:     nw,
+		inMIS:  make([]bool, nw.N()),
+		active: make([]bool, nw.N()),
+	}
+	for i := range m.active {
+		m.active[i] = true
+	}
+	set := mis.Greedy(nw.G, mis.ByID(nw.ID))
+	for _, v := range set {
+		m.inMIS[v] = true
+	}
+	m.connectors = wcds.ConnectorSelection(nw.G, nw.ID, set)
+	return m, nil
+}
+
+// MISDominators returns the current MIS-dominator set, sorted.
+func (m *Maintainer) MISDominators() []int {
+	var set []int
+	for v, in := range m.inMIS {
+		if in && m.active[v] {
+			set = append(set, v)
+		}
+	}
+	return set
+}
+
+// Dominators returns the full maintained WCDS (MIS plus connectors).
+func (m *Maintainer) Dominators() []int {
+	seen := make(map[int]bool)
+	for _, v := range m.MISDominators() {
+		seen[v] = true
+	}
+	for _, pair := range m.connectors {
+		seen[pair[0]] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Network exposes the maintained network (positions are live).
+func (m *Maintainer) Network() *udg.Network { return m.nw }
+
+// WouldDisconnect predicts whether removing node v (switching it off, or
+// moving it out of range of all neighbours) can disconnect the active
+// graph: true exactly when v is an articulation point. Callers use this to
+// filter churn events cheaply instead of applying and rolling back.
+func (m *Maintainer) WouldDisconnect(v int) bool {
+	if v < 0 || v >= m.nw.N() || !m.active[v] {
+		return false
+	}
+	for _, cut := range m.nw.G.ArticulationPoints() {
+		if cut == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MoveNode relocates node v and repairs the WCDS.
+func (m *Maintainer) MoveNode(v int, p geom.Point) (Report, error) {
+	if v < 0 || v >= m.nw.N() {
+		return Report{}, fmt.Errorf("maintain: node %d out of range", v)
+	}
+	if !m.active[v] {
+		return Report{}, fmt.Errorf("maintain: node %d is switched off", v)
+	}
+	oldNbrs := append([]int(nil), m.nw.G.Neighbors(v)...)
+	m.nw.Pos[v] = p
+	m.rebuild()
+	return m.repair(v, oldNbrs), nil
+}
+
+// SetActive switches node v on or off (the paper's "turned off or on").
+// Off nodes lose all their links and are exempt from domination.
+func (m *Maintainer) SetActive(v int, on bool) (Report, error) {
+	if v < 0 || v >= m.nw.N() {
+		return Report{}, fmt.Errorf("maintain: node %d out of range", v)
+	}
+	if m.active[v] == on {
+		return Report{}, fmt.Errorf("maintain: node %d already in requested state", v)
+	}
+	oldNbrs := append([]int(nil), m.nw.G.Neighbors(v)...)
+	m.active[v] = on
+	if !on {
+		m.inMIS[v] = false
+	}
+	m.rebuild()
+	return m.repair(v, oldNbrs), nil
+}
+
+// rebuild recomputes the unit-disk graph over active nodes only.
+func (m *Maintainer) rebuild() {
+	m.nw.Rebuild()
+	if allActive(m.active) {
+		return
+	}
+	// Mask out edges of inactive nodes by rebuilding a filtered graph.
+	g := graph.New(m.nw.N())
+	for _, e := range m.nw.G.Edges() {
+		if m.active[e[0]] && m.active[e[1]] {
+			_ = g.AddEdge(e[0], e[1])
+		}
+	}
+	g.SortAdjacency()
+	m.nw.G = g
+}
+
+func allActive(active []bool) bool {
+	for _, a := range active {
+		if !a {
+			return false
+		}
+	}
+	return true
+}
+
+// repair restores the MIS invariants with deterministic local rules and
+// refreshes the connector assignments, returning the change report.
+func (m *Maintainer) repair(event int, oldNbrs []int) Report {
+	oldMIS := append([]bool(nil), m.inMIS...)
+	oldDoms := m.Dominators()
+
+	var promoted, demoted []int
+	if m.distributedRepair {
+		promoted, demoted = m.repairDistributed(oldMIS)
+	} else {
+		promoted, demoted = m.repairLocal(event, oldNbrs)
+	}
+	return m.finishRepair(event, oldMIS, oldDoms, promoted, demoted)
+}
+
+// repairDistributed delegates the MIS repair to the message-passing
+// protocol on the synchronous engine. Inactive nodes (isolated in the
+// filtered graph) self-promote as their own components; they are stripped
+// afterwards because the maintenance semantics exempt them. On an engine
+// error (budget exhaustion) it falls back to the local rules.
+func (m *Maintainer) repairDistributed(oldMIS []bool) (promoted, demoted []int) {
+	g := m.nw.G
+	set, _, stats, err := RepairMISDistributed(g, m.nw.ID, append([]bool(nil), m.inMIS...),
+		func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
+			return simnet.RunSync(g, procs)
+		})
+	if err != nil {
+		return m.repairLocal(-1, nil)
+	}
+	m.RepairMessages += stats.Messages
+	for i := range m.inMIS {
+		m.inMIS[i] = false
+	}
+	for _, v := range set {
+		if m.active[v] {
+			m.inMIS[v] = true
+		}
+	}
+	for v := range m.inMIS {
+		switch {
+		case m.inMIS[v] && !oldMIS[v]:
+			promoted = append(promoted, v)
+		case !m.inMIS[v] && oldMIS[v]:
+			demoted = append(demoted, v)
+		}
+	}
+	return promoted, demoted
+}
+
+// repairLocal restores the MIS invariants with the deterministic local
+// worklist rules. An event of -1 seeds the worklist with every active node
+// (full sweep).
+func (m *Maintainer) repairLocal(event int, oldNbrs []int) (promoted, demoted []int) {
+	g := m.nw.G
+	ids := m.nw.ID
+
+	// Dirty set: the event node plus its old and new neighbourhoods.
+	work := map[int]bool{}
+	addDirty := func(v int) {
+		if m.active[v] {
+			work[v] = true
+		}
+	}
+	if event < 0 {
+		for v := 0; v < g.N(); v++ {
+			addDirty(v)
+		}
+	} else {
+		addDirty(event)
+		for _, w := range oldNbrs {
+			addDirty(w)
+		}
+		for _, w := range g.Neighbors(event) {
+			addDirty(w)
+		}
+	}
+
+	popMin := func() int {
+		best := -1
+		for v := range work {
+			if best == -1 || ids[v] < ids[best] {
+				best = v
+			}
+		}
+		delete(work, best)
+		return best
+	}
+	dominated := func(v int) bool {
+		if m.inMIS[v] {
+			return true
+		}
+		for _, w := range g.Neighbors(v) {
+			if m.inMIS[w] {
+				return true
+			}
+		}
+		return false
+	}
+	for len(work) > 0 {
+		a := popMin()
+		if !m.active[a] {
+			continue
+		}
+		if m.inMIS[a] {
+			// Independence: on a conflict the higher-ID dominator demotes.
+			for _, b := range g.Neighbors(a) {
+				if !m.inMIS[b] {
+					continue
+				}
+				loser := a
+				if ids[b] > ids[a] {
+					loser = b
+				}
+				m.inMIS[loser] = false
+				demoted = append(demoted, loser)
+				addDirty(loser)
+				for _, w := range g.Neighbors(loser) {
+					addDirty(w)
+				}
+				if loser == a {
+					break
+				}
+			}
+		}
+		if !m.inMIS[a] && !dominated(a) {
+			// Domination: an undominated node promotes itself. Processing
+			// in ID order makes adjacent undominated nodes resolve to the
+			// lower-ID one.
+			m.inMIS[a] = true
+			promoted = append(promoted, a)
+			for _, w := range g.Neighbors(a) {
+				addDirty(w)
+			}
+		}
+	}
+	return promoted, demoted
+}
+
+// finishRepair refreshes the connector assignments and assembles the
+// change report shared by both repair strategies.
+func (m *Maintainer) finishRepair(event int, oldMIS []bool, oldDoms, promoted, demoted []int) Report {
+	g := m.nw.G
+	ids := m.nw.ID
+
+	// Refresh connectors with the canonical selection over the repaired
+	// MIS; diff against the previous assignment.
+	newConns := wcds.ConnectorSelection(g, ids, m.MISDominators())
+	changes := 0
+	for key, val := range newConns {
+		if old, ok := m.connectors[key]; !ok || old != val {
+			changes++
+		}
+	}
+	for key := range m.connectors {
+		if _, ok := newConns[key]; !ok {
+			changes++
+		}
+	}
+	m.connectors = newConns
+
+	rep := Report{
+		Promoted:         dedupSorted(promoted),
+		Demoted:          dedupSorted(demoted),
+		ConnectorChanges: changes,
+		Connected:        m.activeConnected(),
+	}
+	// A node both demoted and re-promoted during repair ends with its old
+	// role; count net changes only.
+	newDoms := m.Dominators()
+	rep.RoleChanged = symmetricDiff(oldDoms, newDoms)
+	for v := range oldMIS {
+		if oldMIS[v] != m.inMIS[v] {
+			rep.RoleChanged = append(rep.RoleChanged, v)
+		}
+	}
+	rep.RoleChanged = dedupSorted(rep.RoleChanged)
+	rep.AffectedRadius = m.radiusFrom(event, rep.RoleChanged)
+	return rep
+}
+
+// activeConnected reports connectivity of the active subgraph.
+func (m *Maintainer) activeConnected() bool {
+	g := m.nw.G
+	start := -1
+	activeCount := 0
+	for v := 0; v < g.N(); v++ {
+		if m.active[v] {
+			activeCount++
+			if start == -1 {
+				start = v
+			}
+		}
+	}
+	if activeCount <= 1 {
+		return true
+	}
+	dist, _ := g.BFS(start)
+	for v := 0; v < g.N(); v++ {
+		if m.active[v] && dist[v] == graph.Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// radiusFrom returns the maximum hop distance from the event node to any
+// changed node in the current graph.
+func (m *Maintainer) radiusFrom(event int, changed []int) int {
+	if len(changed) == 0 {
+		return 0
+	}
+	dist, _ := m.nw.G.BFS(event)
+	radius := 0
+	for _, v := range changed {
+		if v == event {
+			continue
+		}
+		if dist[v] == graph.Unreachable {
+			return -1
+		}
+		if dist[v] > radius {
+			radius = dist[v]
+		}
+	}
+	return radius
+}
+
+// Validate checks the maintained invariants: the MIS part is a maximal
+// independent set of the active graph and the full dominator set is a WCDS
+// (when the active graph is connected).
+func (m *Maintainer) Validate() error {
+	g := m.nw.G
+	set := m.MISDominators()
+	if !mis.IsIndependent(g, set) {
+		return errors.New("maintain: MIS part not independent")
+	}
+	for v := 0; v < g.N(); v++ {
+		if !m.active[v] {
+			continue
+		}
+		if !m.inMIS[v] && !hasMISNeighbor(g, m.inMIS, v) {
+			return fmt.Errorf("maintain: active node %d undominated", v)
+		}
+	}
+	if m.activeConnected() {
+		// WCDS check restricted to active nodes: the weakly induced
+		// subgraph must connect every active node (inactive nodes have no
+		// edges and are exempt).
+		weak := wcds.WeaklyInduced(g, m.Dominators())
+		start := -1
+		for v := 0; v < g.N(); v++ {
+			if m.active[v] {
+				start = v
+				break
+			}
+		}
+		if start >= 0 {
+			dist, _ := weak.BFS(start)
+			for v := 0; v < g.N(); v++ {
+				if m.active[v] && v != start && dist[v] == graph.Unreachable {
+					return fmt.Errorf("maintain: weakly induced subgraph does not reach active node %d", v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasMISNeighbor(g *graph.Graph, inMIS []bool, v int) bool {
+	for _, w := range g.Neighbors(v) {
+		if inMIS[w] {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// symmetricDiff returns elements in exactly one of the two sorted slices.
+func symmetricDiff(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

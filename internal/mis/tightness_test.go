@@ -1,0 +1,144 @@
+package mis
+
+import (
+	"math"
+	"testing"
+
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/udg"
+)
+
+// Tightness witnesses: constructed scenes showing the packing lemmas'
+// constants are attained (Lemma 1's 5) or approached (Lemma 2), so the
+// bounds checked in E1/E2 are not vacuously loose.
+
+// fivePetal builds a node at the origin with five independent neighbours on
+// the unit circle at 72° spacing: pairwise chord length 2·sin(36°) ≈ 1.176
+// > 1, so the petals are mutually non-adjacent while all touching the hub.
+func fivePetal(t *testing.T) *udg.Network {
+	t.Helper()
+	pos := []geom.Point{{X: 0, Y: 0}}
+	for k := 0; k < 5; k++ {
+		a := 2 * math.Pi * float64(k) / 5
+		// Radius 0.999 keeps the petals strictly inside the disk under
+		// floating-point rounding while the 72° chords stay > 1.
+		pos = append(pos, geom.Point{X: 0.999 * math.Cos(a), Y: 0.999 * math.Sin(a)})
+	}
+	// Hub gets the highest ID so the greedy MIS takes all five petals.
+	ids := []int{99, 0, 1, 2, 3, 4}
+	nw, err := udg.New(pos, ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestLemma1BoundIsTight(t *testing.T) {
+	nw := fivePetal(t)
+	if nw.G.Degree(0) != 5 {
+		t.Fatalf("hub degree = %d, want 5", nw.G.Degree(0))
+	}
+	set := Greedy(nw.G, ByID(nw.ID))
+	if len(set) != 5 {
+		t.Fatalf("MIS = %v, want the five petals", set)
+	}
+	if got := MaxMISNeighbors(nw.G, set); got != 5 {
+		t.Fatalf("MaxMISNeighbors = %d — Lemma 1's bound should be attained exactly", got)
+	}
+}
+
+func TestLemma1SixPetalsImpossible(t *testing.T) {
+	// Six points at 60° spacing on the unit circle have chord length
+	// exactly 1 — adjacent in the closed unit-disk model — so no node can
+	// have six independent neighbours. Verify the geometry collapses.
+	pos := []geom.Point{{X: 0, Y: 0}}
+	for k := 0; k < 6; k++ {
+		a := 2 * math.Pi * float64(k) / 6
+		pos = append(pos, geom.Point{X: math.Cos(a), Y: math.Sin(a)})
+	}
+	ids := []int{99, 0, 1, 2, 3, 4, 5}
+	nw, err := udg.New(pos, ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Greedy(nw.G, ByID(nw.ID))
+	if got := MaxMISNeighbors(nw.G, set); got > 5 {
+		t.Fatalf("MaxMISNeighbors = %d > 5 — the unit-disk model is broken", got)
+	}
+}
+
+// twoHopRing surrounds one MIS hub with a ring of independent MIS nodes at
+// distance 2 (reachable through relays at distance 1), approaching
+// Lemma 2's two-hop packing.
+func TestLemma2TwoHopWitness(t *testing.T) {
+	const ringSize = 10 // π·2 / asin(0.5/2)... conservative independent ring
+	var pos []geom.Point
+	var ids []int
+	pos = append(pos, geom.Point{X: 0, Y: 0}) // hub, node 0
+	ids = append(ids, 0)
+	// Ring nodes at radius 2, relays at radius 1 on the same bearings.
+	for k := 0; k < ringSize; k++ {
+		a := 2 * math.Pi * float64(k) / ringSize
+		dir := geom.Point{X: math.Cos(a), Y: math.Sin(a)}
+		pos = append(pos, dir.Scale(2))
+		ids = append(ids, 1+k)
+		pos = append(pos, dir)
+		ids = append(ids, 100+k) // relays rank last
+	}
+	nw, err := udg.New(pos, ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Greedy(nw.G, ByID(nw.ID))
+	two, three := PackingCounts(nw.G, set)
+	if two < ringSize-2 {
+		t.Fatalf("constructed two-hop packing only reached %d (ring %d)", two, ringSize)
+	}
+	if two > 23 || three > 47 {
+		t.Fatalf("witness exceeded Lemma 2 bounds: two=%d three=%d", two, three)
+	}
+	t.Logf("two-hop witness: %d MIS nodes exactly two hops from the hub (bound 23)", two)
+}
+
+// A dense hexagonal field pushes both Lemma 2 counts as hard as a real
+// deployment can.
+func TestLemma2HexFieldStress(t *testing.T) {
+	var pos []geom.Point
+	var ids []int
+	id := 0
+	// Hexagonal lattice with spacing 1.01 (just independent), radius 4.
+	const s = 1.01
+	for q := -6; q <= 6; q++ {
+		for r := -6; r <= 6; r++ {
+			x := s * (float64(q) + float64(r)/2)
+			y := s * float64(r) * math.Sqrt(3) / 2
+			if math.Hypot(x, y) <= 4 {
+				pos = append(pos, geom.Point{X: x, Y: y})
+				ids = append(ids, id)
+				id++
+			}
+		}
+	}
+	// Add relays between lattice points so the MIS nodes have 2-hop paths:
+	// midpoints of nearby lattice pairs.
+	base := len(pos)
+	for i := 0; i < base; i++ {
+		for j := i + 1; j < base; j++ {
+			if d := pos[i].Dist(pos[j]); d > 1 && d < 2 {
+				mid := pos[i].Add(pos[j]).Scale(0.5)
+				pos = append(pos, mid)
+				ids = append(ids, 10_000+len(pos))
+			}
+		}
+	}
+	nw, err := udg.New(pos, ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Greedy(nw.G, ByID(nw.ID))
+	two, three := PackingCounts(nw.G, set)
+	if two > 23 || three > 47 {
+		t.Fatalf("hex field exceeded Lemma 2 bounds: two=%d three=%d", two, three)
+	}
+	t.Logf("hex field: max two-hop %d (bound 23), max within-three %d (bound 47)", two, three)
+}

@@ -1,0 +1,168 @@
+// Package render draws networks, backbones and spanners as SVG — the
+// mechanism behind regenerating the paper's illustrative figures (the
+// unit-disk graph of Fig. 1, the WCDS and its weakly induced subgraph of
+// Fig. 2, the packing diagrams behind Lemmas 1–2, and the level-ranked
+// tree of Fig. 6) on arbitrary generated scenes.
+package render
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/udg"
+)
+
+// Options selects what to draw and how.
+type Options struct {
+	// WidthPx scales the output; height follows the scene's aspect ratio.
+	// Zero means 800.
+	WidthPx int
+	// Dominators are drawn as filled black circles; Additional as filled
+	// squares; everything else as hollow circles.
+	Dominators []int
+	Additional []int
+	// Spanner edges are drawn bold black; when ShowAllEdges is set the
+	// remaining graph edges appear light gray underneath.
+	Spanner      *graph.Graph
+	ShowAllEdges bool
+	// TreeParent, when non-nil, draws tree edges (parent[v] → v) dashed.
+	TreeParent []int
+	// Labels annotates nodes with their protocol IDs; Levels annotates
+	// with level numbers instead when non-nil.
+	Labels bool
+	Levels []int
+}
+
+// SVG renders the network scene to an SVG document string.
+func SVG(nw *udg.Network, opts Options) string {
+	width := opts.WidthPx
+	if width <= 0 {
+		width = 800
+	}
+	minP, maxP := bounds(nw.Pos)
+	const margin = 0.6 // world units, leaves room for unit disks
+	minP = minP.Sub(geom.Point{X: margin, Y: margin})
+	maxP = maxP.Add(geom.Point{X: margin, Y: margin})
+	worldW := maxP.X - minP.X
+	worldH := maxP.Y - minP.Y
+	if worldW <= 0 {
+		worldW = 1
+	}
+	if worldH <= 0 {
+		worldH = 1
+	}
+	scale := float64(width) / worldW
+	height := int(worldH * scale)
+
+	// SVG y grows downward; flip so the scene keeps its orientation.
+	px := func(p geom.Point) (float64, float64) {
+		return (p.X - minP.X) * scale, (maxP.Y - p.Y) * scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	if opts.ShowAllEdges {
+		for _, e := range nw.G.Edges() {
+			if opts.Spanner != nil && opts.Spanner.HasEdge(e[0], e[1]) {
+				continue
+			}
+			x1, y1 := px(nw.Pos[e[0]])
+			x2, y2 := px(nw.Pos[e[1]])
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc" stroke-width="1"/>`+"\n",
+				x1, y1, x2, y2)
+		}
+	}
+	if opts.Spanner != nil {
+		for _, e := range opts.Spanner.Edges() {
+			x1, y1 := px(nw.Pos[e[0]])
+			x2, y2 := px(nw.Pos[e[1]])
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222222" stroke-width="2"/>`+"\n",
+				x1, y1, x2, y2)
+		}
+	}
+	if opts.TreeParent != nil {
+		for v, p := range opts.TreeParent {
+			if p < 0 || p >= nw.N() {
+				continue
+			}
+			x1, y1 := px(nw.Pos[p])
+			x2, y2 := px(nw.Pos[v])
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#4477cc" stroke-width="1.5" stroke-dasharray="5,3"/>`+"\n",
+				x1, y1, x2, y2)
+		}
+	}
+
+	isDom := make(map[int]bool, len(opts.Dominators))
+	for _, v := range opts.Dominators {
+		isDom[v] = true
+	}
+	isAdd := make(map[int]bool, len(opts.Additional))
+	for _, v := range opts.Additional {
+		isAdd[v] = true
+	}
+	r := 0.09 * scale
+	if r < 3 {
+		r = 3
+	}
+	if r > 9 {
+		r = 9
+	}
+	for v := 0; v < nw.N(); v++ {
+		x, y := px(nw.Pos[v])
+		switch {
+		case isAdd[v]:
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#aa3333" stroke="black"/>`+"\n",
+				x-r, y-r, 2*r, 2*r)
+		case isDom[v]:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#111111"/>`+"\n", x, y, r)
+		default:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="white" stroke="#555555"/>`+"\n", x, y, r)
+		}
+		if opts.Levels != nil && v < len(opts.Levels) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="#2255aa">%d</text>`+"\n",
+				x+r+2, y-r-2, 1.6*r, opts.Levels[v])
+		} else if opts.Labels {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="#333333">%d</text>`+"\n",
+				x+r+2, y-r-2, 1.6*r, nw.ID[v])
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// WriteFile renders the scene and writes it to path.
+func WriteFile(path string, nw *udg.Network, opts Options) error {
+	svg := SVG(nw, opts)
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return fmt.Errorf("render: write %s: %w", path, err)
+	}
+	return nil
+}
+
+func bounds(pts []geom.Point) (minP, maxP geom.Point) {
+	if len(pts) == 0 {
+		return geom.Point{}, geom.Point{X: 1, Y: 1}
+	}
+	minP, maxP = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < minP.X {
+			minP.X = p.X
+		}
+		if p.Y < minP.Y {
+			minP.Y = p.Y
+		}
+		if p.X > maxP.X {
+			maxP.X = p.X
+		}
+		if p.Y > maxP.Y {
+			maxP.Y = p.Y
+		}
+	}
+	return minP, maxP
+}

@@ -1,0 +1,110 @@
+package render
+
+import (
+	"encoding/xml"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGBasicScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw, err := udg.GenConnectedAvgDegree(rng, 30, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wcds.Algo2Centralized(nw.G, nw.ID)
+	svg := SVG(nw, Options{
+		Dominators:   res.MISDominators,
+		Additional:   res.AdditionalDominators,
+		Spanner:      res.Spanner,
+		ShowAllEdges: true,
+		Labels:       true,
+	})
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<circle"); got < 30-len(res.AdditionalDominators) {
+		t.Errorf("expected at least one circle per non-additional node, got %d", got)
+	}
+	if got := strings.Count(svg, "<line"); got < res.Spanner.M() {
+		t.Errorf("expected at least %d lines, got %d", res.Spanner.M(), got)
+	}
+	if !strings.Contains(svg, "<text") {
+		t.Error("labels requested but no text emitted")
+	}
+}
+
+func TestSVGLevelsAndTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw, err := udg.GenConnectedAvgDegree(rng, 20, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, parent := nw.G.BFS(0)
+	svg := SVG(nw, Options{TreeParent: parent, Levels: dist})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("tree edges should be dashed")
+	}
+	if strings.Count(svg, "<text") != nw.N() {
+		t.Errorf("expected one level label per node, got %d", strings.Count(svg, "<text"))
+	}
+}
+
+func TestSVGEmptyNetwork(t *testing.T) {
+	nw, err := udg.New(nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(nw, Options{})
+	wellFormed(t, svg)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("missing svg root")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw, err := udg.GenConnectedAvgDegree(rng, 10, 5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scene.svg")
+	if err := WriteFile(path, nw, Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, string(data))
+}
+
+func TestWriteFileBadPath(t *testing.T) {
+	nw, err := udg.New(nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile("/nonexistent-dir-xyz/out.svg", nw, Options{}); err == nil {
+		t.Error("expected write error")
+	}
+}

@@ -1,0 +1,82 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBroadcastDistributedMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		nw, res, tables := buildBackbone(t, rng, 60+rng.Intn(80), 10)
+		relay := RelaySet(nw.G, nw.ID, res, tables)
+		src := rng.Intn(nw.N())
+
+		static := Broadcast(nw.G, relay, src)
+		dynamic, rounds, err := BroadcastDistributed(nw.G, relay, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if static.Covered != dynamic.Covered {
+			t.Fatalf("trial %d: coverage disagrees (%v vs %v)", trial, static.Covered, dynamic.Covered)
+		}
+		if static.Transmissions != dynamic.Transmissions {
+			t.Fatalf("trial %d: transmissions %d vs %d", trial, static.Transmissions, dynamic.Transmissions)
+		}
+		if static.Receptions != dynamic.Receptions {
+			t.Fatalf("trial %d: receptions %d vs %d", trial, static.Receptions, dynamic.Receptions)
+		}
+		// Latency is at least the source eccentricity over the relay
+		// structure, and at most the eccentricity plus a drain round.
+		dist, _ := nw.G.BFS(src)
+		ecc := 0
+		for _, d := range dist {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if rounds < ecc {
+			t.Fatalf("trial %d: broadcast finished in %d rounds, below eccentricity %d",
+				trial, rounds, ecc)
+		}
+		if rounds > 3*ecc+3 {
+			t.Fatalf("trial %d: broadcast latency %d rounds far above 3·ecc+3 = %d",
+				trial, rounds, 3*ecc+3)
+		}
+	}
+}
+
+func TestBroadcastDistributedBlindEqualsFlood(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw, _, _ := buildBackbone(t, rng, 50, 8)
+	relay := make([]bool, nw.N())
+	for i := range relay {
+		relay[i] = true
+	}
+	rep, rounds, err := BroadcastDistributed(nw.G, relay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Covered || rep.Transmissions != nw.N() {
+		t.Fatalf("blind distributed flood: %+v", rep)
+	}
+	if rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestBroadcastDistributedNoRelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw, _, _ := buildBackbone(t, rng, 30, 8)
+	relay := make([]bool, nw.N())
+	rep, _, err := BroadcastDistributed(nw.G, relay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered {
+		t.Error("no relays cannot cover a multi-hop network")
+	}
+	if rep.Transmissions != 1 {
+		t.Errorf("transmissions = %d, want just the source", rep.Transmissions)
+	}
+}

@@ -1,0 +1,235 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/wcds"
+)
+
+// Distributed construction of the clusterhead routing tables (Section 4.2:
+// "the MIS-dominators (clusterhead) maintain the routing tables"). The
+// clusterheads run distance-vector routing over the dominator overlay: an
+// overlay link joins two clusterheads that are 2 or 3 hops apart, and every
+// overlay message is physically relayed hop by hop through the recorded
+// intermediates, so the message counts are honest radio transmissions.
+
+// Overlay protocol messages.
+type (
+	// DVEntry is one row of a distance vector: a destination clusterhead
+	// and the hop count to it in the dominator overlay.
+	DVEntry struct {
+		Dst  int // clusterhead ID
+		Dist int
+	}
+	// DVMsg carries the sender clusterhead's distance vector to one
+	// overlay neighbour. Path holds the remaining relay IDs, ending at the
+	// destination clusterhead; intermediate nodes pop the head and forward.
+	DVMsg struct {
+		Origin int // clusterhead ID that produced the vector
+		Path   []int
+		Vector []DVEntry
+	}
+)
+
+// dvProc is one node of the distance-vector protocol. Gray nodes only
+// relay; clusterheads maintain vectors.
+type dvProc struct {
+	ownID   int
+	isDom   bool
+	idToNbr map[int]int // physical neighbour ID -> node index
+
+	// overlay[nbrDomID] = relay ID path to that clusterhead (excluding
+	// self, ending with the clusterhead itself).
+	overlay map[int][]int
+
+	// vector[dstID] = current best known overlay distance.
+	vector map[int]int
+	// nextDom[dstID] = overlay neighbour the best route goes through.
+	nextDom map[int]int
+}
+
+func newDVProc(ownID int, isDom bool, overlay map[int][]int) *dvProc {
+	p := &dvProc{
+		ownID:   ownID,
+		isDom:   isDom,
+		overlay: overlay,
+		vector:  make(map[int]int),
+		nextDom: make(map[int]int),
+	}
+	if isDom {
+		p.vector[ownID] = 0
+	}
+	return p
+}
+
+// Init starts the first advertisement wave at clusterheads. idToNbr (the
+// standing 1-hop knowledge) is wired by the runner before the engine
+// starts.
+func (p *dvProc) Init(ctx *simnet.Context) {
+	if p.isDom {
+		p.advertise(ctx)
+	}
+}
+
+// advertise sends the current vector to every overlay neighbour.
+func (p *dvProc) advertise(ctx *simnet.Context) {
+	entries := make([]DVEntry, 0, len(p.vector))
+	for dst, d := range p.vector {
+		entries = append(entries, DVEntry{Dst: dst, Dist: d})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Dst < entries[j].Dst })
+	nbrs := make([]int, 0, len(p.overlay))
+	for domID := range p.overlay {
+		nbrs = append(nbrs, domID)
+	}
+	sort.Ints(nbrs)
+	for _, domID := range nbrs {
+		path := p.overlay[domID]
+		msg := DVMsg{Origin: p.ownID, Path: append([]int(nil), path...), Vector: entries}
+		p.forward(ctx, msg)
+	}
+}
+
+// forward pops the next relay off the path and transmits the message to it.
+func (p *dvProc) forward(ctx *simnet.Context, m DVMsg) {
+	if len(m.Path) == 0 {
+		return
+	}
+	next, ok := p.idToNbr[m.Path[0]]
+	if !ok {
+		panic(fmt.Sprintf("route: node %d cannot relay to non-neighbour ID %d", ctx.Node(), m.Path[0]))
+	}
+	m.Path = m.Path[1:]
+	ctx.Send(next, m)
+}
+
+func (p *dvProc) Recv(ctx *simnet.Context, from int, payload any) {
+	m, ok := payload.(DVMsg)
+	if !ok {
+		return
+	}
+	if len(m.Path) > 0 {
+		// Still in transit: relay toward the destination clusterhead.
+		p.forward(ctx, m)
+		return
+	}
+	if !p.isDom {
+		return // defensive: a vector that terminated at a gray node
+	}
+	// Bellman-Ford relaxation over the overlay (every overlay link has
+	// weight 1 — one dominator hop).
+	improved := false
+	for _, e := range m.Vector {
+		cand := e.Dist + 1
+		if cur, known := p.vector[e.Dst]; !known || cand < cur {
+			p.vector[e.Dst] = cand
+			p.nextDom[e.Dst] = m.Origin
+			improved = true
+		}
+	}
+	if improved {
+		p.advertise(ctx)
+	}
+}
+
+// BuildTablesDistributed runs the distance-vector protocol over an
+// Algorithm II backbone and returns, for every MIS dominator, its next-hop
+// clusterhead table (destination ID -> next overlay neighbour ID), plus the
+// protocol cost. The overlay links and relay paths come from the local
+// Tables each node accumulated during the construction — no global
+// knowledge is consulted.
+func BuildTablesDistributed(g *graph.Graph, ids []int, res wcds.Result, tables []wcds.Tables,
+	run func(*graph.Graph, []simnet.Proc) (simnet.Stats, error)) (map[int]map[int]int, simnet.Stats, error) {
+
+	isDom := make([]bool, g.N())
+	for _, d := range res.MISDominators {
+		isDom[d] = true
+	}
+	nodeOfID := make(map[int]int, g.N())
+	for v, id := range ids {
+		nodeOfID[id] = v
+	}
+
+	procs := make([]simnet.Proc, g.N())
+	dvprocs := make([]*dvProc, g.N())
+	for v := 0; v < g.N(); v++ {
+		overlay := make(map[int][]int)
+		if isDom[v] {
+			t := tables[v]
+			for domID, viaID := range t.TwoHopDoms {
+				if w, ok := nodeOfID[domID]; ok && isDom[w] {
+					overlay[domID] = []int{viaID, domID}
+				}
+			}
+			for domID, pair := range t.ThreeHopDoms {
+				if w, ok := nodeOfID[domID]; ok && isDom[w] {
+					if _, twoHop := overlay[domID]; !twoHop {
+						overlay[domID] = []int{pair[0], pair[1], domID}
+					}
+				}
+			}
+		}
+		p := newDVProc(ids[v], isDom[v], overlay)
+		// Wire the physical neighbour ID map (the 1-hop knowledge every
+		// node holds).
+		p.idToNbr = make(map[int]int, g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			p.idToNbr[ids[w]] = w
+		}
+		dvprocs[v] = p
+		procs[v] = p
+	}
+
+	stats, err := run(g, procs)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	out := make(map[int]map[int]int, len(res.MISDominators))
+	for _, d := range res.MISDominators {
+		next := make(map[int]int, len(dvprocs[d].nextDom))
+		for dst, via := range dvprocs[d].nextDom {
+			next[dst] = via
+		}
+		out[d] = next
+	}
+	return out, stats, nil
+}
+
+// NewRouterFromDV assembles a Router whose inter-clusterhead tables come
+// from a distributed distance-vector run instead of centralized BFS. The
+// dvTables map is keyed by dominator node with ID-valued rows, as returned
+// by BuildTablesDistributed.
+func NewRouterFromDV(g *graph.Graph, ids []int, res wcds.Result, tables []wcds.Tables,
+	dvTables map[int]map[int]int) (*Router, error) {
+
+	r, err := NewRouter(g, ids, res, tables)
+	if err != nil {
+		return nil, err
+	}
+	nodeOfID := make(map[int]int, g.N())
+	for v, id := range ids {
+		nodeOfID[id] = v
+	}
+	nextDom := make(map[int]map[int]int, len(dvTables))
+	for d, rows := range dvTables {
+		next := make(map[int]int, len(rows))
+		for dstID, viaID := range rows {
+			dst, okD := nodeOfID[dstID]
+			via, okV := nodeOfID[viaID]
+			if !okD || !okV {
+				return nil, fmt.Errorf("route: DV table references unknown ID (%d or %d)", dstID, viaID)
+			}
+			if dst == d {
+				continue
+			}
+			next[dst] = via
+		}
+		nextDom[d] = next
+	}
+	r.nextDom = nextDom
+	return r, nil
+}

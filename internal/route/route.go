@@ -1,0 +1,316 @@
+// Package route implements the two networking applications the paper
+// motivates its backbone with (Sections 1 and 4.2):
+//
+//   - Unicast routing over the spanner: clusterheads (MIS dominators)
+//     maintain routing tables over the dominator graph; a non-dominator
+//     hands packets to its clusterhead, and each clusterhead hop is
+//     expanded into at most three spanner edges through the 2HopDomList /
+//     3HopDomList intermediates. The resulting route uses only black edges
+//     and is at most 3·h + 2 hops for source–destination hop distance h,
+//     matching Theorem 11.
+//   - Broadcast over the backbone: only the source, the dominators, and
+//     the recorded connector nodes retransmit, instead of every node as in
+//     blind flooding. Domination guarantees every node still hears the
+//     message.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/wcds"
+)
+
+// Router answers unicast route queries over an Algorithm II backbone.
+type Router struct {
+	g      *graph.Graph
+	ids    []int
+	nodeOf map[int]int // protocol ID -> node index
+
+	isMIS       []bool
+	clusterhead []int // node -> its clusterhead (an adjacent MIS dominator)
+
+	tables []wcds.Tables
+	// nextDom[c] maps a destination clusterhead to the next clusterhead on
+	// a dominator-graph shortest path from clusterhead c.
+	nextDom map[int]map[int]int
+}
+
+// NewRouter builds routing state from an Algorithm II result and the
+// per-node tables of Algo2DistributedDetailed. The underlying graph must be
+// connected.
+func NewRouter(g *graph.Graph, ids []int, res wcds.Result, tables []wcds.Tables) (*Router, error) {
+	if len(tables) != g.N() || len(ids) != g.N() {
+		return nil, fmt.Errorf("route: tables/ids length mismatch with graph of %d nodes", g.N())
+	}
+	r := &Router{
+		g:      g,
+		ids:    ids,
+		nodeOf: make(map[int]int, g.N()),
+		isMIS:  make([]bool, g.N()),
+		tables: tables,
+	}
+	for v, id := range ids {
+		r.nodeOf[id] = v
+	}
+	for _, d := range res.MISDominators {
+		r.isMIS[d] = true
+	}
+
+	// Clusterhead assignment: a dominator is its own clusterhead; everyone
+	// else picks the adjacent MIS dominator with the smallest ID.
+	r.clusterhead = make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		if r.isMIS[v] {
+			r.clusterhead[v] = v
+			continue
+		}
+		best := -1
+		for _, w := range g.Neighbors(v) {
+			if r.isMIS[w] && (best == -1 || ids[w] < ids[best]) {
+				best = w
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("route: node %d has no adjacent MIS dominator (not a dominating set?)", v)
+		}
+		r.clusterhead[v] = best
+	}
+
+	if err := r.buildDomTables(res.MISDominators); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildDomTables constructs the inter-clusterhead next-hop tables by BFS on
+// the dominator graph, whose edges are the 2-hop and 3-hop dominator pairs
+// recorded in the local tables.
+func (r *Router) buildDomTables(doms []int) error {
+	adj := make(map[int][]int, len(doms))
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+	}
+	for _, u := range doms {
+		t := r.tables[u]
+		for wID := range t.TwoHopDoms {
+			if w, ok := r.nodeOf[wID]; ok && r.isMIS[w] {
+				addEdge(u, w)
+			}
+		}
+		for wID := range t.ThreeHopDoms {
+			if w, ok := r.nodeOf[wID]; ok && r.isMIS[w] {
+				addEdge(u, w)
+			}
+		}
+	}
+	// Deduplicate and sort for deterministic BFS.
+	for u := range adj {
+		sort.Ints(adj[u])
+		dedup := adj[u][:0]
+		for i, w := range adj[u] {
+			if i == 0 || w != adj[u][i-1] {
+				dedup = append(dedup, w)
+			}
+		}
+		adj[u] = dedup
+	}
+
+	r.nextDom = make(map[int]map[int]int, len(doms))
+	for _, src := range doms {
+		next := make(map[int]int)
+		parent := map[int]int{src: -1}
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if _, seen := parent[w]; seen {
+					continue
+				}
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+		if len(parent) != len(doms) {
+			return fmt.Errorf("route: dominator graph disconnected from clusterhead %d (%d of %d reachable)",
+				src, len(parent), len(doms))
+		}
+		// next hop toward each destination = first step on the reverse path.
+		for _, dst := range doms {
+			if dst == src {
+				continue
+			}
+			cur := dst
+			for parent[cur] != src {
+				cur = parent[cur]
+			}
+			next[dst] = cur
+		}
+		r.nextDom[src] = next
+	}
+	return nil
+}
+
+// Clusterhead returns the clusterhead node of v.
+func (r *Router) Clusterhead(v int) int { return r.clusterhead[v] }
+
+// Route returns a node path from src to dst whose every edge lies in the
+// spanner (except a possible direct src–dst radio hop, which the paper
+// routes outside the backbone).
+func (r *Router) Route(src, dst int) ([]int, error) {
+	if src < 0 || src >= r.g.N() || dst < 0 || dst >= r.g.N() {
+		return nil, fmt.Errorf("route: endpoints (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return []int{src}, nil
+	}
+	if r.g.HasEdge(src, dst) {
+		return []int{src, dst}, nil
+	}
+	path := []int{src}
+	appendNode := func(v int) {
+		if path[len(path)-1] != v {
+			path = append(path, v)
+		}
+	}
+	cs, cd := r.clusterhead[src], r.clusterhead[dst]
+	appendNode(cs)
+	for cur := cs; cur != cd; {
+		nxt, ok := r.nextDom[cur][cd]
+		if !ok {
+			return nil, fmt.Errorf("route: no dominator route from %d to %d", cur, cd)
+		}
+		mid, err := r.expand(cur, nxt)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range mid {
+			appendNode(v)
+		}
+		appendNode(nxt)
+		cur = nxt
+	}
+	appendNode(dst)
+	return path, nil
+}
+
+// expand returns the intermediate nodes between adjacent dominator-graph
+// clusterheads cur and nxt, using cur's local tables.
+func (r *Router) expand(cur, nxt int) ([]int, error) {
+	t := r.tables[cur]
+	nxtID := r.ids[nxt]
+	if viaID, ok := t.TwoHopDoms[nxtID]; ok {
+		via, found := r.nodeOf[viaID]
+		if !found {
+			return nil, fmt.Errorf("route: unknown via ID %d", viaID)
+		}
+		return []int{via}, nil
+	}
+	if pair, ok := t.ThreeHopDoms[nxtID]; ok {
+		a, foundA := r.nodeOf[pair[0]]
+		b, foundB := r.nodeOf[pair[1]]
+		if !foundA || !foundB {
+			return nil, fmt.Errorf("route: unknown intermediates %v", pair)
+		}
+		return []int{a, b}, nil
+	}
+	return nil, fmt.Errorf("route: clusterheads %d and %d not neighbours in the dominator graph", cur, nxt)
+}
+
+// BroadcastReport summarises one network-wide broadcast.
+type BroadcastReport struct {
+	// Transmissions is the number of nodes that sent the message.
+	Transmissions int
+	// Receptions is the total number of per-link deliveries.
+	Receptions int
+	// RelaySetSize is the number of nodes allowed to retransmit.
+	RelaySetSize int
+	// Covered reports whether every node heard the message.
+	Covered bool
+}
+
+// RelaySet returns the backbone broadcast relay set: all dominators plus
+// the connector nodes recorded in the dominator tables (the 2-hop via nodes
+// and the second intermediates of 3-hop paths). With this set, every
+// complementary pair of backbone components is bridged and domination
+// delivers the message to all remaining nodes.
+func RelaySet(g *graph.Graph, ids []int, res wcds.Result, tables []wcds.Tables) []bool {
+	relay := make([]bool, g.N())
+	nodeOf := make(map[int]int, g.N())
+	for v, id := range ids {
+		nodeOf[id] = v
+	}
+	for _, d := range res.Dominators {
+		relay[d] = true
+	}
+	for _, u := range res.MISDominators {
+		t := tables[u]
+		for _, viaID := range t.TwoHopDoms {
+			if v, ok := nodeOf[viaID]; ok {
+				relay[v] = true
+			}
+		}
+		for _, pair := range t.ThreeHopDoms {
+			for _, id := range pair {
+				if v, ok := nodeOf[id]; ok {
+					relay[v] = true
+				}
+			}
+		}
+	}
+	return relay
+}
+
+// Broadcast simulates a source flood where only relay[v] nodes (plus the
+// source itself) retransmit.
+func Broadcast(g *graph.Graph, relay []bool, src int) BroadcastReport {
+	n := g.N()
+	rep := BroadcastReport{}
+	for _, r := range relay {
+		if r {
+			rep.RelaySetSize++
+		}
+	}
+	heard := make([]bool, n)
+	sent := make([]bool, n)
+	heard[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if sent[u] {
+			continue
+		}
+		sent[u] = true
+		rep.Transmissions++
+		for _, w := range g.Neighbors(u) {
+			rep.Receptions++
+			if !heard[w] {
+				heard[w] = true
+				if relay[w] {
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	rep.Covered = true
+	for _, h := range heard {
+		if !h {
+			rep.Covered = false
+			break
+		}
+	}
+	return rep
+}
+
+// BlindFlood simulates classic flooding where every node retransmits the
+// first copy it hears.
+func BlindFlood(g *graph.Graph, src int) BroadcastReport {
+	relay := make([]bool, g.N())
+	for i := range relay {
+		relay[i] = true
+	}
+	return Broadcast(g, relay, src)
+}

@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"wcdsnet/internal/graph"
+)
+
+// RunAsync executes the protocol with one goroutine per node and unbounded
+// per-node inboxes, modelling a fully asynchronous network. It returns when
+// the protocol quiesces: no handler is running and no message is in flight,
+// detected with an activity counter.
+//
+// Rounds is always 0 in the returned Stats; time complexity is a
+// synchronous-model notion (use RunSync to measure it).
+func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
+	if err := validate(g, procs); err != nil {
+		return Stats{}, err
+	}
+	cfg := buildConfig(g.N(), opts)
+
+	eng := &asyncEngine{
+		cfg:     cfg,
+		g:       g,
+		inboxes: make([]*inbox, g.N()),
+		done:    make(chan struct{}),
+	}
+	if cfg.scramble != nil {
+		eng.rng = &lockedRand{rng: cfg.scramble}
+	}
+	for i := range eng.inboxes {
+		eng.inboxes[i] = newInbox()
+	}
+	// One pending task per node for its Init call.
+	eng.pending.Store(int64(g.N()))
+
+	var wg sync.WaitGroup
+	for i := range procs {
+		wg.Add(1)
+		go eng.nodeLoop(&wg, i, procs[i])
+	}
+
+	<-eng.done
+	for _, b := range eng.inboxes {
+		b.close()
+	}
+	wg.Wait()
+
+	stats := Stats{
+		Messages:   int(eng.messages.Load()),
+		Deliveries: int(eng.deliveries.Load()),
+	}
+	return stats, eng.err
+}
+
+type asyncEngine struct {
+	cfg     *config
+	g       *graph.Graph
+	inboxes []*inbox
+	rng     *lockedRand
+
+	pending    atomic.Int64
+	messages   atomic.Int64
+	deliveries atomic.Int64
+
+	done     chan struct{}
+	doneOnce sync.Once
+	err      error
+}
+
+// finish records the first terminal condition and releases the main
+// goroutine.
+func (e *asyncEngine) finish(err error) {
+	e.doneOnce.Do(func() {
+		e.err = err
+		close(e.done)
+	})
+}
+
+// taskDone retires one unit of work (an Init call or a handled message).
+func (e *asyncEngine) taskDone() {
+	if e.pending.Add(-1) == 0 {
+		e.finish(nil)
+	}
+}
+
+func (e *asyncEngine) nodeLoop(wg *sync.WaitGroup, node int, proc Proc) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			e.finish(fmt.Errorf("simnet: node %d panicked: %v", node, r))
+		}
+	}()
+
+	ctx := Context{node: node, g: e.g, bk: e}
+	proc.Init(&ctx)
+	e.taskDone()
+
+	for {
+		env, ok := e.inboxes[node].pop()
+		if !ok {
+			return
+		}
+		if d := e.deliveries.Add(1); int(d) > e.cfg.maxDeliveries {
+			e.finish(ErrMaxDeliveries)
+			e.taskDone()
+			continue
+		}
+		if e.cfg.trace != nil {
+			e.cfg.trace(Event{Kind: EventDeliver, From: env.from, To: node, Round: -1, Payload: env.payload})
+		}
+		proc.Recv(&ctx, env.from, env.payload)
+		e.taskDone()
+	}
+}
+
+func (e *asyncEngine) unicast(from, to int, payload any) {
+	e.messages.Add(1)
+	if e.cfg.trace != nil {
+		e.cfg.trace(Event{Kind: EventSend, From: from, To: to, Round: -1, Payload: payload})
+	}
+	e.enqueue(from, to, payload)
+}
+
+func (e *asyncEngine) broadcast(from int, payload any) {
+	e.messages.Add(1)
+	if e.cfg.trace != nil {
+		e.cfg.trace(Event{Kind: EventSend, From: from, To: -1, Round: -1, Payload: payload})
+	}
+	for _, to := range e.g.Neighbors(from) {
+		e.enqueue(from, to, payload)
+	}
+}
+
+func (e *asyncEngine) enqueue(from, to int, payload any) {
+	if e.cfg.dropped() {
+		return
+	}
+	// The pending increment must happen before the push so the counter can
+	// never transiently reach zero while a message is in flight.
+	e.pending.Add(1)
+	if !e.inboxes[to].push(envelope{from: from, to: to, payload: payload}, e.rng) {
+		// Inbox already closed during shutdown: retire the task ourselves.
+		e.taskDone()
+	}
+}
+
+// inbox is an unbounded FIFO mailbox with condition-variable wakeup.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// push appends env (or inserts at a random position when rng is non-nil)
+// and reports whether the inbox accepted it.
+func (b *inbox) push(env envelope, rng *lockedRand) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	if rng != nil && len(b.queue) > 0 {
+		i := rng.intn(len(b.queue) + 1)
+		b.queue = append(b.queue, envelope{})
+		copy(b.queue[i+1:], b.queue[i:])
+		b.queue[i] = env
+	} else {
+		b.queue = append(b.queue, env)
+	}
+	b.cond.Signal()
+	return true
+}
+
+// pop blocks until a message arrives or the inbox is closed. A closed inbox
+// reports ok=false immediately, dropping any residual queue (which is only
+// non-empty on aborted runs).
+func (b *inbox) pop() (envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return envelope{}, false
+	}
+	env := b.queue[0]
+	b.queue = b.queue[1:]
+	return env, true
+}
+
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// lockedRand serializes access to a rand.Rand shared across node
+// goroutines.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (l *lockedRand) intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Intn(n)
+}

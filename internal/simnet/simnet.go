@@ -1,0 +1,308 @@
+// Package simnet is the message-passing simulation kernel the distributed
+// WCDS protocols run on.
+//
+// A protocol is a set of per-node state machines (Proc). The kernel wires
+// them over the links of a unit-disk graph and delivers messages with one
+// of two engines:
+//
+//   - RunSync: a deterministic synchronous-round engine. All messages sent
+//     in round r are delivered in round r+1, in a fixed order. The round
+//     count is the protocol's time complexity measure.
+//   - RunAsync: one goroutine per node with an unbounded inbox, matching
+//     the fully asynchronous event-driven model the paper describes.
+//     Termination is detected with an activity counter (messages in flight
+//     plus handlers still running).
+//
+// Both engines run the identical Proc code, so every protocol in this
+// repository can be checked for schedule independence by running it under
+// both engines (and under randomized schedules via WithScramble).
+//
+// Message accounting follows the wireless convention of the paper: a local
+// broadcast is ONE message regardless of neighbour count, because a single
+// radio transmission reaches every neighbour. Per-link deliveries are
+// tracked separately.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"wcdsnet/internal/graph"
+)
+
+// Proc is the per-node protocol state machine. The kernel guarantees that
+// Init and Recv for one node never run concurrently with each other, so
+// Proc implementations need no internal locking.
+type Proc interface {
+	// Init runs once per node before any message is delivered to it.
+	Init(ctx *Context)
+	// Recv handles one delivered message. from is the sender's node index.
+	Recv(ctx *Context, from int, payload any)
+}
+
+// Stats reports the cost of a protocol run.
+type Stats struct {
+	// Messages counts radio transmissions: one per Broadcast and one per
+	// unicast Send.
+	Messages int
+	// Deliveries counts per-link receptions (a Broadcast to k neighbours
+	// adds k).
+	Deliveries int
+	// Rounds is the number of synchronous rounds used (0 for RunAsync).
+	Rounds int
+}
+
+// Errors returned by the engines.
+var (
+	ErrMaxRounds     = errors.New("simnet: protocol did not quiesce within the round budget")
+	ErrMaxDeliveries = errors.New("simnet: protocol exceeded the delivery budget")
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventSend EventKind = iota + 1
+	EventDeliver
+)
+
+// Event is a trace record emitted when a trace hook is installed.
+type Event struct {
+	Kind    EventKind
+	From    int
+	To      int // -1 for a broadcast send event
+	Round   int // sync engine only; -1 under RunAsync
+	Payload any
+}
+
+// Option configures an engine run.
+type Option func(*config)
+
+type config struct {
+	maxRounds     int
+	maxDeliveries int
+	trace         func(Event)
+	scramble      *rand.Rand
+	dropRate      float64
+	dropRNG       *rand.Rand
+	dropMu        sync.Mutex
+}
+
+// dropped decides whether one link-level delivery is lost. Guarded by a
+// mutex because the async engine calls it from many goroutines.
+func (c *config) dropped() bool {
+	if c.dropRNG == nil || c.dropRate <= 0 {
+		return false
+	}
+	c.dropMu.Lock()
+	defer c.dropMu.Unlock()
+	return c.dropRNG.Float64() < c.dropRate
+}
+
+// WithMaxRounds bounds the synchronous engine's round count. The default is
+// 20·n + 1000 rounds.
+func WithMaxRounds(r int) Option {
+	return func(c *config) { c.maxRounds = r }
+}
+
+// WithMaxDeliveries bounds the total number of per-link deliveries in either
+// engine, guarding against non-quiescent protocols. Default 50,000,000.
+func WithMaxDeliveries(d int) Option {
+	return func(c *config) { c.maxDeliveries = d }
+}
+
+// WithTrace installs a hook invoked for every send and delivery. Under
+// RunAsync the hook is called from multiple goroutines and must be
+// goroutine-safe.
+func WithTrace(fn func(Event)) Option {
+	return func(c *config) { c.trace = fn }
+}
+
+// WithScramble randomizes delivery order using rng: the synchronous engine
+// shuffles each round's delivery order, and the asynchronous engine inserts
+// arriving messages at random queue positions. Use it to probe protocols
+// for schedule dependence.
+func WithScramble(rng *rand.Rand) Option {
+	return func(c *config) { c.scramble = rng }
+}
+
+// WithDropRate makes each per-link delivery fail independently with
+// probability p — failure injection for protocols that assume reliable
+// local broadcast. The paper's algorithms are specified for reliable links;
+// under loss they must fail DETECTABLY (nodes left undecided), which the
+// failure-injection tests assert.
+func WithDropRate(rng *rand.Rand, p float64) Option {
+	return func(c *config) {
+		c.dropRNG = rng
+		c.dropRate = p
+	}
+}
+
+func buildConfig(n int, opts []Option) *config {
+	c := &config{
+		maxRounds:     20*n + 1000,
+		maxDeliveries: 50_000_000,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Context is a node's handle to the kernel, passed to every Init and Recv
+// call. It is only valid for the duration of that call.
+type Context struct {
+	node int
+	g    *graph.Graph
+	bk   backend
+}
+
+type backend interface {
+	unicast(from, to int, payload any)
+	broadcast(from int, payload any)
+}
+
+// Node returns the index of the node this context belongs to.
+func (c *Context) Node() int { return c.node }
+
+// Degree returns the number of radio neighbours of this node.
+func (c *Context) Degree() int { return c.g.Degree(c.node) }
+
+// Neighbors returns this node's radio neighbours. The slice is shared;
+// callers must not modify it.
+func (c *Context) Neighbors() []int { return c.g.Neighbors(c.node) }
+
+// Broadcast transmits payload to every radio neighbour. It costs one
+// message.
+func (c *Context) Broadcast(payload any) {
+	c.bk.broadcast(c.node, payload)
+}
+
+// Send transmits payload to the single neighbour `to`. Sending to a
+// non-neighbour is a protocol bug and panics.
+func (c *Context) Send(to int, payload any) {
+	if !c.g.HasEdge(c.node, to) {
+		panic(fmt.Sprintf("simnet: node %d sent to non-neighbour %d", c.node, to))
+	}
+	c.bk.unicast(c.node, to, payload)
+}
+
+// validate checks the engine inputs shared by both engines.
+func validate(g *graph.Graph, procs []Proc) error {
+	if g == nil {
+		return errors.New("simnet: nil graph")
+	}
+	if len(procs) != g.N() {
+		return fmt.Errorf("simnet: %d procs for %d nodes", len(procs), g.N())
+	}
+	for i, p := range procs {
+		if p == nil {
+			return fmt.Errorf("simnet: nil proc at node %d", i)
+		}
+	}
+	return nil
+}
+
+// envelope is a queued message.
+type envelope struct {
+	from    int
+	to      int
+	payload any
+	seq     int // global send sequence, for deterministic ordering
+}
+
+// RunSync executes the protocol under the synchronous-round model and
+// returns the run cost. It terminates when a round delivers no messages, or
+// fails with ErrMaxRounds/ErrMaxDeliveries.
+func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
+	if err := validate(g, procs); err != nil {
+		return Stats{}, err
+	}
+	cfg := buildConfig(g.N(), opts)
+
+	eng := &syncEngine{cfg: cfg, g: g}
+	ctxs := make([]Context, g.N())
+	for i := range ctxs {
+		ctxs[i] = Context{node: i, g: g, bk: eng}
+	}
+
+	// Round 0: Init in index order; sends queue for round 1.
+	for i := range procs {
+		procs[i].Init(&ctxs[i])
+	}
+
+	rounds := 0
+	for len(eng.next) > 0 {
+		rounds++
+		if rounds > cfg.maxRounds {
+			return eng.stats(rounds - 1), ErrMaxRounds
+		}
+		batch := eng.next
+		eng.next = nil
+		// Deterministic delivery order: by (receiver, send sequence).
+		sort.Slice(batch, func(a, b int) bool {
+			if batch[a].to != batch[b].to {
+				return batch[a].to < batch[b].to
+			}
+			return batch[a].seq < batch[b].seq
+		})
+		if cfg.scramble != nil {
+			cfg.scramble.Shuffle(len(batch), func(i, j int) {
+				batch[i], batch[j] = batch[j], batch[i]
+			})
+		}
+		for _, env := range batch {
+			if cfg.dropped() {
+				continue
+			}
+			eng.deliveries++
+			if eng.deliveries > cfg.maxDeliveries {
+				return eng.stats(rounds), ErrMaxDeliveries
+			}
+			if cfg.trace != nil {
+				cfg.trace(Event{Kind: EventDeliver, From: env.from, To: env.to, Round: rounds, Payload: env.payload})
+			}
+			procs[env.to].Recv(&ctxs[env.to], env.from, env.payload)
+		}
+	}
+	return eng.stats(rounds), nil
+}
+
+type syncEngine struct {
+	cfg        *config
+	g          *graph.Graph
+	next       []envelope
+	seq        int
+	messages   int
+	deliveries int
+}
+
+func (e *syncEngine) stats(rounds int) Stats {
+	return Stats{Messages: e.messages, Deliveries: e.deliveries, Rounds: rounds}
+}
+
+func (e *syncEngine) unicast(from, to int, payload any) {
+	e.messages++
+	e.seq++
+	if e.cfg.trace != nil {
+		e.cfg.trace(Event{Kind: EventSend, From: from, To: to, Round: -1, Payload: payload})
+	}
+	e.next = append(e.next, envelope{from: from, to: to, payload: payload, seq: e.seq})
+}
+
+func (e *syncEngine) broadcast(from int, payload any) {
+	e.messages++
+	e.seq++
+	if e.cfg.trace != nil {
+		e.cfg.trace(Event{Kind: EventSend, From: from, To: -1, Round: -1, Payload: payload})
+	}
+	// All copies of one broadcast share a sequence number so receivers at
+	// equal index see a stable order.
+	for _, to := range e.g.Neighbors(from) {
+		e.next = append(e.next, envelope{from: from, to: to, payload: payload, seq: e.seq})
+	}
+}

@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Timeline records, per synchronous round, how many messages of each
+// payload type were delivered — a phase-structure diagnostic for the
+// protocols (e.g. Algorithm II's colour wave, then the 1-HOP and 2-HOP
+// report waves, then the selection traffic).
+type Timeline struct {
+	// Rounds[r][typeName] = deliveries of that payload type in round r+1.
+	Rounds []map[string]int
+}
+
+// NewTimelineTrace returns a Timeline and the simnet option that fills it.
+// Only meaningful under RunSync (asynchronous runs have no rounds).
+func NewTimelineTrace() (*Timeline, Option) {
+	tl := &Timeline{}
+	opt := WithTrace(func(ev Event) {
+		if ev.Kind != EventDeliver || ev.Round <= 0 {
+			return
+		}
+		for len(tl.Rounds) < ev.Round {
+			tl.Rounds = append(tl.Rounds, make(map[string]int))
+		}
+		name := payloadTypeName(ev.Payload)
+		tl.Rounds[ev.Round-1][name]++
+	})
+	return tl, opt
+}
+
+func payloadTypeName(payload any) string {
+	t := reflect.TypeOf(payload)
+	if t == nil {
+		return "nil"
+	}
+	name := t.String()
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// TypeNames returns every payload type observed, sorted.
+func (tl *Timeline) TypeNames() []string {
+	seen := make(map[string]bool)
+	for _, round := range tl.Rounds {
+		for name := range round {
+			seen[name] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the timeline as an aligned text table: one row per round,
+// one column per message type.
+func (tl *Timeline) String() string {
+	names := tl.TypeNames()
+	if len(names) == 0 {
+		return "(no deliveries)\n"
+	}
+	widths := make([]int, len(names))
+	for i, name := range names {
+		widths[i] = len(name)
+		if widths[i] < 5 {
+			widths[i] = 5
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s", "round")
+	for i, name := range names {
+		fmt.Fprintf(&b, "  %*s", widths[i], name)
+	}
+	b.WriteString("\n")
+	for r, round := range tl.Rounds {
+		fmt.Fprintf(&b, "%5d", r+1)
+		for i, name := range names {
+			fmt.Fprintf(&b, "  %*d", widths[i], round[name])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

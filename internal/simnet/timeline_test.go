@@ -1,0 +1,45 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineCapturesRounds(t *testing.T) {
+	g := lineGraph(t, 6)
+	tl, opt := NewTimelineTrace()
+	stats, err := RunSync(g, floodProcs(6, 0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Rounds) != stats.Rounds {
+		t.Fatalf("timeline has %d rounds, run had %d", len(tl.Rounds), stats.Rounds)
+	}
+	total := 0
+	for _, round := range tl.Rounds {
+		for _, c := range round {
+			total += c
+		}
+	}
+	if total != stats.Deliveries {
+		t.Fatalf("timeline counted %d deliveries, run had %d", total, stats.Deliveries)
+	}
+	names := tl.TypeNames()
+	if len(names) != 1 || names[0] != "tokenMsg" {
+		t.Fatalf("type names = %v", names)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "tokenMsg") || !strings.Contains(out, "round") {
+		t.Errorf("rendered timeline missing headers:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl, _ := NewTimelineTrace()
+	if got := tl.String(); !strings.Contains(got, "no deliveries") {
+		t.Errorf("empty timeline = %q", got)
+	}
+	if tl.TypeNames() != nil {
+		t.Error("empty timeline has type names")
+	}
+}

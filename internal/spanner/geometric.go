@@ -1,0 +1,65 @@
+package spanner
+
+import (
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/udg"
+)
+
+// Position-based sparse spanners, for comparison with the paper's
+// position-LESS WCDS spanner. The related work the paper cites prunes the
+// unit-disk graph with geometric rules that require every node to know its
+// coordinates: the relative neighbourhood graph (RNG, used for broadcasting
+// in reference [15]) and the Gabriel graph (the planar substrate of
+// GPSR-style geographic routing, reference [12]). Experiment E11 compares
+// their sparsity and dilation against the WCDS spanners.
+
+// RNG returns the relative neighbourhood graph restricted to the network's
+// unit-disk edges: edge {u,v} survives iff no witness w is strictly closer
+// to both u and v than they are to each other. Any witness for a kept-out
+// edge lies within the lens of radius d(u,v) ≤ 1, hence is a UDG neighbour
+// of both endpoints, so only common neighbours need checking.
+func RNG(nw *udg.Network) *graph.Graph {
+	return pruneByWitness(nw, func(duw2, dvw2, duv2 float64) bool {
+		return duw2 < duv2 && dvw2 < duv2
+	})
+}
+
+// Gabriel returns the Gabriel graph restricted to the network's unit-disk
+// edges: edge {u,v} survives iff no witness w lies strictly inside the
+// circle with diameter uv (d(u,w)² + d(v,w)² < d(u,v)²).
+func Gabriel(nw *udg.Network) *graph.Graph {
+	return pruneByWitness(nw, func(duw2, dvw2, duv2 float64) bool {
+		return duw2+dvw2 < duv2
+	})
+}
+
+// pruneByWitness drops every UDG edge for which some common neighbour
+// satisfies the witness predicate over squared distances.
+func pruneByWitness(nw *udg.Network, witness func(duw2, dvw2, duv2 float64) bool) *graph.Graph {
+	g := nw.G
+	out := graph.New(g.N())
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		duv2 := nw.Pos[u].Dist2(nw.Pos[v])
+		// Scan the smaller adjacency list for common neighbours.
+		a, b := u, v
+		if g.Degree(a) > g.Degree(b) {
+			a, b = b, a
+		}
+		keep := true
+		for _, w := range g.Neighbors(a) {
+			if w == u || w == v || !g.HasEdge(w, b) {
+				continue
+			}
+			if witness(nw.Pos[u].Dist2(nw.Pos[w]), nw.Pos[v].Dist2(nw.Pos[w]), duv2) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			_ = out.AddEdge(u, v)
+		}
+	}
+	out.SortAdjacency()
+	return out
+}

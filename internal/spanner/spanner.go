@@ -1,0 +1,274 @@
+// Package spanner measures the quality of the sparse spanners the WCDS
+// algorithms induce: edge sparsity, topological dilation and geometric
+// dilation, following the definitions of Section 3 of the paper.
+//
+// For a spanner G' of G and a pair of non-adjacent nodes u, v:
+//
+//   - the topological dilation compares h'(u,v), the minimum hop count in
+//     G', against h(u,v), the minimum hop count in G (Theorem 11 claims
+//     h' ≤ 3·h + 2 for Algorithm II's spanner);
+//   - the geometric dilation compares l'(u,v), the MAXIMUM total Euclidean
+//     length over all minimum-hop paths in G', against l(u,v), the length
+//     of the minimum-distance path in G (Theorem 11: l' ≤ 6·l + 5).
+//
+// The asymmetric definition of l' is the paper's: without positions a node
+// cannot pick the geometrically shortest of its minimum-hop routes, so the
+// worst minimum-hop route is what must be bounded.
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"wcdsnet/internal/graph"
+)
+
+// Sparsity summarises edge counts of a graph/spanner pair.
+type Sparsity struct {
+	Nodes        int
+	GraphEdges   int
+	SpannerEdges int
+	// EdgesPerNode is SpannerEdges/Nodes — bounded by a constant for a
+	// sparse spanner (Theorems 8 and 10).
+	EdgesPerNode float64
+	// Retained is the fraction of G's edges kept in the spanner.
+	Retained float64
+}
+
+// SparsityOf computes edge statistics for spanner sp of graph g.
+func SparsityOf(g, sp *graph.Graph) Sparsity {
+	s := Sparsity{
+		Nodes:        g.N(),
+		GraphEdges:   g.M(),
+		SpannerEdges: sp.M(),
+	}
+	if g.N() > 0 {
+		s.EdgesPerNode = float64(sp.M()) / float64(g.N())
+	}
+	if g.M() > 0 {
+		s.Retained = float64(sp.M()) / float64(g.M())
+	}
+	return s
+}
+
+// PairStat records the dilation of a single node pair.
+type PairStat struct {
+	U, V int
+	// HopsG and HopsSpanner are the minimum hop counts in G and G'.
+	HopsG, HopsSpanner int
+	// LenG is the minimum-distance path length in G; LenSpanner is the
+	// maximum length over minimum-hop paths in G'.
+	LenG, LenSpanner float64
+}
+
+// TopoRatio returns HopsSpanner / HopsG.
+func (p PairStat) TopoRatio() float64 {
+	if p.HopsG == 0 {
+		return 0
+	}
+	return float64(p.HopsSpanner) / float64(p.HopsG)
+}
+
+// GeoRatio returns LenSpanner / LenG.
+func (p PairStat) GeoRatio() float64 {
+	if p.LenG == 0 {
+		return 0
+	}
+	return p.LenSpanner / p.LenG
+}
+
+// Report aggregates dilation measurements over a set of pairs.
+type Report struct {
+	Pairs int
+	// WorstTopo and WorstGeo are the pairs with the largest ratios.
+	WorstTopo, WorstGeo PairStat
+	// AvgTopoRatio and AvgGeoRatio are means over the measured pairs.
+	AvgTopoRatio, AvgGeoRatio float64
+	// TopoBoundHolds reports h' ≤ 3·h + 2 for every measured pair;
+	// GeoBoundHolds reports l' ≤ 6·l + 5 (Theorem 11).
+	TopoBoundHolds, GeoBoundHolds bool
+	// TopoViolations / GeoViolations count pairs breaking the bounds.
+	TopoViolations, GeoViolations int
+}
+
+// Dilation measures the given pairs. g must be connected, sp must span g
+// (same node set, connected), and w gives Euclidean edge lengths (used for
+// both graphs — a spanner's edges are a subset of G's). Pairs with
+// identical or adjacent endpoints are skipped per the paper's definitions.
+func Dilation(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) (Report, error) {
+	if g.N() != sp.N() {
+		return Report{}, fmt.Errorf("spanner: node count mismatch %d vs %d", g.N(), sp.N())
+	}
+	// Group by source so each source's shortest-path trees are computed
+	// once.
+	bySrc := make(map[int][]int)
+	for _, pr := range pairs {
+		u, v := pr[0], pr[1]
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		bySrc[u] = append(bySrc[u], v)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for u := range bySrc {
+		srcs = append(srcs, u)
+	}
+	sort.Ints(srcs)
+
+	rep := Report{TopoBoundHolds: true, GeoBoundHolds: true}
+	var sumTopo, sumGeo float64
+	for _, u := range srcs {
+		hopsG, _ := g.BFS(u)
+		lenG, _ := g.Dijkstra(u, w)
+		hopsSp, lenSp := sp.MaxHopMinHopPath(u, w)
+		for _, v := range bySrc[u] {
+			if hopsG[v] == graph.Unreachable {
+				return Report{}, fmt.Errorf("spanner: pair (%d,%d) disconnected in G", u, v)
+			}
+			if hopsSp[v] == graph.Unreachable {
+				return Report{}, fmt.Errorf("spanner: pair (%d,%d) disconnected in spanner", u, v)
+			}
+			ps := PairStat{
+				U: u, V: v,
+				HopsG: hopsG[v], HopsSpanner: hopsSp[v],
+				LenG: lenG[v], LenSpanner: lenSp[v],
+			}
+			rep.Pairs++
+			sumTopo += ps.TopoRatio()
+			sumGeo += ps.GeoRatio()
+			if ps.TopoRatio() > rep.WorstTopo.TopoRatio() {
+				rep.WorstTopo = ps
+			}
+			if ps.GeoRatio() > rep.WorstGeo.GeoRatio() {
+				rep.WorstGeo = ps
+			}
+			if ps.HopsSpanner > 3*ps.HopsG+2 {
+				rep.TopoBoundHolds = false
+				rep.TopoViolations++
+			}
+			if ps.LenSpanner > 6*ps.LenG+5+1e-9 {
+				rep.GeoBoundHolds = false
+				rep.GeoViolations++
+			}
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.AvgTopoRatio = sumTopo / float64(rep.Pairs)
+		rep.AvgGeoRatio = sumGeo / float64(rep.Pairs)
+	}
+	return rep, nil
+}
+
+// AllPairs enumerates every unordered pair of distinct non-adjacent nodes.
+// Quadratic; intended for n up to a few hundred.
+func AllPairs(g *graph.Graph) [][2]int {
+	var pairs [][2]int
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+	}
+	return pairs
+}
+
+// SamplePairs draws count random distinct-node pairs (possibly adjacent
+// ones, which Dilation skips). Sampling keeps large-n experiments linear.
+func SamplePairs(rng *rand.Rand, n, count int) [][2]int {
+	if n < 2 {
+		return nil
+	}
+	pairs := make([][2]int, 0, count)
+	for len(pairs) < count {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return pairs
+}
+
+// Stretch computes the hop eccentricity ratio of the spanner: the maximum
+// over sources of ecc_sp(u)/ecc_g(u). A coarse but cheap global indicator
+// used in the experiment summaries.
+func Stretch(g, sp *graph.Graph) float64 {
+	worst := 0.0
+	for u := 0; u < g.N(); u++ {
+		dg, _ := g.BFS(u)
+		ds, _ := sp.BFS(u)
+		eg, es := 0, 0
+		for v := range dg {
+			if dg[v] > eg {
+				eg = dg[v]
+			}
+			if ds[v] > es {
+				es = ds[v]
+			}
+		}
+		if eg > 0 {
+			if r := float64(es) / float64(eg); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// CheckLemma6 verifies the paper's Lemma 6 transfer numerically for a pair
+// report: if every pair satisfies h' ≤ α·h + β then every pair must
+// satisfy l' < 2α·l + α + β. It returns an error naming the first pair
+// violating the transfer (which would indicate a measurement bug, since
+// Lemma 6 is a theorem).
+func CheckLemma6(stats []PairStat, alpha, beta float64) error {
+	for _, ps := range stats {
+		if float64(ps.HopsSpanner) > alpha*float64(ps.HopsG)+beta {
+			continue // hypothesis not met for this pair; nothing to check
+		}
+		if ps.LenSpanner >= 2*alpha*ps.LenG+alpha+beta+1e-9 {
+			return fmt.Errorf("spanner: Lemma 6 transfer violated for pair (%d,%d): l'=%v, bound %v",
+				ps.U, ps.V, ps.LenSpanner, 2*alpha*ps.LenG+alpha+beta)
+		}
+	}
+	return nil
+}
+
+// CollectPairStats returns per-pair statistics (rather than an aggregated
+// Report) for the given pairs; used by Lemma 6 checks and histograms.
+func CollectPairStats(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) ([]PairStat, error) {
+	bySrc := make(map[int][]int)
+	for _, pr := range pairs {
+		u, v := pr[0], pr[1]
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		bySrc[u] = append(bySrc[u], v)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for u := range bySrc {
+		srcs = append(srcs, u)
+	}
+	sort.Ints(srcs)
+	var out []PairStat
+	for _, u := range srcs {
+		hopsG, _ := g.BFS(u)
+		lenG, _ := g.Dijkstra(u, w)
+		hopsSp, lenSp := sp.MaxHopMinHopPath(u, w)
+		for _, v := range bySrc[u] {
+			if hopsG[v] == graph.Unreachable || hopsSp[v] == graph.Unreachable {
+				return nil, fmt.Errorf("spanner: pair (%d,%d) disconnected", u, v)
+			}
+			if math.IsInf(lenG[v], 1) {
+				return nil, fmt.Errorf("spanner: pair (%d,%d) has no weighted path", u, v)
+			}
+			out = append(out, PairStat{
+				U: u, V: v,
+				HopsG: hopsG[v], HopsSpanner: hopsSp[v],
+				LenG: lenG[v], LenSpanner: lenSp[v],
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package udg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"wcdsnet/internal/geom"
+)
+
+// Scene is the JSON-serializable form of a network: positions, IDs and the
+// radio radius. The unit-disk graph is derived, not stored.
+type Scene struct {
+	Radius float64     `json:"radius"`
+	Nodes  []SceneNode `json:"nodes"`
+}
+
+// SceneNode is one node of a serialized scene.
+type SceneNode struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// Scene exports the network for serialization.
+func (nw *Network) Scene() Scene {
+	s := Scene{Radius: nw.Radius, Nodes: make([]SceneNode, nw.N())}
+	for i := range s.Nodes {
+		s.Nodes[i] = SceneNode{ID: nw.ID[i], X: nw.Pos[i].X, Y: nw.Pos[i].Y}
+	}
+	return s
+}
+
+// FromScene rebuilds a network (including its unit-disk graph) from a
+// serialized scene.
+func FromScene(s Scene) (*Network, error) {
+	pos := make([]geom.Point, len(s.Nodes))
+	ids := make([]int, len(s.Nodes))
+	for i, n := range s.Nodes {
+		pos[i] = geom.Point{X: n.X, Y: n.Y}
+		ids[i] = n.ID
+	}
+	return New(pos, ids, s.Radius)
+}
+
+// SaveScene writes the network as indented JSON.
+func SaveScene(path string, nw *Network) error {
+	data, err := json.MarshalIndent(nw.Scene(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("udg: marshal scene: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("udg: write scene: %w", err)
+	}
+	return nil
+}
+
+// LoadScene reads a JSON scene file and rebuilds the network.
+func LoadScene(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("udg: read scene: %w", err)
+	}
+	var s Scene
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("udg: parse scene %s: %w", path, err)
+	}
+	return FromScene(s)
+}

@@ -1,0 +1,63 @@
+package udg
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSceneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw := GenUniform(rng, 60, 5)
+	back, err := FromScene(nw.Scene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != nw.N() || back.G.M() != nw.G.M() || back.Radius != nw.Radius {
+		t.Fatalf("round trip mismatch: n %d/%d, m %d/%d", back.N(), nw.N(), back.G.M(), nw.G.M())
+	}
+	for i := 0; i < nw.N(); i++ {
+		if back.Pos[i] != nw.Pos[i] || back.ID[i] != nw.ID[i] {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+}
+
+func TestSceneFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw := GenUniform(rng, 30, 4)
+	path := filepath.Join(t.TempDir(), "scene.json")
+	if err := SaveScene(path, nw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadScene(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.M() != nw.G.M() {
+		t.Fatalf("edges %d != %d after file round trip", back.G.M(), nw.G.M())
+	}
+}
+
+func TestLoadSceneErrors(t *testing.T) {
+	if _, err := LoadScene("/nonexistent/scene.json"); err == nil {
+		t.Error("expected read error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScene(bad); err == nil {
+		t.Error("expected parse error")
+	}
+	// Valid JSON but invalid scene (duplicate IDs).
+	dup := filepath.Join(t.TempDir(), "dup.json")
+	content := `{"radius":1,"nodes":[{"id":1,"x":0,"y":0},{"id":1,"x":0.5,"y":0}]}`
+	if err := os.WriteFile(dup, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScene(dup); err == nil {
+		t.Error("expected duplicate-ID validation error")
+	}
+}

@@ -1,0 +1,314 @@
+// Package udg models wireless ad hoc networks as unit-disk graphs.
+//
+// Following the paper, all nodes live in the plane and share a maximum
+// transmission range of one unit: two nodes are adjacent if and only if
+// their Euclidean distance is at most the radio radius. This package
+// provides the Network type (positions + unique protocol IDs + the induced
+// unit-disk graph) and a collection of random topology generators used by
+// the experiments.
+package udg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/graph"
+)
+
+// Network is a wireless ad hoc network snapshot: node positions, the
+// induced unit-disk graph, and the unique protocol ID of every node.
+//
+// Graph indices are dense 0..N-1; IDs are an arbitrary permutation carried
+// separately because the paper's protocols use IDs only for symmetry
+// breaking (ranking), never for addressing.
+type Network struct {
+	Pos    []geom.Point
+	ID     []int
+	Radius float64
+	G      *graph.Graph
+}
+
+// New assembles a network from positions and IDs, building the unit-disk
+// graph with the given radio radius. IDs must be unique and len(ids) must
+// equal len(pos); radius must be positive.
+func New(pos []geom.Point, ids []int, radius float64) (*Network, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("udg: radius %v must be positive", radius)
+	}
+	if len(ids) != len(pos) {
+		return nil, fmt.Errorf("udg: %d ids for %d positions", len(ids), len(pos))
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("udg: duplicate node ID %d", id)
+		}
+		seen[id] = true
+	}
+	nw := &Network{
+		Pos:    append([]geom.Point(nil), pos...),
+		ID:     append([]int(nil), ids...),
+		Radius: radius,
+	}
+	nw.G = BuildGraph(nw.Pos, radius)
+	return nw, nil
+}
+
+// BuildGraph constructs the unit-disk graph over pos with the given radius
+// using a uniform grid of radius-sized cells, so expected construction time
+// is linear in nodes plus edges.
+func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
+	g := graph.New(len(pos))
+	if len(pos) == 0 {
+		return g
+	}
+	type cell struct{ cx, cy int }
+	cells := make(map[cell][]int, len(pos))
+	cellOf := func(p geom.Point) cell {
+		return cell{cx: int(math.Floor(p.X / radius)), cy: int(math.Floor(p.Y / radius))}
+	}
+	for i, p := range pos {
+		c := cellOf(p)
+		cells[c] = append(cells[c], i)
+	}
+	r2 := radius * radius
+	for i, p := range pos {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range cells[cell{c.cx + dx, c.cy + dy}] {
+					if j <= i {
+						continue
+					}
+					if p.Dist2(pos[j]) <= r2 {
+						// Duplicate additions are impossible: each pair is
+						// visited once via the j > i guard.
+						if err := g.AddEdge(i, j); err != nil {
+							// Unreachable by construction; keep the graph
+							// consistent rather than panicking in a library.
+							continue
+						}
+					}
+				}
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Rebuild recomputes the unit-disk graph after position changes (mobility).
+func (nw *Network) Rebuild() {
+	nw.G = BuildGraph(nw.Pos, nw.Radius)
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return len(nw.Pos) }
+
+// Dist returns the Euclidean distance between nodes u and v.
+func (nw *Network) Dist(u, v int) float64 { return nw.Pos[u].Dist(nw.Pos[v]) }
+
+// Weight returns the Euclidean edge-length function for shortest-path
+// computations over the network's graphs.
+func (nw *Network) Weight() graph.WeightFunc {
+	pos := nw.Pos
+	return func(u, v int) float64 { return pos[u].Dist(pos[v]) }
+}
+
+// Clone returns a deep copy of the network (graph included).
+func (nw *Network) Clone() *Network {
+	return &Network{
+		Pos:    append([]geom.Point(nil), nw.Pos...),
+		ID:     append([]int(nil), nw.ID...),
+		Radius: nw.Radius,
+		G:      nw.G.Clone(),
+	}
+}
+
+// RandomIDs returns a uniformly random permutation of 0..n-1 to use as
+// protocol IDs. Randomizing IDs decouples the greedy-by-ID MIS from the
+// geometric generation order.
+func RandomIDs(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// SideForAvgDegree returns the side length of a square such that n
+// uniformly placed unit-radius nodes have approximately the target average
+// degree: deg ≈ (n-1)·π·r² / side².
+func SideForAvgDegree(n int, targetDeg float64) float64 {
+	if n < 2 || targetDeg <= 0 {
+		return 1
+	}
+	return math.Sqrt(float64(n-1) * math.Pi / targetDeg)
+}
+
+// GenUniform places n nodes uniformly at random in the square [0,side]²
+// with unit radio radius and random IDs.
+func GenUniform(rng *rand.Rand, n int, side float64) *Network {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	nw, err := New(pos, RandomIDs(rng, n), 1)
+	if err != nil {
+		// Unreachable: generated inputs are always valid.
+		panic("udg: GenUniform produced invalid network: " + err.Error())
+	}
+	return nw
+}
+
+// GenClusters places n nodes into k Gaussian clusters whose centers are
+// uniform in [0,side]²; sigma is the cluster spread. Positions are clamped
+// to the square. Clustered layouts stress the MIS packing lemmas.
+func GenClusters(rng *rand.Rand, n, k int, side, sigma float64) *Network {
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	box := geom.Square(side)
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		c := centers[rng.Intn(k)]
+		p := geom.Point{
+			X: c.X + rng.NormFloat64()*sigma,
+			Y: c.Y + rng.NormFloat64()*sigma,
+		}
+		pos[i] = box.Clamp(p)
+	}
+	nw, err := New(pos, RandomIDs(rng, n), 1)
+	if err != nil {
+		panic("udg: GenClusters produced invalid network: " + err.Error())
+	}
+	return nw
+}
+
+// GenGrid places nodes on a rows×cols grid with the given spacing, each
+// jittered uniformly by up to jitter in both axes. Perturbed grids give
+// near-worst-case regular packings.
+func GenGrid(rng *rand.Rand, rows, cols int, spacing, jitter float64) *Network {
+	pos := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos = append(pos, geom.Point{
+				X: float64(c)*spacing + (rng.Float64()*2-1)*jitter,
+				Y: float64(r)*spacing + (rng.Float64()*2-1)*jitter,
+			})
+		}
+	}
+	nw, err := New(pos, RandomIDs(rng, len(pos)), 1)
+	if err != nil {
+		panic("udg: GenGrid produced invalid network: " + err.Error())
+	}
+	return nw
+}
+
+// GenCorridor places n nodes uniformly in an L-shaped corridor of the
+// given arm length and width (two rectangles sharing the corner square).
+// Corridor topologies force long detours around the bend and stress the
+// spanner dilation bounds far harder than convex regions.
+func GenCorridor(rng *rand.Rand, n int, armLen, width float64) *Network {
+	if armLen < width {
+		armLen = width
+	}
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		// Horizontal arm: [0,armLen] × [0,width];
+		// vertical arm:   [0,width] × [0,armLen].
+		if rng.Intn(2) == 0 {
+			pos[i] = geom.Point{X: rng.Float64() * armLen, Y: rng.Float64() * width}
+		} else {
+			pos[i] = geom.Point{X: rng.Float64() * width, Y: rng.Float64() * armLen}
+		}
+	}
+	nw, err := New(pos, RandomIDs(rng, n), 1)
+	if err != nil {
+		panic("udg: GenCorridor produced invalid network: " + err.Error())
+	}
+	return nw
+}
+
+// GenAnnulus places n nodes uniformly in a ring with the given inner and
+// outer radii centred at (outer, outer). The hole in the middle makes
+// shortest paths curve, another dilation stressor.
+func GenAnnulus(rng *rand.Rand, n int, inner, outer float64) *Network {
+	if outer <= inner {
+		outer = inner + 1
+	}
+	center := geom.Point{X: outer, Y: outer}
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		for {
+			p := geom.Point{X: rng.Float64() * 2 * outer, Y: rng.Float64() * 2 * outer}
+			d := p.Dist(center)
+			if d >= inner && d <= outer {
+				pos[i] = p
+				break
+			}
+		}
+	}
+	nw, err := New(pos, RandomIDs(rng, n), 1)
+	if err != nil {
+		panic("udg: GenAnnulus produced invalid network: " + err.Error())
+	}
+	return nw
+}
+
+// GenQuasi places n nodes uniformly in [0,side]² and links them with the
+// quasi-unit-disk rule: pairs closer than rMin are always adjacent, pairs
+// beyond rMax never, and pairs in between are adjacent with probability p.
+// Quasi-UDGs model irregular radio ranges; the WCDS algorithms remain
+// correct on them (their proofs of domination and weak connectivity are
+// graph-theoretic), but the unit-disk packing constants no longer apply —
+// experiment E12 measures the drift.
+//
+// The stored Radius is rMax (the maximum possible link length).
+func GenQuasi(rng *rand.Rand, n int, side, rMin, rMax, p float64) *Network {
+	if rMax < rMin {
+		rMax = rMin
+	}
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	g := graph.New(n)
+	// Candidate pairs come from the rMax-disk graph; the mid-band coin
+	// then thins them.
+	full := BuildGraph(pos, rMax)
+	for _, e := range full.Edges() {
+		d := pos[e[0]].Dist(pos[e[1]])
+		if d <= rMin || rng.Float64() < p {
+			_ = g.AddEdge(e[0], e[1])
+		}
+	}
+	g.SortAdjacency()
+	return &Network{
+		Pos:    pos,
+		ID:     RandomIDs(rng, n),
+		Radius: rMax,
+		G:      g,
+	}
+}
+
+// GenConnected repeatedly samples GenUniform until the unit-disk graph is
+// connected, up to maxTries attempts. It returns an error when the density
+// is too low to produce a connected instance within the budget.
+func GenConnected(rng *rand.Rand, n int, side float64, maxTries int) (*Network, error) {
+	for try := 0; try < maxTries; try++ {
+		nw := GenUniform(rng, n, side)
+		if nw.G.Connected() {
+			return nw, nil
+		}
+	}
+	return nil, fmt.Errorf("udg: no connected instance with n=%d side=%.2f in %d tries", n, side, maxTries)
+}
+
+// GenConnectedAvgDegree is the experiment workhorse: a connected uniform
+// network of n nodes sized for the target average degree.
+func GenConnectedAvgDegree(rng *rand.Rand, n int, targetDeg float64, maxTries int) (*Network, error) {
+	return GenConnected(rng, n, SideForAvgDegree(n, targetDeg), maxTries)
+}

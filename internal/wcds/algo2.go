@@ -1,0 +1,520 @@
+package wcds
+
+import (
+	"fmt"
+	"sort"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/simnet"
+)
+
+// SelectionMode controls how Algorithm II's MIS dominators pick the
+// additional dominator for each three-hop peer.
+type SelectionMode int
+
+const (
+	// Deferred is the canonical mode: a dominator collects the 1-HOP and
+	// 2-HOP reports of all its neighbours before selecting, and then picks
+	// the lexicographically smallest (v, x) intermediate pair per target.
+	// The result is schedule independent and matches Algo2Centralized
+	// exactly, on either engine. This matches the complexity analysis in
+	// the paper ("a MIS-dominator waits ... before it selects").
+	Deferred SelectionMode = iota + 1
+	// Eager is the paper's event-driven prose: a dominator fires a
+	// SELECTION as soon as a 2-HOP-DOMINATORS message reveals a new
+	// three-hop peer. The WCDS is still correct but its additional-
+	// dominator set may depend on message timing.
+	Eager
+)
+
+// Algorithm II message types (Section 4.2). All node references inside
+// payloads are protocol IDs; nodes translate neighbour IDs to link
+// addresses with the 1-hop knowledge the paper assumes.
+type (
+	// MISDominatorMsg announces the sender joined the MIS-dominator set.
+	MISDominatorMsg struct{}
+	// GrayMsg announces the sender was dominated (also used by
+	// Algorithm I's marking phase).
+	GrayMsg struct{}
+	// OneHopDomsMsg carries the sender's 1HopDomList: the IDs of all
+	// dominators adjacent to it.
+	OneHopDomsMsg struct{ Doms []int }
+	// TwoHopEntry names a dominator two hops from the 2-HOP list's owner,
+	// plus the intermediate neighbour to reach it.
+	TwoHopEntry struct{ Dom, Via int }
+	// TwoHopDomsMsg carries the sender's 2HopDomList.
+	TwoHopDomsMsg struct{ Entries []TwoHopEntry }
+	// SelectionMsg tells gray node v (the receiver) that dominator U
+	// selected it as the additional dominator on the path U–v–X–W.
+	SelectionMsg struct{ U, W, X int }
+	// AdditionalDomMsg is broadcast by the new additional dominator V and
+	// forwarded by intermediate X to the far dominator W.
+	AdditionalDomMsg struct{ V, U, X, W int }
+)
+
+// algo2Proc is one node of distributed Algorithm II. It holds only the
+// 1-hop knowledge the paper assumes: its own ID plus its neighbours' IDs
+// (supplied up front, or learned via the HELLO phase of the zero-knowledge
+// pipeline).
+type algo2Proc struct {
+	ownID  int
+	nbrIDs map[int]int // neighbour node index -> protocol ID
+	mode   SelectionMode
+
+	color      color
+	additional bool
+	idToNbr    map[int]int // neighbour protocol ID -> node index
+
+	lowerCount    int // neighbours with lower ID
+	grayLowerRecv int
+
+	colorsRecv int // colour announcements received (one per neighbour)
+	grayNbrs   int // neighbours known gray
+	oneHopRecv int
+	twoHopRecv int
+
+	oneHopDoms map[int]bool     // adjacent dominator IDs
+	twoHopDoms map[int]int      // dominator ID -> minimum via-ID
+	threeHop   map[int][2]int   // dominator ID -> (first, second) intermediate IDs
+	candidates map[int][][2]int // deferred mode: target W -> candidate (v, x) pairs
+
+	sentOneHop bool
+	sentTwoHop bool
+	selected   bool
+}
+
+func newAlgo2Proc(ownID int, mode SelectionMode) *algo2Proc {
+	return &algo2Proc{
+		ownID:      ownID,
+		mode:       mode,
+		nbrIDs:     make(map[int]int),
+		oneHopDoms: make(map[int]bool),
+		twoHopDoms: make(map[int]int),
+		threeHop:   make(map[int][2]int),
+		candidates: make(map[int][][2]int),
+	}
+}
+
+// idOf maps a neighbour's node index to its protocol ID; it panics on a
+// non-neighbour because that would be a kernel-level bug.
+func (p *algo2Proc) idOf(from int) int {
+	id, ok := p.nbrIDs[from]
+	if !ok {
+		panic(fmt.Sprintf("wcds: message from unknown neighbour %d", from))
+	}
+	return id
+}
+
+// wire finalises the 1-hop knowledge (nbrIDs must be complete) and fires
+// the initial MIS rule: "each node which has the lowest ID among all its
+// white neighbours colours itself black" — initially everyone is white, so
+// the rule fires exactly at local ID minima.
+func (p *algo2Proc) wire(ctx *simnet.Context) {
+	p.idToNbr = make(map[int]int, len(p.nbrIDs))
+	for w, id := range p.nbrIDs {
+		p.idToNbr[id] = w
+		if id < p.ownID {
+			p.lowerCount++
+		}
+	}
+	if p.lowerCount == 0 {
+		p.becomeMISDominator(ctx)
+	}
+}
+
+func (p *algo2Proc) Init(ctx *simnet.Context) {
+	// The standard entry point is handed the neighbour IDs directly (the
+	// paper's standing assumption); the zero-knowledge pipeline instead
+	// fills nbrIDs via HELLO beacons and calls wire itself.
+	p.wire(ctx)
+}
+
+func (p *algo2Proc) becomeMISDominator(ctx *simnet.Context) {
+	p.color = black
+	ctx.Broadcast(MISDominatorMsg{})
+	// A dominator with no neighbours (isolated node) has nothing to wait
+	// for; run the (empty) selection immediately so state is consistent.
+	p.maybeSelect(ctx)
+}
+
+func (p *algo2Proc) Recv(ctx *simnet.Context, from int, payload any) {
+	switch m := payload.(type) {
+	case MISDominatorMsg:
+		p.colorsRecv++
+		p.oneHopDoms[p.idOf(from)] = true
+		if p.color == white {
+			p.color = gray
+			ctx.Broadcast(GrayMsg{})
+		}
+		p.runChecks(ctx)
+	case GrayMsg:
+		p.colorsRecv++
+		p.grayNbrs++
+		if p.color == white && p.idOf(from) < p.ownID {
+			p.grayLowerRecv++
+			if p.grayLowerRecv == p.lowerCount {
+				p.becomeMISDominator(ctx)
+			}
+		}
+		p.runChecks(ctx)
+	case OneHopDomsMsg:
+		p.oneHopRecv++
+		p.recordOneHopReport(ctx, from, m)
+		p.runChecks(ctx)
+	case TwoHopDomsMsg:
+		p.twoHopRecv++
+		if p.color == black {
+			p.recordTwoHopReport(ctx, from, m)
+		}
+		p.runChecks(ctx)
+	case SelectionMsg:
+		// Unicast: this node becomes an additional dominator for the path
+		// m.U – self – m.X – m.W and announces it.
+		p.additional = true
+		ctx.Broadcast(AdditionalDomMsg{V: p.ownID, U: m.U, X: m.X, W: m.W})
+	case AdditionalDomMsg:
+		p.handleAdditionalDom(ctx, from, m)
+	}
+}
+
+// recordOneHopReport folds a neighbour's 1HopDomList into this node's
+// 2HopDomList, keeping the smallest via-ID per target. Exclusion of
+// already-adjacent dominators happens at send/selection time so the list is
+// canonical regardless of arrival order.
+func (p *algo2Proc) recordOneHopReport(ctx *simnet.Context, from int, m OneHopDomsMsg) {
+	me := p.ownID
+	via := p.idOf(from)
+	for _, dom := range m.Doms {
+		if dom == me {
+			continue // "different from its own ID"
+		}
+		if cur, ok := p.twoHopDoms[dom]; !ok || via < cur {
+			p.twoHopDoms[dom] = via
+		}
+	}
+	if p.mode == Eager && p.color == black {
+		// Paper's removal rule: a dominator that learns a target is
+		// actually two hops away drops the three-hop record.
+		for _, dom := range m.Doms {
+			delete(p.threeHop, dom)
+		}
+	}
+}
+
+func (p *algo2Proc) recordTwoHopReport(ctx *simnet.Context, from int, m TwoHopDomsMsg) {
+	me := p.ownID
+	v := p.idOf(from)
+	for _, e := range m.Entries {
+		if e.Dom == me || me >= e.Dom {
+			// Only the lower-ID endpoint of a three-hop dominator pair
+			// selects the connector.
+			continue
+		}
+		switch p.mode {
+		case Deferred:
+			p.candidates[e.Dom] = append(p.candidates[e.Dom], [2]int{v, e.Via})
+		case Eager:
+			if _, twoHop := p.twoHopDoms[e.Dom]; twoHop {
+				continue
+			}
+			if _, done := p.threeHop[e.Dom]; done {
+				continue
+			}
+			p.threeHop[e.Dom] = [2]int{v, e.Via}
+			ctx.Send(from, SelectionMsg{U: me, W: e.Dom, X: e.Via})
+		}
+	}
+}
+
+func (p *algo2Proc) handleAdditionalDom(ctx *simnet.Context, from int, m AdditionalDomMsg) {
+	me := p.ownID
+	switch p.idOf(from) {
+	case m.V:
+		// Direct announcement from the new dominator: it is now an
+		// adjacent dominator of ours.
+		p.oneHopDoms[m.V] = true
+		if m.X == me {
+			// We are the named second intermediate: relay to the far
+			// dominator W, which is our neighbour by construction.
+			w, ok := p.idToNbr[m.W]
+			if !ok {
+				panic(fmt.Sprintf("wcds: node %d asked to relay to non-neighbour ID %d", ctx.Node(), m.W))
+			}
+			ctx.Send(w, m)
+		}
+	case m.X:
+		if m.W == me {
+			// Forwarded copy: record the reverse path to dominator U.
+			p.threeHop[m.U] = [2]int{m.X, m.V}
+		}
+	}
+}
+
+// runChecks re-evaluates every counter-guarded transition.
+func (p *algo2Proc) runChecks(ctx *simnet.Context) {
+	p.maybeSendOneHop(ctx)
+	p.maybeSendTwoHop(ctx)
+	p.maybeSelect(ctx)
+}
+
+// maybeSendOneHop: a gray node that has heard a colour announcement from
+// every neighbour broadcasts its 1HopDomList.
+func (p *algo2Proc) maybeSendOneHop(ctx *simnet.Context) {
+	if p.color != gray || p.sentOneHop || p.colorsRecv != ctx.Degree() {
+		return
+	}
+	p.sentOneHop = true
+	doms := make([]int, 0, len(p.oneHopDoms))
+	for dom := range p.oneHopDoms {
+		doms = append(doms, dom)
+	}
+	sort.Ints(doms)
+	ctx.Broadcast(OneHopDomsMsg{Doms: doms})
+}
+
+// maybeSendTwoHop: a gray node that has a 1-HOP report from every gray
+// neighbour broadcasts its 2HopDomList, excluding dominators it is itself
+// adjacent to.
+func (p *algo2Proc) maybeSendTwoHop(ctx *simnet.Context) {
+	if p.color != gray || p.sentTwoHop || !p.sentOneHop || p.colorsRecv != ctx.Degree() || p.oneHopRecv != p.grayNbrs {
+		return
+	}
+	p.sentTwoHop = true
+	entries := make([]TwoHopEntry, 0, len(p.twoHopDoms))
+	for dom, via := range p.twoHopDoms {
+		if p.oneHopDoms[dom] {
+			continue
+		}
+		entries = append(entries, TwoHopEntry{Dom: dom, Via: via})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Dom < entries[j].Dom })
+	ctx.Broadcast(TwoHopDomsMsg{Entries: entries})
+}
+
+// maybeSelect: in Deferred mode, an MIS dominator with complete reports
+// from all (necessarily gray) neighbours selects one additional dominator
+// per three-hop target, picking the smallest (v, x) pair.
+func (p *algo2Proc) maybeSelect(ctx *simnet.Context) {
+	if p.mode != Deferred || p.color != black || p.selected {
+		return
+	}
+	deg := ctx.Degree()
+	if p.colorsRecv != deg || p.oneHopRecv != deg || p.twoHopRecv != deg {
+		return
+	}
+	p.selected = true
+	targets := make([]int, 0, len(p.candidates))
+	for w := range p.candidates {
+		targets = append(targets, w)
+	}
+	sort.Ints(targets)
+	me := p.ownID
+	for _, w := range targets {
+		if _, twoHop := p.twoHopDoms[w]; twoHop {
+			continue // actually reachable in two hops; no connector needed
+		}
+		best := p.candidates[w][0]
+		for _, c := range p.candidates[w][1:] {
+			if c[0] < best[0] || (c[0] == best[0] && c[1] < best[1]) {
+				best = c
+			}
+		}
+		p.threeHop[w] = best
+		p.candidates[w] = nil
+		v, ok := p.idToNbr[best[0]]
+		if !ok {
+			panic(fmt.Sprintf("wcds: node %d selected non-neighbour ID %d", ctx.Node(), best[0]))
+		}
+		ctx.Send(v, SelectionMsg{U: me, W: w, X: best[1]})
+	}
+}
+
+// Tables is the neighbourhood knowledge one node accumulated during an
+// Algorithm II run. The routing layer (Section 4.2's clusterhead unicast)
+// is built directly on these lists. All references are protocol IDs.
+type Tables struct {
+	// ID is the node's own protocol ID.
+	ID int
+	// IsMISDominator and IsAdditional classify the node in the WCDS.
+	IsMISDominator bool
+	IsAdditional   bool
+	// OneHopDoms lists adjacent dominator IDs (gray nodes' 1HopDomList).
+	OneHopDoms []int
+	// TwoHopDoms maps a dominator ID two hops away to the intermediate
+	// neighbour's ID used to reach it.
+	TwoHopDoms map[int]int
+	// ThreeHopDoms maps a dominator ID three hops away to the two
+	// intermediate IDs (nearest first) on the connector path.
+	ThreeHopDoms map[int][2]int
+}
+
+// Algo2Distributed runs the full Algorithm II protocol and returns the
+// WCDS (MIS dominators plus additional dominators), the run cost, and any
+// engine error. The graph must be connected and ids unique.
+func Algo2Distributed(g *graph.Graph, ids []int, mode SelectionMode, run Runner) (Result, simnet.Stats, error) {
+	res, _, stats, err := Algo2DistributedDetailed(g, ids, mode, run)
+	return res, stats, err
+}
+
+// Algo2DistributedDetailed is Algo2Distributed but also returns each node's
+// accumulated Tables (indexed by node) for routing and inspection.
+func Algo2DistributedDetailed(g *graph.Graph, ids []int, mode SelectionMode, run Runner) (Result, []Tables, simnet.Stats, error) {
+	procs := make([]simnet.Proc, g.N())
+	a2 := make([]*algo2Proc, g.N())
+	for i := range procs {
+		p := newAlgo2Proc(ids[i], mode)
+		// The paper's standing assumption: every node already knows the
+		// IDs of its radio neighbours (see Algo2ZeroKnowledge for the
+		// variant that discovers them in-protocol).
+		for _, w := range g.Neighbors(i) {
+			p.nbrIDs[w] = ids[w]
+		}
+		a2[i] = p
+		procs[i] = a2[i]
+	}
+	stats, err := run(g, procs)
+	if err != nil {
+		return Result{}, nil, stats, err
+	}
+	var misDoms, additional []int
+	tables := make([]Tables, g.N())
+	for v, p := range a2 {
+		switch {
+		case p.color == black:
+			misDoms = append(misDoms, v)
+		case p.additional:
+			additional = append(additional, v)
+		case p.color == white:
+			return Result{}, nil, stats, fmt.Errorf("wcds: node %d still white after Algorithm II quiesced", v)
+		}
+		tables[v] = p.snapshotTables(ids[v])
+	}
+	return newResult(g, misDoms, additional), tables, stats, nil
+}
+
+// snapshotTables copies the node's lists into an exported Tables value.
+func (p *algo2Proc) snapshotTables(ownID int) Tables {
+	t := Tables{
+		ID:             ownID,
+		IsMISDominator: p.color == black,
+		IsAdditional:   p.additional,
+		TwoHopDoms:     make(map[int]int, len(p.twoHopDoms)),
+		ThreeHopDoms:   make(map[int][2]int, len(p.threeHop)),
+	}
+	for dom := range p.oneHopDoms {
+		t.OneHopDoms = append(t.OneHopDoms, dom)
+	}
+	sort.Ints(t.OneHopDoms)
+	for dom, via := range p.twoHopDoms {
+		if !p.oneHopDoms[dom] {
+			t.TwoHopDoms[dom] = via
+		}
+	}
+	for dom, pair := range p.threeHop {
+		t.ThreeHopDoms[dom] = pair
+	}
+	return t
+}
+
+// Algo2Centralized is the centralized reference for Algorithm II with
+// Deferred selection semantics: greedy-by-ID MIS, then for every
+// MIS-dominator pair (u, w) exactly three hops apart with ids[u] < ids[w],
+// the connector v from the lexicographically smallest intermediate pair
+// (ids[v], ids[x]) on a u–v–x–w path joins the additional-dominator set.
+//
+// It produces exactly the same dominator sets as Algo2Distributed in
+// Deferred mode under any engine and schedule, which the tests verify.
+func Algo2Centralized(g *graph.Graph, ids []int) Result {
+	set := mis.Greedy(g, mis.ByID(ids))
+	conns := ConnectorSelection(g, ids, set)
+	additionalSet := make(map[int]bool, len(conns))
+	for _, pair := range conns {
+		additionalSet[pair[0]] = true
+	}
+	var additional []int
+	for v := range additionalSet {
+		additional = append(additional, v)
+	}
+	return newResult(g, set, additional)
+}
+
+// ConnectorSelection computes Algorithm II's canonical (Deferred-mode)
+// additional-dominator choices for the given MIS: for every dominator pair
+// (u, w) at hop distance exactly three with ids[u] < ids[w], the returned
+// map holds key [2]int{u, w} with value [2]int{v, x} — the connector v
+// (which joins the WCDS) and second intermediate x of the u–v–x–w path with
+// the lexicographically smallest (ids[v], ids[x]). All values are node
+// indices. The mobility-maintenance layer re-runs this after topology
+// changes.
+func ConnectorSelection(g *graph.Graph, ids []int, misSet []int) map[[2]int][2]int {
+	inSet := make([]bool, g.N())
+	for _, v := range misSet {
+		inSet[v] = true
+	}
+	nodeOfID := make(map[int]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		nodeOfID[ids[v]] = v
+	}
+
+	// adjacentDom[v] = IDs of dominators adjacent to v.
+	// twoHop[v] = dominator ID -> min via-ID, mirroring the protocol's
+	// 2HopDomList before the adjacency exclusion.
+	adjacentDom := make([]map[int]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		adjacentDom[v] = make(map[int]bool)
+		for _, w := range g.Neighbors(v) {
+			if inSet[w] {
+				adjacentDom[v][ids[w]] = true
+			}
+		}
+	}
+	twoHop := make([]map[int]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		twoHop[v] = make(map[int]int)
+		for _, x := range g.Neighbors(v) {
+			if inSet[x] {
+				continue // only gray nodes publish 1-HOP reports
+			}
+			for dom := range adjacentDom[x] {
+				if dom == ids[v] {
+					continue
+				}
+				if cur, ok := twoHop[v][dom]; !ok || ids[x] < cur {
+					twoHop[v][dom] = ids[x]
+				}
+			}
+		}
+	}
+
+	out := make(map[[2]int][2]int)
+	for _, u := range misSet {
+		// Candidates come from gray neighbours' published 2-HOP lists,
+		// which exclude dominators the publisher is adjacent to.
+		cand := make(map[int][2]int)
+		for _, v := range g.Neighbors(u) {
+			if inSet[v] {
+				continue // dominator neighbours are impossible; defensive
+			}
+			for dom, via := range twoHop[v] {
+				if adjacentDom[v][dom] {
+					continue // excluded from v's broadcast
+				}
+				if dom == ids[u] || ids[u] >= dom {
+					continue
+				}
+				pair := [2]int{ids[v], via}
+				if cur, ok := cand[dom]; !ok || pair[0] < cur[0] || (pair[0] == cur[0] && pair[1] < cur[1]) {
+					cand[dom] = pair
+				}
+			}
+		}
+		for dom, pair := range cand {
+			if _, reachable := twoHop[u][dom]; reachable {
+				continue // two hops away: no connector needed
+			}
+			out[[2]int{u, nodeOfID[dom]}] = [2]int{nodeOfID[pair[0]], nodeOfID[pair[1]]}
+		}
+	}
+	return out
+}

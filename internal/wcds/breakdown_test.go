@@ -1,0 +1,105 @@
+package wcds
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcdsnet/internal/udg"
+)
+
+func TestAlgo2BreakdownAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		nw, err := udg.GenConnectedAvgDegree(rng, 40+rng.Intn(80), 8, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, b, err := Algo2MessageBreakdown(nw.G, nw.ID, Deferred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grayCount := nw.N() - len(res.MISDominators)
+		// Exactly one colour message per node.
+		if b.MISDominator != len(res.MISDominators) {
+			t.Errorf("trial %d: %d MIS-DOMINATOR msgs for %d dominators",
+				trial, b.MISDominator, len(res.MISDominators))
+		}
+		if b.Gray != grayCount {
+			t.Errorf("trial %d: %d GRAY msgs for %d gray nodes", trial, b.Gray, grayCount)
+		}
+		// Exactly one 1-HOP and one 2-HOP report per gray node.
+		if b.OneHopDoms != grayCount || b.TwoHopDoms != grayCount {
+			t.Errorf("trial %d: reports %d/%d, want %d each",
+				trial, b.OneHopDoms, b.TwoHopDoms, grayCount)
+		}
+		// One SELECTION per three-hop record, one announcement broadcast
+		// per selection, one relay per announcement.
+		if b.AdditionalDom != 2*b.Selection {
+			t.Errorf("trial %d: %d ADDITIONAL-DOMINATOR msgs for %d selections (want 2 per: announce + relay)",
+				trial, b.AdditionalDom, b.Selection)
+		}
+		if b.Selection < len(res.AdditionalDominators) {
+			t.Errorf("trial %d: %d selections cannot yield %d connectors",
+				trial, b.Selection, len(res.AdditionalDominators))
+		}
+		if b.Other != 0 || b.Hello != 0 || b.Black != 0 || b.Election != 0 {
+			t.Errorf("trial %d: unexpected message classes in %+v", trial, b)
+		}
+		sum := b.MISDominator + b.Gray + b.OneHopDoms + b.TwoHopDoms + b.Selection + b.AdditionalDom
+		if sum != b.TotalMessages {
+			t.Errorf("trial %d: classes sum to %d, total %d", trial, sum, b.TotalMessages)
+		}
+	}
+}
+
+func TestAlgo1BreakdownElectionDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw, err := udg.GenConnectedAvgDegree(rng, 150, 9, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, b, err := Algo1MessageBreakdown(nw.G, nw.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One colour message per node in phase 3.
+	if b.Black != len(res.Dominators) {
+		t.Errorf("BLACK msgs %d != dominators %d", b.Black, len(res.Dominators))
+	}
+	if b.Gray != nw.N()-len(res.Dominators) {
+		t.Errorf("GRAY msgs %d != gray nodes %d", b.Gray, nw.N()-len(res.Dominators))
+	}
+	// Level phase: one Level broadcast per node plus n-1 Complete unicasts.
+	if b.LevelComplete != 2*nw.N()-1 {
+		t.Errorf("Level+Complete = %d, want %d", b.LevelComplete, 2*nw.N()-1)
+	}
+	// The election dominates everything else (the Section 4.1 claim).
+	rest := b.TotalMessages - b.Election
+	if b.Election <= rest {
+		t.Errorf("election %d should dominate the remaining %d messages", b.Election, rest)
+	}
+	t.Logf("n=%d: election=%d levels=%d marking=%d", nw.N(), b.Election, b.LevelComplete, b.Black+b.Gray)
+}
+
+func TestZeroKnowledgeBreakdownHasHellos(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw, err := udg.GenConnectedAvgDegree(rng, 60, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Algo2ZeroKnowledgeBreakdown(nw.G, nw.ID, Deferred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Hello != nw.N() {
+		t.Errorf("HELLO msgs = %d, want %d", b.Hello, nw.N())
+	}
+	// Against the pre-wired run, the only delta is the beacons.
+	_, preB, err := Algo2MessageBreakdown(nw.G, nw.ID, Deferred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalMessages != preB.TotalMessages+nw.N() {
+		t.Errorf("total %d, want %d + n", b.TotalMessages, preB.TotalMessages)
+	}
+}

@@ -1,0 +1,223 @@
+// Package wcdsnet is a Go implementation of the weakly-connected dominating
+// set (WCDS) algorithms and position-less sparse spanners of
+//
+//	K. M. Alzoubi, P.-J. Wan, O. Frieder,
+//	"Weakly-Connected Dominating Sets and Sparse Spanners in Wireless Ad
+//	Hoc Networks", ICDCS 2003,
+//
+// together with the full substrate the paper's setting requires: a
+// unit-disk-graph network model, a message-passing simulation kernel
+// (synchronous and asynchronous), distributed leader election and spanning
+// trees, spanner quality metrics, clusterhead routing, backbone broadcast,
+// baseline constructions, exact small-instance solvers, and a mobility
+// maintenance layer.
+//
+// This root package is the stable facade: it re-exports the types a
+// downstream user needs and provides one-call helpers for the common
+// workflows. The implementation lives in internal/ packages documented in
+// DESIGN.md.
+//
+// # Quick start
+//
+//	nw, err := wcdsnet.GenerateNetwork(42, 500, 10) // seed, nodes, avg degree
+//	if err != nil { ... }
+//	res := wcdsnet.AlgorithmII(nw)                  // backbone + spanner
+//	fmt.Println(len(res.Dominators), res.Spanner.M())
+package wcdsnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wcdsnet/internal/cluster"
+	"wcdsnet/internal/discovery"
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/maintain"
+	"wcdsnet/internal/route"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/spanner"
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+// Re-exported core types. See the internal packages for full method
+// documentation.
+type (
+	// Point is a planar location.
+	Point = geom.Point
+	// Graph is an undirected graph over dense node indices.
+	Graph = graph.Graph
+	// Network is a wireless ad hoc network: positions, protocol IDs and
+	// the induced unit-disk graph.
+	Network = udg.Network
+	// Result is a WCDS construction outcome: dominator sets plus the
+	// weakly induced sparse spanner.
+	Result = wcds.Result
+	// Tables is the per-node neighbourhood knowledge accumulated by
+	// distributed Algorithm II, consumed by the Router.
+	Tables = wcds.Tables
+	// SelectionMode picks Algorithm II's connector-selection semantics.
+	SelectionMode = wcds.SelectionMode
+	// RunStats reports a distributed run's message/round cost.
+	RunStats = simnet.Stats
+	// DilationReport aggregates spanner dilation measurements.
+	DilationReport = spanner.Report
+	// Router performs clusterhead unicast over the spanner.
+	Router = route.Router
+	// BroadcastReport summarises a network-wide broadcast.
+	BroadcastReport = route.BroadcastReport
+	// Maintainer repairs the WCDS under mobility and churn.
+	Maintainer = maintain.Maintainer
+	// Partition is a radius-1 clustering around MIS dominators.
+	Partition = cluster.Partition
+	// NeighborTable is one node's HELLO-discovered neighbourhood.
+	NeighborTable = discovery.Table
+)
+
+// Algorithm II selection modes.
+const (
+	// Deferred is the canonical, schedule-independent mode (default).
+	Deferred = wcds.Deferred
+	// Eager follows the paper's event-driven prose literally.
+	Eager = wcds.Eager
+)
+
+// GenerateNetwork samples a connected random network of n unit-radius nodes
+// placed uniformly in a square sized for the target average degree, with
+// protocol IDs drawn as a random permutation.
+func GenerateNetwork(seed int64, n int, avgDegree float64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nw, err := udg.GenConnectedAvgDegree(rng, n, avgDegree, 2000)
+	if err != nil {
+		return nil, fmt.Errorf("wcdsnet: %w", err)
+	}
+	return nw, nil
+}
+
+// NewNetwork wraps explicit positions and unique IDs into a Network with
+// unit radio radius.
+func NewNetwork(pos []Point, ids []int) (*Network, error) {
+	return udg.New(pos, ids, 1)
+}
+
+// AlgorithmI runs the centralized reference of the paper's Algorithm I
+// (leader + spanning tree + level-ranked MIS): a WCDS of size ≤ 5·opt whose
+// black edges form a sparse spanner. The network must be connected.
+func AlgorithmI(nw *Network) Result {
+	return wcds.Algo1Centralized(nw.G, nw.ID)
+}
+
+// AlgorithmII runs the centralized reference of the paper's Algorithm II
+// (ID-ranked MIS + additional dominators): a fully localized WCDS whose
+// spanner has topological dilation 3 and geometric dilation 6.
+func AlgorithmII(nw *Network) Result {
+	return wcds.Algo2Centralized(nw.G, nw.ID)
+}
+
+// AlgorithmIDistributed executes the full three-phase Algorithm I protocol
+// on the simulation kernel and reports its message cost. Set async for the
+// goroutine-per-node asynchronous engine (seeded schedule scrambling);
+// otherwise the deterministic synchronous engine is used and the result
+// equals AlgorithmI exactly.
+func AlgorithmIDistributed(nw *Network, async bool, seed int64) (Result, RunStats, error) {
+	return wcds.Algo1Distributed(nw.G, nw.ID, runner(async, seed))
+}
+
+// AlgorithmIIDistributed executes the Algorithm II protocol on the
+// simulation kernel. In Deferred mode the result equals AlgorithmII exactly
+// under every engine and schedule.
+func AlgorithmIIDistributed(nw *Network, mode SelectionMode, async bool, seed int64) (Result, RunStats, error) {
+	return wcds.Algo2Distributed(nw.G, nw.ID, mode, runner(async, seed))
+}
+
+// AlgorithmIIWithTables is AlgorithmIIDistributed (Deferred, synchronous)
+// returning each node's accumulated routing tables as well.
+func AlgorithmIIWithTables(nw *Network) (Result, []Tables, RunStats, error) {
+	return wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+}
+
+// AlgorithmIIZeroKnowledge runs Algorithm II with in-protocol HELLO
+// neighbour discovery: every node starts knowing only its own ID. The
+// Deferred result still equals AlgorithmII exactly, at one extra beacon per
+// node.
+func AlgorithmIIZeroKnowledge(nw *Network, mode SelectionMode, async bool, seed int64) (Result, RunStats, error) {
+	return wcds.Algo2ZeroKnowledge(nw.G, nw.ID, mode, runner(async, seed))
+}
+
+// AlgorithmIZeroKnowledge is the Algorithm I counterpart: HELLO discovery,
+// then election, levels and colour marking, from own-ID-only knowledge.
+func AlgorithmIZeroKnowledge(nw *Network, async bool, seed int64) (Result, RunStats, error) {
+	return wcds.Algo1ZeroKnowledge(nw.G, nw.ID, runner(async, seed))
+}
+
+func runner(async bool, seed int64) wcds.Runner {
+	if async {
+		return wcds.AsyncRunner(simnet.WithScramble(rand.New(rand.NewSource(seed))))
+	}
+	return wcds.SyncRunner()
+}
+
+// IsWCDS verifies that set is a weakly-connected dominating set of the
+// network's unit-disk graph.
+func IsWCDS(nw *Network, set []int) bool {
+	return wcds.IsWCDS(nw.G, set)
+}
+
+// WeaklyInduced returns the subgraph of the network weakly induced by set:
+// every node plus exactly the edges with at least one endpoint in set (the
+// paper's "black edges").
+func WeaklyInduced(nw *Network, set []int) *Graph {
+	return wcds.WeaklyInduced(nw.G, set)
+}
+
+// MeasureDilation measures the spanner's topological and geometric dilation
+// over sampled node pairs (Theorem 11's bounds are checked pair by pair).
+// pairCount ≤ 0 measures every non-adjacent pair — quadratic, for moderate
+// n only.
+func MeasureDilation(nw *Network, res Result, pairCount int, seed int64) (DilationReport, error) {
+	var pairs [][2]int
+	if pairCount <= 0 {
+		pairs = spanner.AllPairs(nw.G)
+	} else {
+		pairs = spanner.SamplePairs(rand.New(rand.NewSource(seed)), nw.N(), pairCount)
+	}
+	return spanner.Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+}
+
+// NewRouter builds the clusterhead unicast router from a distributed
+// Algorithm II run (see AlgorithmIIWithTables).
+func NewRouter(nw *Network, res Result, tables []Tables) (*Router, error) {
+	return route.NewRouter(nw.G, nw.ID, res, tables)
+}
+
+// BackboneBroadcast floods a message from src with only the backbone's
+// relay set retransmitting and reports the cost; compare with BlindFlood.
+func BackboneBroadcast(nw *Network, res Result, tables []Tables, src int) BroadcastReport {
+	relay := route.RelaySet(nw.G, nw.ID, res, tables)
+	return route.Broadcast(nw.G, relay, src)
+}
+
+// BlindFlood floods a message with every node retransmitting once.
+func BlindFlood(nw *Network, src int) BroadcastReport {
+	return route.BlindFlood(nw.G, src)
+}
+
+// NewMaintainer starts WCDS maintenance over the (connected) network; the
+// network's positions are owned by the maintainer from then on.
+func NewMaintainer(nw *Network) (*Maintainer, error) {
+	return maintain.New(nw)
+}
+
+// ClusterBy partitions the network into radius-1 clusters around the
+// result's MIS dominators (the clustering application of Chen & Liestman
+// the paper cites).
+func ClusterBy(nw *Network, res Result) (Partition, error) {
+	return cluster.ByClusterhead(nw.G, nw.ID, res.MISDominators)
+}
+
+// DiscoverNeighbors runs the HELLO-beacon discovery protocol with knowledge
+// radius k (1 or 2) and returns each node's discovered neighbourhood table.
+func DiscoverNeighbors(nw *Network, k int, async bool) ([]NeighborTable, RunStats, error) {
+	return discovery.Run(nw.G, nw.ID, k, async)
+}

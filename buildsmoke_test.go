@@ -1,0 +1,44 @@
+package wcdsnet
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestAllMainPackagesBuild smoke-builds every main package under cmd/ and
+// examples/ so example programs cannot silently rot: a facade change that
+// breaks an example fails the suite, not a user's first copy-paste.
+func TestAllMainPackagesBuild(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	var pkgs []string
+	for _, root := range []string{"cmd", "examples"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatalf("reading %s: %v", root, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgs = append(pkgs, "./"+filepath.Join(root, e.Name()))
+			}
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no main packages found under cmd/ or examples/")
+	}
+	out := t.TempDir()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "build", "-o", filepath.Join(out, filepath.Base(pkg)), pkg)
+			cmd.Dir = "."
+			if outBytes, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("go build %s failed: %v\n%s", pkg, err, outBytes)
+			}
+		})
+	}
+}

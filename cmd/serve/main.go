@@ -1,0 +1,216 @@
+// Command serve runs the backbone-as-a-service daemon: an HTTP server that
+// computes WCDS backbones, dilation reports and backbone broadcasts on
+// demand, with a bounded worker pool, a content-addressed result cache and
+// Prometheus-style metrics.
+//
+// Usage:
+//
+//	serve [flags]
+//
+//	-addr :8080      listen address
+//	-workers 0       pool goroutines (0 = GOMAXPROCS)
+//	-queue 0         pending-job queue bound (0 = 4 × workers)
+//	-cache 1024      result-cache entries
+//	-timeout 30s     per-request deadline (queue wait + compute)
+//	-maxnodes 20000  largest accepted network
+//	-selfcheck 0     load-test mode: fire N concurrent mixed requests
+//	                 through the real HTTP stack, report, and exit
+//
+// The server drains gracefully on SIGINT/SIGTERM: the listener closes, the
+// pool finishes accepted jobs, then the process exits.
+//
+// Endpoints:
+//
+//	POST /v1/backbone   {"seed":42,"n":500,"avgDegree":10,"algorithm":"II","mode":"sync"}
+//	POST /v1/dilation   {"seed":42,"n":300,"avgDegree":8,"pairs":500}
+//	POST /v1/broadcast  {"seed":42,"n":300,"avgDegree":8,"source":0}
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"wcdsnet/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "pool goroutines (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "pending-job queue bound (0 = 4 × workers)")
+		cacheSize = flag.Int("cache", 1024, "result-cache entries")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxNodes  = flag.Int("maxnodes", 20000, "largest accepted network")
+		selfcheck = flag.Int("selfcheck", 0, "fire N concurrent mixed requests and exit")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxNodes:       *maxNodes,
+	})
+	defer svc.Close()
+
+	if *selfcheck > 0 {
+		return runSelfcheck(svc, *addr, *selfcheck)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("serve: listening on %s\n", *addr)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("serve: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	svc.Close() // drain the pool after the listener stops accepting
+	fmt.Println("serve: drained, bye")
+	return nil
+}
+
+// runSelfcheck starts the real HTTP stack on a loopback port and hammers it
+// with n concurrent mixed requests drawn from a small scenario set, so
+// cache hits, pool backpressure (429 + retry) and latency are all exercised
+// end to end. It fails if any request ends in an error after retries, or if
+// the cache never hit.
+func runSelfcheck(svc *service.Service, addr string, n int) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		// Fall back to the configured address (e.g. sandboxed environments
+		// that only allow specific binds).
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("selfcheck: listen: %w", err)
+		}
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	go func() { _ = server.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serve: selfcheck against %s with %d requests\n", base, n)
+
+	// A small scenario pool: repeats guarantee cache hits, distinct seeds
+	// guarantee misses, and the three endpoints mix compute costs.
+	type reqSpec struct {
+		path string
+		body map[string]any
+	}
+	specs := make([]reqSpec, 0, 12)
+	for seed := 0; seed < 4; seed++ {
+		specs = append(specs,
+			reqSpec{"/v1/backbone", map[string]any{
+				"seed": seed, "n": 120, "avgDegree": 8, "algorithm": "II", "mode": "sync"}},
+			reqSpec{"/v1/dilation", map[string]any{
+				"seed": seed, "n": 100, "avgDegree": 8, "pairs": 100}},
+			reqSpec{"/v1/broadcast", map[string]any{
+				"seed": seed, "n": 100, "avgDegree": 8, "source": 0}},
+		)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var (
+		wg        sync.WaitGroup
+		failures  atomic.Int64
+		retries   atomic.Int64
+		completed atomic.Int64
+	)
+	sem := make(chan struct{}, 64) // client-side concurrency, beyond pool+queue
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		spec := specs[i%len(specs)]
+		wg.Add(1)
+		go func(spec reqSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			body, _ := json.Marshal(spec.body)
+			for attempt := 0; ; attempt++ {
+				resp, err := client.Post(base+spec.path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "selfcheck: %s: %v\n", spec.path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					completed.Add(1)
+					return
+				case resp.StatusCode == http.StatusTooManyRequests && attempt < 50:
+					// Backpressure working as designed: honour Retry-After.
+					retries.Add(1)
+					time.Sleep(25 * time.Millisecond)
+				default:
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "selfcheck: %s: status %d\n", spec.path, resp.StatusCode)
+					return
+				}
+			}
+		}(spec)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hits, misses, evictions := svc.CacheStats()
+	executed, rejected, expired := svc.PoolStats()
+	fmt.Printf("selfcheck: %d/%d ok in %v (%.0f req/s), %d failures, %d client retries\n",
+		completed.Load(), n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds(), failures.Load(), retries.Load())
+	fmt.Printf("selfcheck: cache hits=%d misses=%d evictions=%d | pool executed=%d rejected=%d expired=%d\n",
+		hits, misses, evictions, executed, rejected, expired)
+
+	if failures.Load() > 0 {
+		return fmt.Errorf("selfcheck: %d requests failed", failures.Load())
+	}
+	if completed.Load() != int64(n) {
+		return fmt.Errorf("selfcheck: only %d/%d completed", completed.Load(), n)
+	}
+	if hits == 0 {
+		return fmt.Errorf("selfcheck: cache never hit across %d requests", n)
+	}
+	fmt.Println("selfcheck: PASS")
+	return nil
+}

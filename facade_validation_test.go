@@ -1,0 +1,83 @@
+package wcdsnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateNetworkValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		avgDegree float64
+		wantErr   string // substring of the error, "" for success
+	}{
+		{"valid", 50, 6, ""},
+		{"zero n", 0, 6, "must be positive"},
+		{"negative n", -3, 6, "must be positive"},
+		{"zero degree", 50, 0, "must be positive and finite"},
+		{"negative degree", 50, -2, "must be positive and finite"},
+		{"nan degree", 50, math.NaN(), "must be positive and finite"},
+		{"inf degree", 50, math.Inf(1), "must be positive and finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := GenerateNetwork(1, tc.n, tc.avgDegree)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if nw.N() != tc.n {
+					t.Fatalf("generated %d nodes, want %d", nw.N(), tc.n)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("no error for n=%d avgDegree=%v", tc.n, tc.avgDegree)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "wcdsnet:") {
+				t.Errorf("error %q not prefixed with the package name", err)
+			}
+		})
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		pos     []Point
+		ids     []int
+		wantErr string
+	}{
+		{"valid pair", []Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}, []int{2, 1}, ""},
+		{"empty", nil, nil, "no positions"},
+		{"length mismatch", []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, []int{1}, "2 positions"},
+		{"duplicate ids", []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, []int{7, 7}, "duplicate"},
+		{"nan position", []Point{{X: math.NaN(), Y: 0}, {X: 1, Y: 0}}, []int{0, 1}, "not finite"},
+		{"inf position", []Point{{X: 0, Y: 0}, {X: 0, Y: math.Inf(-1)}}, []int{0, 1}, "not finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := NewNetwork(tc.pos, tc.ids)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if nw.N() != len(tc.pos) {
+					t.Fatalf("network has %d nodes, want %d", nw.N(), len(tc.pos))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,526 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"wcdsnet/internal/route"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/spanner"
+	"wcdsnet/internal/wcds"
+)
+
+// Endpoint names (also the latency-histogram keys).
+const (
+	endpointBackbone  = "backbone"
+	endpointDilation  = "dilation"
+	endpointBroadcast = "broadcast"
+)
+
+// maxBodyBytes bounds request bodies; an explicit 20k-node topology with
+// full float precision fits comfortably.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/backbone   compute a WCDS backbone (Algorithm I or II)
+//	POST /v1/dilation   measure spanner dilation over sampled pairs
+//	POST /v1/broadcast  backbone broadcast vs. blind flood
+//	GET  /healthz       liveness + pool snapshot
+//	GET  /metrics       Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/backbone", s.handleBackbone)
+	mux.HandleFunc("POST /v1/dilation", s.handleDilation)
+	mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// --- backbone --------------------------------------------------------------
+
+// BackboneRequest asks for a WCDS construction over the given network.
+type BackboneRequest struct {
+	NetworkSpec
+	// Algorithm is "I" or "II" (default "II").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Mode is "centralized" (default), "sync" or "async".
+	Mode string `json:"mode,omitempty"`
+	// Selection is Algorithm II's connector-selection mode: "deferred"
+	// (default, schedule-independent) or "eager".
+	Selection string `json:"selection,omitempty"`
+	// ScheduleSeed scrambles the async engine's schedule (mode "async").
+	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
+}
+
+// BackboneResponse reports the construction. Node-valued fields use dense
+// graph indices 0..n-1 (the same indexing an explicit positions array uses).
+type BackboneResponse struct {
+	N                    int     `json:"n"`
+	Edges                int     `json:"edges"`
+	AvgDegree            float64 `json:"avgDegree"`
+	Algorithm            string  `json:"algorithm"`
+	Mode                 string  `json:"mode"`
+	Dominators           []int   `json:"dominators"`
+	MISDominators        []int   `json:"misDominators,omitempty"`
+	AdditionalDominators []int   `json:"additionalDominators,omitempty"`
+	SpannerEdges         int     `json:"spannerEdges"`
+	IsWCDS               bool    `json:"isWCDS"`
+	Messages             int     `json:"messages,omitempty"`
+	Rounds               int     `json:"rounds,omitempty"`
+	Cached               bool    `json:"cached"`
+}
+
+func (req *BackboneRequest) normalize() error {
+	switch req.Algorithm {
+	case "", "II", "ii", "2":
+		req.Algorithm = "II"
+	case "I", "i", "1":
+		req.Algorithm = "I"
+	default:
+		return badRequestf("unknown algorithm %q (want I or II)", req.Algorithm)
+	}
+	switch strings.ToLower(req.Mode) {
+	case "", "centralized":
+		req.Mode = "centralized"
+	case "sync":
+		req.Mode = "sync"
+	case "async":
+		req.Mode = "async"
+	default:
+		return badRequestf("unknown mode %q (want centralized, sync or async)", req.Mode)
+	}
+	switch strings.ToLower(req.Selection) {
+	case "", "deferred":
+		req.Selection = "deferred"
+	case "eager":
+		req.Selection = "eager"
+	default:
+		return badRequestf("unknown selection %q (want deferred or eager)", req.Selection)
+	}
+	return nil
+}
+
+func (req *BackboneRequest) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "backbone|algo=%s|mode=%s|sel=%s|sched=%d|", req.Algorithm, req.Mode, req.Selection, req.ScheduleSeed)
+	req.NetworkSpec.canonical(&b)
+	return hashKey(b.String())
+}
+
+func (s *Service) handleBackbone(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req BackboneRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.replyError(w, endpointBackbone, time.Now(), err)
+		return
+	}
+	start := time.Now()
+	if err := req.normalize(); err != nil {
+		s.replyError(w, endpointBackbone, start, err)
+		return
+	}
+	if err := req.NetworkSpec.validate(s.opts.MaxNodes); err != nil {
+		s.replyError(w, endpointBackbone, start, err)
+		return
+	}
+	s.serve(w, r, endpointBackbone, start, req.cacheKey(),
+		func(context.Context) (any, error) { return computeBackbone(&req) },
+		func(v any) any { resp := *(v.(*BackboneResponse)); return &resp })
+}
+
+func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
+	nw, err := req.NetworkSpec.build()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		res   wcds.Result
+		stats runStats
+	)
+	runner, err := runnerFor(req.Mode, req.ScheduleSeed)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case req.Algorithm == "I" && runner == nil:
+		res = wcds.Algo1Centralized(nw.G, nw.ID)
+	case req.Algorithm == "I":
+		var st simnetStats
+		res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
+		stats = runStats{Messages: st.Messages, Rounds: st.Rounds}
+	case runner == nil:
+		res = wcds.Algo2Centralized(nw.G, nw.ID)
+	default:
+		var st simnetStats
+		res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, selectionFor(req.Selection), runner)
+		stats = runStats{Messages: st.Messages, Rounds: st.Rounds}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: distributed run failed: %w", err)
+	}
+	return &BackboneResponse{
+		N:                    nw.N(),
+		Edges:                nw.G.M(),
+		AvgDegree:            nw.G.AvgDegree(),
+		Algorithm:            req.Algorithm,
+		Mode:                 req.Mode,
+		Dominators:           res.Dominators,
+		MISDominators:        res.MISDominators,
+		AdditionalDominators: res.AdditionalDominators,
+		SpannerEdges:         spannerEdges(res.Spanner),
+		IsWCDS:               wcds.IsWCDS(nw.G, res.Dominators),
+		Messages:             stats.Messages,
+		Rounds:               stats.Rounds,
+	}, nil
+}
+
+type runStats struct{ Messages, Rounds int }
+
+type simnetStats = simnet.Stats
+
+// runnerFor maps a mode to a protocol runner; nil means centralized.
+func runnerFor(mode string, scheduleSeed int64) (wcds.Runner, error) {
+	switch mode {
+	case "centralized":
+		return nil, nil
+	case "sync":
+		return wcds.SyncRunner(), nil
+	case "async":
+		return wcds.AsyncRunner(simnet.WithScramble(rand.New(rand.NewSource(scheduleSeed)))), nil
+	default:
+		return nil, badRequestf("unknown mode %q", mode)
+	}
+}
+
+func selectionFor(sel string) wcds.SelectionMode {
+	if sel == "eager" {
+		return wcds.Eager
+	}
+	return wcds.Deferred
+}
+
+// --- dilation --------------------------------------------------------------
+
+// DilationRequest measures the quality of the Algorithm II spanner over the
+// given network.
+type DilationRequest struct {
+	NetworkSpec
+	// Algorithm is "I" or "II" (default "II").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Pairs is the number of sampled node pairs; <= 0 measures every
+	// non-adjacent pair (quadratic — capped by the service's MaxNodes).
+	Pairs int `json:"pairs,omitempty"`
+	// SampleSeed seeds pair sampling (ignored when Pairs <= 0).
+	SampleSeed int64 `json:"sampleSeed,omitempty"`
+}
+
+// DilationResponse flattens spanner.Report plus network context.
+type DilationResponse struct {
+	N              int     `json:"n"`
+	Edges          int     `json:"edges"`
+	SpannerEdges   int     `json:"spannerEdges"`
+	Algorithm      string  `json:"algorithm"`
+	Pairs          int     `json:"pairs"`
+	WorstTopoRatio float64 `json:"worstTopoRatio"`
+	WorstGeoRatio  float64 `json:"worstGeoRatio"`
+	AvgTopoRatio   float64 `json:"avgTopoRatio"`
+	AvgGeoRatio    float64 `json:"avgGeoRatio"`
+	TopoBoundHolds bool    `json:"topoBoundHolds"`
+	GeoBoundHolds  bool    `json:"geoBoundHolds"`
+	Cached         bool    `json:"cached"`
+}
+
+func (req *DilationRequest) normalize() error {
+	switch req.Algorithm {
+	case "", "II", "ii", "2":
+		req.Algorithm = "II"
+	case "I", "i", "1":
+		req.Algorithm = "I"
+	default:
+		return badRequestf("unknown algorithm %q (want I or II)", req.Algorithm)
+	}
+	return nil
+}
+
+func (req *DilationRequest) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dilation|algo=%s|pairs=%d|pseed=%d|", req.Algorithm, req.Pairs, req.SampleSeed)
+	req.NetworkSpec.canonical(&b)
+	return hashKey(b.String())
+}
+
+func (s *Service) handleDilation(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req DilationRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.replyError(w, endpointDilation, time.Now(), err)
+		return
+	}
+	start := time.Now()
+	if err := req.normalize(); err != nil {
+		s.replyError(w, endpointDilation, start, err)
+		return
+	}
+	if err := req.NetworkSpec.validate(s.opts.MaxNodes); err != nil {
+		s.replyError(w, endpointDilation, start, err)
+		return
+	}
+	s.serve(w, r, endpointDilation, start, req.cacheKey(),
+		func(context.Context) (any, error) { return computeDilation(&req) },
+		func(v any) any { resp := *(v.(*DilationResponse)); return &resp })
+}
+
+func computeDilation(req *DilationRequest) (*DilationResponse, error) {
+	nw, err := req.NetworkSpec.build()
+	if err != nil {
+		return nil, err
+	}
+	var res wcds.Result
+	if req.Algorithm == "I" {
+		res = wcds.Algo1Centralized(nw.G, nw.ID)
+	} else {
+		res = wcds.Algo2Centralized(nw.G, nw.ID)
+	}
+	var pairs [][2]int
+	if req.Pairs <= 0 {
+		pairs = spanner.AllPairs(nw.G)
+	} else {
+		pairs = spanner.SamplePairs(rand.New(rand.NewSource(req.SampleSeed)), nw.N(), req.Pairs)
+	}
+	report, err := spanner.Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+	if err != nil {
+		return nil, fmt.Errorf("service: dilation failed: %w", err)
+	}
+	worstTopo, worstGeo := 0.0, 0.0
+	if report.WorstTopo.HopsG > 0 {
+		worstTopo = float64(report.WorstTopo.HopsSpanner) / float64(report.WorstTopo.HopsG)
+	}
+	if report.WorstGeo.LenG > 0 {
+		worstGeo = report.WorstGeo.LenSpanner / report.WorstGeo.LenG
+	}
+	return &DilationResponse{
+		N:              nw.N(),
+		Edges:          nw.G.M(),
+		SpannerEdges:   spannerEdges(res.Spanner),
+		Algorithm:      req.Algorithm,
+		Pairs:          report.Pairs,
+		WorstTopoRatio: worstTopo,
+		WorstGeoRatio:  worstGeo,
+		AvgTopoRatio:   report.AvgTopoRatio,
+		AvgGeoRatio:    report.AvgGeoRatio,
+		TopoBoundHolds: report.TopoBoundHolds,
+		GeoBoundHolds:  report.GeoBoundHolds,
+	}, nil
+}
+
+// --- broadcast -------------------------------------------------------------
+
+// BroadcastRequest floods a message from Source over the Algorithm II
+// backbone relay set and over a blind flood for comparison.
+type BroadcastRequest struct {
+	NetworkSpec
+	// Source is the originating node index (default 0).
+	Source int `json:"source,omitempty"`
+}
+
+// BroadcastResponse compares backbone broadcast against blind flooding.
+type BroadcastResponse struct {
+	N                     int     `json:"n"`
+	Edges                 int     `json:"edges"`
+	Source                int     `json:"source"`
+	RelaySetSize          int     `json:"relaySetSize"`
+	BackboneTransmissions int     `json:"backboneTransmissions"`
+	BackboneReceptions    int     `json:"backboneReceptions"`
+	BackboneCovered       bool    `json:"backboneCovered"`
+	FloodTransmissions    int     `json:"floodTransmissions"`
+	FloodReceptions       int     `json:"floodReceptions"`
+	TransmissionSaving    float64 `json:"transmissionSaving"`
+	Cached                bool    `json:"cached"`
+}
+
+func (req *BroadcastRequest) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "broadcast|src=%d|", req.Source)
+	req.NetworkSpec.canonical(&b)
+	return hashKey(b.String())
+}
+
+func (s *Service) handleBroadcast(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req BroadcastRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.replyError(w, endpointBroadcast, time.Now(), err)
+		return
+	}
+	start := time.Now()
+	if err := req.NetworkSpec.validate(s.opts.MaxNodes); err != nil {
+		s.replyError(w, endpointBroadcast, start, err)
+		return
+	}
+	if req.Source < 0 {
+		s.replyError(w, endpointBroadcast, start, badRequestf("source %d must be non-negative", req.Source))
+		return
+	}
+	s.serve(w, r, endpointBroadcast, start, req.cacheKey(),
+		func(context.Context) (any, error) { return computeBroadcast(&req) },
+		func(v any) any { resp := *(v.(*BroadcastResponse)); return &resp })
+}
+
+func computeBroadcast(req *BroadcastRequest) (*BroadcastResponse, error) {
+	nw, err := req.NetworkSpec.build()
+	if err != nil {
+		return nil, err
+	}
+	if req.Source >= nw.N() {
+		return nil, badRequestf("source %d out of range for %d nodes", req.Source, nw.N())
+	}
+	res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+	if err != nil {
+		return nil, fmt.Errorf("service: backbone construction failed: %w", err)
+	}
+	relay := route.RelaySet(nw.G, nw.ID, res, tables)
+	backbone := route.Broadcast(nw.G, relay, req.Source)
+	flood := route.BlindFlood(nw.G, req.Source)
+	saving := 0.0
+	if flood.Transmissions > 0 {
+		saving = 1 - float64(backbone.Transmissions)/float64(flood.Transmissions)
+	}
+	return &BroadcastResponse{
+		N:                     nw.N(),
+		Edges:                 nw.G.M(),
+		Source:                req.Source,
+		RelaySetSize:          backbone.RelaySetSize,
+		BackboneTransmissions: backbone.Transmissions,
+		BackboneReceptions:    backbone.Receptions,
+		BackboneCovered:       backbone.Covered,
+		FloodTransmissions:    flood.Transmissions,
+		FloodReceptions:       flood.Receptions,
+		TransmissionSaving:    saving,
+		Cached:                false,
+	}, nil
+}
+
+// --- health and metrics ----------------------------------------------------
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, _ := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"workers":       s.opts.Workers,
+		"queueDepth":    s.pool.QueueDepth(),
+		"inFlight":      s.pool.InFlight(),
+		"cacheEntries":  s.cache.Len(),
+		"cacheHits":     hits,
+		"cacheMisses":   misses,
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// --- shared plumbing -------------------------------------------------------
+
+// serve is the common compute path: cache lookup, pool submission with the
+// per-request deadline, backpressure and error mapping, metrics. copyResp
+// must return a shallow copy of a cached value so the Cached flag can be
+// set per response without mutating the cache.
+func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time,
+	key string, fn func(context.Context) (any, error), copyResp func(any) any) {
+	if v, ok := s.cache.Get(key); ok {
+		s.cacheHit.Inc()
+		resp := copyResp(v)
+		setCached(resp)
+		s.observe(endpoint, start)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	v, err := s.pool.Submit(ctx, fn)
+	if err != nil {
+		s.replySubmitError(w, endpoint, start, err)
+		return
+	}
+	s.cache.Put(key, v)
+	s.observe(endpoint, start)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// setCached flips the Cached field of any response type.
+func setCached(resp any) {
+	switch t := resp.(type) {
+	case *BackboneResponse:
+		t.Cached = true
+	case *DilationResponse:
+		t.Cached = true
+	case *BroadcastResponse:
+		t.Cached = true
+	}
+}
+
+func (s *Service) observe(endpoint string, start time.Time) {
+	if h, ok := s.latency[endpoint]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// replySubmitError maps pool/compute errors onto HTTP statuses:
+// queue full → 429 + Retry-After, deadline → 504, client gone → 499-ish
+// (handled as 503), bad input discovered during compute → 400, rest → 500.
+func (s *Service) replySubmitError(w http.ResponseWriter, endpoint string, start time.Time, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "job queue full, retry later"})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		s.errors.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "request deadline exceeded"})
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrPoolClosed):
+		s.errors.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	default:
+		s.replyError(w, endpoint, start, err)
+		return
+	}
+	s.observe(endpoint, start)
+}
+
+// replyError answers validation (400) and internal (500) failures.
+func (s *Service) replyError(w http.ResponseWriter, endpoint string, start time.Time, err error) {
+	s.errors.Inc()
+	status := http.StatusInternalServerError
+	var bad errBadRequest
+	if errors.As(err, &bad) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.observe(endpoint, start)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("invalid request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

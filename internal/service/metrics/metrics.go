@@ -1,0 +1,223 @@
+// Package metrics is the observability layer of the backbone service: a
+// tiny, dependency-free registry of atomic counters, callback gauges and
+// lock-protected latency histograms, rendered in the Prometheus text
+// exposition format.
+//
+// It is deliberately much smaller than a real client library: counters are
+// single atomics, histograms keep a bounded reservoir of recent samples and
+// report interpolated p50/p95/p99 quantiles (reusing internal/stats), and
+// the registry renders everything with one lock-free pass over counters
+// plus one short critical section per histogram. That is all a single-tenant
+// compute service needs, and it keeps the module stdlib-only.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wcdsnet/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (delta must be non-negative to keep Prometheus semantics;
+// negative deltas are ignored).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// reservoirCap bounds a histogram's memory: once full, new observations
+// overwrite the oldest ones ring-buffer style, so quantiles track the most
+// recent window while count/sum stay exact over the full lifetime.
+const reservoirCap = 4096
+
+// Histogram records float64 observations (typically seconds of latency)
+// and reports interpolated quantiles over a bounded window of the most
+// recent observations, plus exact lifetime count and sum.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int // ring-buffer write position once len == reservoirCap
+	count   int64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, v)
+		return
+	}
+	h.samples[h.next] = v
+	h.next = (h.next + 1) % reservoirCap
+}
+
+// snapshot returns (count, sum, quantiles p50/p95/p99) consistently.
+func (h *Histogram) snapshot() (count int64, sum float64, q [3]float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	count, sum = h.count, h.sum
+	if len(h.samples) == 0 {
+		return count, sum, q
+	}
+	q[0] = stats.Quantile(h.samples, 0.50)
+	q[1] = stats.Quantile(h.samples, 0.95)
+	q[2] = stats.Quantile(h.samples, 0.99)
+	return count, sum, q
+}
+
+// Count returns the lifetime number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the interpolated q-quantile over the current window.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return stats.Quantile(h.samples, q)
+}
+
+// Registry names and renders a set of metrics. All methods are safe for
+// concurrent use; Counter/Histogram/GaugeFunc return an existing metric when
+// the name is already registered (help text of the first registration wins).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+	gauges     map[string]func() float64
+	help       map[string]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+		gauges:     make(map[string]func() float64),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.setHelp(name, help)
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. It renders as a Prometheus summary with p50/p95/p99 quantiles.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.histograms[name] = h
+	r.setHelp(name, help)
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is read by calling f at render
+// time (e.g. current queue depth). Re-registering a name replaces f.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = f
+	r.setHelp(name, help)
+}
+
+func (r *Registry) setHelp(name, help string) {
+	if _, ok := r.help[name]; !ok {
+		r.help[name] = help
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so output is
+// stable for tests and for scrapers that diff.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.histograms)+len(r.gauges))
+	counters := make(map[string]*Counter, len(r.counters))
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	gauges := make(map[string]func() float64, len(r.gauges))
+	help := make(map[string]string, len(r.help))
+	for n, c := range r.counters {
+		names = append(names, n)
+		counters[n] = c
+	}
+	for n, h := range r.histograms {
+		names = append(names, n)
+		histograms[n] = h
+	}
+	for n, f := range r.gauges {
+		names = append(names, n)
+		gauges[n] = f
+	}
+	for n, h := range r.help {
+		help[n] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	for _, n := range names {
+		if h := help[n]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+				return err
+			}
+		}
+		switch {
+		case counters[n] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n].Value()); err != nil {
+				return err
+			}
+		case histograms[n] != nil:
+			count, sum, q := histograms[n].snapshot()
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+				return err
+			}
+			for i, quant := range []string{"0.5", "0.95", "0.99"} {
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, quant, q[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, sum, n, count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n]()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count() = %d, want 100", got)
+	}
+	if p50 := h.Quantile(0.50); math.Abs(p50-50.5) > 0.5 {
+		t.Errorf("p50 = %v, want ≈50.5", p50)
+	}
+	if p99 := h.Quantile(0.99); math.Abs(p99-99.01) > 0.5 {
+		t.Errorf("p99 = %v, want ≈99", p99)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 3*reservoirCap; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != int64(3*reservoirCap) {
+		t.Fatalf("lifetime Count() = %d, want %d", got, 3*reservoirCap)
+	}
+	if len(h.samples) != reservoirCap {
+		t.Fatalf("reservoir grew to %d, cap is %d", len(h.samples), reservoirCap)
+	}
+	// The window holds only recent samples: the minimum must be from the
+	// last two reservoirs' worth, not 0.
+	if min := h.Quantile(0); min < float64(reservoirCap) {
+		t.Errorf("window minimum %v includes ancient samples", min)
+	}
+}
+
+func TestRegistryPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests handled.")
+	c.Add(7)
+	h := r.Histogram("latency_seconds", "Request latency.")
+	h.Observe(0.5)
+	h.Observe(1.5)
+	r.GaugeFunc("queue_depth", "Waiting jobs.", func() float64 { return 3 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Requests handled.",
+		"# TYPE requests_total counter",
+		"requests_total 7",
+		"# TYPE latency_seconds summary",
+		`latency_seconds{quantile="0.5"} 1`,
+		"latency_seconds_sum 2",
+		"latency_seconds_count 2",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Stable ordering: latency < queue < requests alphabetically.
+	if !(strings.Index(out, "latency_seconds") < strings.Index(out, "queue_depth") &&
+		strings.Index(out, "queue_depth") < strings.Index(out, "requests_total")) {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestRegistryReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "first")
+	b := r.Counter("x", "second")
+	if a != b {
+		t.Fatal("re-registering a counter created a second instance")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counter instances diverged")
+	}
+}

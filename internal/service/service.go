@@ -1,0 +1,277 @@
+// Package service is the backbone-as-a-service layer: a long-running HTTP
+// daemon that computes WCDS backbones, spanner dilation reports and
+// backbone broadcasts on demand.
+//
+// Topology-control backbones are exactly the kind of computation a fleet
+// of clients asks for repeatedly over near-identical scenarios, so the
+// service is built as four cooperating layers:
+//
+//   - handlers (handlers.go): JSON endpoints POST /v1/backbone,
+//     /v1/dilation, /v1/broadcast plus GET /healthz and /metrics;
+//   - a bounded worker pool (pool.go) with a bounded queue, per-request
+//     context timeouts and explicit backpressure — overload answers 429 +
+//     Retry-After instead of admitting unbounded work;
+//   - a content-addressed LRU result cache (cache.go) keyed by a canonical
+//     hash of (scenario or explicit topology, algorithm, mode), so repeated
+//     scenarios are served in microseconds;
+//   - a metrics registry (internal/service/metrics) of atomic counters and
+//     latency histograms rendered in Prometheus text format.
+//
+// The package depends only on internal packages (never on the wcdsnet
+// facade — the facade re-exports this package) and on the standard library.
+package service
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/service/metrics"
+	"wcdsnet/internal/udg"
+)
+
+// Options configures a Service. The zero value is usable: every field has
+// a sensible default applied by New.
+type Options struct {
+	// Workers is the number of pool goroutines (default: GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the pending-job queue (default: 4 × Workers).
+	// Submits beyond Workers+QueueSize in flight are answered 429.
+	QueueSize int
+	// CacheSize bounds the LRU result cache in entries (default: 1024).
+	// Zero means default; negative disables caching.
+	CacheSize int
+	// RequestTimeout bounds queue wait + compute per request (default: 30s).
+	RequestTimeout time.Duration
+	// MaxNodes rejects generate/submit requests above this node count with
+	// 400 before any allocation (default: 20000).
+	MaxNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize == 0 {
+		o.QueueSize = 4 * o.Workers
+	}
+	if o.QueueSize < 0 {
+		o.QueueSize = 0
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 20000
+	}
+	return o
+}
+
+// Service owns the pool, cache and metrics of one backbone daemon. Create
+// with New, expose via Handler, stop with Close.
+type Service struct {
+	opts  Options
+	pool  *Pool
+	cache *Cache
+	reg   *metrics.Registry
+	start time.Time
+
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	rejected *metrics.Counter
+	timeouts *metrics.Counter
+	cacheHit *metrics.Counter
+	latency  map[string]*metrics.Histogram
+}
+
+// New builds a Service with opts (zero value = defaults) and starts its
+// worker pool.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:  opts,
+		pool:  NewPool(opts.Workers, opts.QueueSize),
+		cache: NewCache(opts.CacheSize),
+		reg:   metrics.NewRegistry(),
+		start: time.Now(),
+	}
+	s.requests = s.reg.Counter("wcds_service_requests_total", "Compute requests received across all endpoints.")
+	s.errors = s.reg.Counter("wcds_service_errors_total", "Requests answered with a 4xx/5xx status (excluding 429).")
+	s.rejected = s.reg.Counter("wcds_service_rejected_total", "Requests shed with 429 because the job queue was full.")
+	s.timeouts = s.reg.Counter("wcds_service_timeouts_total", "Requests that hit the per-request deadline.")
+	s.cacheHit = s.reg.Counter("wcds_service_cache_hits_total", "Requests served from the result cache.")
+	s.latency = map[string]*metrics.Histogram{
+		endpointBackbone:  s.reg.Histogram("wcds_service_backbone_latency_seconds", "End-to-end latency of POST /v1/backbone."),
+		endpointDilation:  s.reg.Histogram("wcds_service_dilation_latency_seconds", "End-to-end latency of POST /v1/dilation."),
+		endpointBroadcast: s.reg.Histogram("wcds_service_broadcast_latency_seconds", "End-to-end latency of POST /v1/broadcast."),
+	}
+	s.reg.GaugeFunc("wcds_service_queue_depth", "Jobs waiting in the pool queue.",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	s.reg.GaugeFunc("wcds_service_in_flight", "Jobs executing right now.",
+		func() float64 { return float64(s.pool.InFlight()) })
+	s.reg.GaugeFunc("wcds_service_cache_entries", "Entries currently resident in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	s.reg.GaugeFunc("wcds_service_cache_misses_total", "Result cache misses.",
+		func() float64 { _, m, _ := s.cache.Stats(); return float64(m) })
+	s.reg.GaugeFunc("wcds_service_cache_evictions_total", "Result cache evictions.",
+		func() float64 { _, _, e := s.cache.Stats(); return float64(e) })
+	s.reg.GaugeFunc("wcds_service_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s
+}
+
+// Close drains the worker pool: accepted jobs finish, new Submits fail.
+func (s *Service) Close() { s.pool.Close() }
+
+// CacheStats exposes the result cache counters (used by -selfcheck).
+func (s *Service) CacheStats() (hits, misses, evictions int64) { return s.cache.Stats() }
+
+// PoolStats exposes the pool counters (used by -selfcheck).
+func (s *Service) PoolStats() (executed, rejected, expired int64) {
+	return s.pool.Executed(), s.pool.Rejected(), s.pool.Expired()
+}
+
+// --- request model ---------------------------------------------------------
+
+// NetworkSpec describes the network a request operates on: either a
+// generated scenario (Seed/N/AvgDegree) or an explicit topology
+// (Positions + optional IDs + optional Radius). Exactly one of the two
+// forms must be used.
+type NetworkSpec struct {
+	// Scenario generation (mirrors wcdsnet.GenerateNetwork).
+	Seed      int64   `json:"seed,omitempty"`
+	N         int     `json:"n,omitempty"`
+	AvgDegree float64 `json:"avgDegree,omitempty"`
+
+	// Explicit topology (mirrors wcdsnet.NewNetwork). IDs defaults to
+	// 0..len(positions)-1 and Radius to 1.
+	Positions [][2]float64 `json:"positions,omitempty"`
+	IDs       []int        `json:"ids,omitempty"`
+	Radius    float64      `json:"radius,omitempty"`
+}
+
+// errBadRequest marks validation failures the handler maps to HTTP 400.
+type errBadRequest struct{ msg string }
+
+func (e errBadRequest) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return errBadRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// validate checks the spec against the service limits and reports which
+// form it uses.
+func (sp *NetworkSpec) validate(maxNodes int) error {
+	explicit := len(sp.Positions) > 0 || len(sp.IDs) > 0
+	generated := sp.N != 0 || sp.AvgDegree != 0 || sp.Seed != 0
+	switch {
+	case explicit && (sp.N != 0 || sp.AvgDegree != 0):
+		return badRequestf("give either positions or n/avgDegree, not both")
+	case explicit:
+		if len(sp.Positions) == 0 {
+			return badRequestf("ids given without positions")
+		}
+		if len(sp.Positions) > maxNodes {
+			return badRequestf("%d positions exceed the service limit of %d nodes", len(sp.Positions), maxNodes)
+		}
+		if len(sp.IDs) > 0 && len(sp.IDs) != len(sp.Positions) {
+			return badRequestf("%d ids for %d positions", len(sp.IDs), len(sp.Positions))
+		}
+		if sp.Radius < 0 || math.IsNaN(sp.Radius) || math.IsInf(sp.Radius, 0) {
+			return badRequestf("radius %v must be positive", sp.Radius)
+		}
+		for i, p := range sp.Positions {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				return badRequestf("position %d is not finite", i)
+			}
+		}
+		return nil
+	case generated:
+		if sp.N <= 0 {
+			return badRequestf("node count n=%d must be positive", sp.N)
+		}
+		if sp.N > maxNodes {
+			return badRequestf("n=%d exceeds the service limit of %d nodes", sp.N, maxNodes)
+		}
+		if !(sp.AvgDegree > 0) || math.IsInf(sp.AvgDegree, 0) { // catches NaN and non-positive
+			return badRequestf("avgDegree %v must be positive and finite", sp.AvgDegree)
+		}
+		return nil
+	default:
+		return badRequestf("empty network spec: give n/avgDegree or positions")
+	}
+}
+
+// build materialises the network. Validation must already have passed.
+func (sp *NetworkSpec) build() (*udg.Network, error) {
+	if len(sp.Positions) > 0 {
+		pos := make([]geom.Point, len(sp.Positions))
+		for i, p := range sp.Positions {
+			pos[i] = geom.Point{X: p[0], Y: p[1]}
+		}
+		ids := sp.IDs
+		if len(ids) == 0 {
+			ids = make([]int, len(pos))
+			for i := range ids {
+				ids[i] = i
+			}
+		}
+		radius := sp.Radius
+		if radius == 0 {
+			radius = 1
+		}
+		nw, err := udg.New(pos, ids, radius)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		return nw, nil
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	nw, err := udg.GenConnectedAvgDegree(rng, sp.N, sp.AvgDegree, 2000)
+	if err != nil {
+		// The parameters parsed but no connected instance exists for them
+		// (e.g. avgDegree ≈ n): the client's input is at fault, not us.
+		return nil, badRequestf("scenario not realisable: %v", err)
+	}
+	return nw, nil
+}
+
+// canonical renders the spec as a deterministic string fragment for cache
+// keys. Two specs describing the same computation render identically.
+func (sp *NetworkSpec) canonical(b *strings.Builder) {
+	if len(sp.Positions) > 0 {
+		b.WriteString("explicit:r=")
+		radius := sp.Radius
+		if radius == 0 {
+			radius = 1
+		}
+		fmt.Fprintf(b, "%g;", radius)
+		for i, p := range sp.Positions {
+			fmt.Fprintf(b, "%g,%g", p[0], p[1])
+			if len(sp.IDs) > 0 {
+				fmt.Fprintf(b, "#%d", sp.IDs[i])
+			} else {
+				fmt.Fprintf(b, "#%d", i)
+			}
+			b.WriteByte(';')
+		}
+		return
+	}
+	fmt.Fprintf(b, "gen:seed=%d,n=%d,deg=%g", sp.Seed, sp.N, sp.AvgDegree)
+}
+
+// spannerOf is a small helper for response assembly.
+func spannerEdges(g *graph.Graph) int {
+	if g == nil {
+		return 0
+	}
+	return g.M()
+}

@@ -59,6 +59,23 @@ func SummarizeInts(xs []int) Summary {
 	return Summarize(fs)
 }
 
+// Quantile returns the interpolated q-quantile of xs (any order; xs is not
+// modified). An empty sample yields 0; q is clamped to [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantile(sorted, q)
+}
+
 // quantile interpolates the q-quantile of a sorted sample.
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {

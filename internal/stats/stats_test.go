@@ -125,3 +125,33 @@ func TestFormatters(t *testing.T) {
 		t.Errorf("I = %q", I(42))
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.75); got != 4 {
+		t.Errorf("p75 = %v, want 4", got)
+	}
+	// Out-of-range q clamps; empty and singleton samples are safe.
+	if got := Quantile(xs, 2); got != 5 {
+		t.Errorf("clamped q = %v, want 5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton = %v, want 7", got)
+	}
+	// The input must not be reordered.
+	if xs[0] != 5 || xs[4] != 4 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}

@@ -27,7 +27,9 @@ package wcdsnet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"net/http"
 
 	"wcdsnet/internal/cluster"
 	"wcdsnet/internal/discovery"
@@ -35,6 +37,7 @@ import (
 	"wcdsnet/internal/graph"
 	"wcdsnet/internal/maintain"
 	"wcdsnet/internal/route"
+	"wcdsnet/internal/service"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/spanner"
 	"wcdsnet/internal/udg"
@@ -73,6 +76,11 @@ type (
 	Partition = cluster.Partition
 	// NeighborTable is one node's HELLO-discovered neighbourhood.
 	NeighborTable = discovery.Table
+	// Service is the backbone-as-a-service daemon: worker pool, result
+	// cache and metrics behind an http.Handler. See cmd/serve.
+	Service = service.Service
+	// ServiceOptions configures a Service (zero value = defaults).
+	ServiceOptions = service.Options
 )
 
 // Algorithm II selection modes.
@@ -85,8 +93,16 @@ const (
 
 // GenerateNetwork samples a connected random network of n unit-radius nodes
 // placed uniformly in a square sized for the target average degree, with
-// protocol IDs drawn as a random permutation.
+// protocol IDs drawn as a random permutation. n must be positive and
+// avgDegree positive and finite; the service layer depends on these being
+// rejected early with descriptive errors.
 func GenerateNetwork(seed int64, n int, avgDegree float64) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wcdsnet: node count n=%d must be positive", n)
+	}
+	if math.IsNaN(avgDegree) || math.IsInf(avgDegree, 0) || avgDegree <= 0 {
+		return nil, fmt.Errorf("wcdsnet: average degree %v must be positive and finite", avgDegree)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	nw, err := udg.GenConnectedAvgDegree(rng, n, avgDegree, 2000)
 	if err != nil {
@@ -96,9 +112,41 @@ func GenerateNetwork(seed int64, n int, avgDegree float64) (*Network, error) {
 }
 
 // NewNetwork wraps explicit positions and unique IDs into a Network with
-// unit radio radius.
+// unit radio radius. It rejects empty networks, mismatched pos/ids lengths,
+// duplicate IDs and non-finite coordinates with descriptive errors.
 func NewNetwork(pos []Point, ids []int) (*Network, error) {
-	return udg.New(pos, ids, 1)
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("wcdsnet: empty network: no positions given")
+	}
+	if len(ids) != len(pos) {
+		return nil, fmt.Errorf("wcdsnet: %d ids for %d positions", len(ids), len(pos))
+	}
+	for i, p := range pos {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("wcdsnet: position %d (%v, %v) is not finite", i, p.X, p.Y)
+		}
+	}
+	nw, err := udg.New(pos, ids, 1)
+	if err != nil {
+		return nil, fmt.Errorf("wcdsnet: %w", err)
+	}
+	return nw, nil
+}
+
+// NewService starts the backbone-as-a-service layer: a worker pool, a
+// content-addressed result cache and a metrics registry behind the handler
+// returned by (*Service).Handler(). Stop it with Close. See cmd/serve for
+// the daemon wrapper and README.md for the endpoint walkthrough.
+func NewService(opts ServiceOptions) *Service {
+	return service.New(opts)
+}
+
+// ServeHandler is a convenience for embedding the service into an existing
+// http.ServeMux: it creates a Service with opts and returns its handler
+// together with the Service for lifecycle control.
+func ServeHandler(opts ServiceOptions) (http.Handler, *Service) {
+	svc := service.New(opts)
+	return svc.Handler(), svc
 }
 
 // AlgorithmI runs the centralized reference of the paper's Algorithm I

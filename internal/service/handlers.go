@@ -12,6 +12,7 @@ import (
 
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
 	"wcdsnet/internal/spanner"
 	"wcdsnet/internal/wcds"
 )
@@ -41,7 +42,25 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware: a panic anywhere in request
+// handling answers 500 and bumps wcds_service_panics_total instead of
+// tearing down the connection (pool jobs have their own recovery; this
+// catches everything outside them).
+func (s *Service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Inc()
+				s.errors.Inc()
+				writeJSON(w, http.StatusInternalServerError,
+					map[string]string{"error": fmt.Sprintf("internal panic: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // --- backbone --------------------------------------------------------------
@@ -58,6 +77,20 @@ type BackboneRequest struct {
 	Selection string `json:"selection,omitempty"`
 	// ScheduleSeed scrambles the async engine's schedule (mode "async").
 	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
+
+	// Faults injects the given fault plan into the distributed run
+	// (modes "sync"/"async" only). See simnet.FaultPlan for the schema.
+	Faults *simnet.FaultPlan `json:"faults,omitempty"`
+	// Reliable wraps the protocol in the ack/retransmit layer so it
+	// converges under loss; implied counters appear in the response.
+	Reliable bool `json:"reliable,omitempty"`
+	// MaxRetries overrides the reliable layer's per-message retry budget
+	// (0 = default).
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// MaxRounds overrides the engine's quiescence budget: synchronous
+	// rounds or async tick passes (0 = engine default). Heavy fault plans
+	// with retransmission legitimately need more than the default.
+	MaxRounds int `json:"maxRounds,omitempty"`
 }
 
 // BackboneResponse reports the construction. Node-valued fields use dense
@@ -76,6 +109,21 @@ type BackboneResponse struct {
 	Messages             int     `json:"messages,omitempty"`
 	Rounds               int     `json:"rounds,omitempty"`
 	Cached               bool    `json:"cached"`
+
+	// Converged is false when a fault-injected run quiesced without every
+	// node deciding, or blew its round budget — a detectable failure, not
+	// an HTTP error. FailureReason carries the detail. Lossless runs are
+	// always converged (a failure there is answered 500 instead).
+	Converged     bool   `json:"converged"`
+	FailureReason string `json:"failureReason,omitempty"`
+	// Fault and reliability accounting for distributed runs.
+	Ticks          int `json:"ticks,omitempty"`
+	Dropped        int `json:"dropped,omitempty"`
+	Duplicated     int `json:"duplicated,omitempty"`
+	Retransmits    int `json:"retransmits,omitempty"`
+	DupsSuppressed int `json:"dupsSuppressed,omitempty"`
+	Acks           int `json:"acks,omitempty"`
+	Abandoned      int `json:"abandoned,omitempty"`
 }
 
 func (req *BackboneRequest) normalize() error {
@@ -105,12 +153,44 @@ func (req *BackboneRequest) normalize() error {
 	default:
 		return badRequestf("unknown selection %q (want deferred or eager)", req.Selection)
 	}
+	if req.Faults != nil && req.Faults.Empty() {
+		req.Faults = nil
+	}
+	faulty := req.Faults != nil || req.Reliable || req.MaxRetries != 0 || req.MaxRounds != 0
+	if faulty && req.Mode == "centralized" {
+		return badRequestf("faults/reliable/maxRetries/maxRounds require mode sync or async")
+	}
+	if req.MaxRetries < 0 {
+		return badRequestf("maxRetries %d must be non-negative", req.MaxRetries)
+	}
+	if req.MaxRounds < 0 {
+		return badRequestf("maxRounds %d must be non-negative", req.MaxRounds)
+	}
+	if req.Faults != nil {
+		// Validate against the spec's node count; both spec forms know it
+		// before the network is built.
+		n := req.NetworkSpec.N
+		if len(req.NetworkSpec.Positions) > 0 {
+			n = len(req.NetworkSpec.Positions)
+		}
+		if err := req.Faults.Validate(n); err != nil {
+			return badRequestf("%v", err)
+		}
+	}
 	return nil
 }
 
 func (req *BackboneRequest) cacheKey() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "backbone|algo=%s|mode=%s|sel=%s|sched=%d|", req.Algorithm, req.Mode, req.Selection, req.ScheduleSeed)
+	fmt.Fprintf(&b, "rel=%v,retries=%d,rounds=%d|", req.Reliable, req.MaxRetries, req.MaxRounds)
+	if req.Faults != nil {
+		// FaultPlan marshals deterministically (fixed field order, omitempty),
+		// so the JSON form is a sound cache-key fragment.
+		plan, _ := json.Marshal(req.Faults)
+		b.Write(plan)
+		b.WriteByte('|')
+	}
 	req.NetworkSpec.canonical(&b)
 	return hashKey(b.String())
 }
@@ -142,10 +222,10 @@ func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
 		return nil, err
 	}
 	var (
-		res   wcds.Result
-		stats runStats
+		res wcds.Result
+		st  simnet.Stats
 	)
-	runner, err := runnerFor(req.Mode, req.ScheduleSeed)
+	runner, err := runnerFor(req)
 	if err != nil {
 		return nil, err
 	}
@@ -153,51 +233,72 @@ func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
 	case req.Algorithm == "I" && runner == nil:
 		res = wcds.Algo1Centralized(nw.G, nw.ID)
 	case req.Algorithm == "I":
-		var st simnetStats
 		res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
-		stats = runStats{Messages: st.Messages, Rounds: st.Rounds}
 	case runner == nil:
 		res = wcds.Algo2Centralized(nw.G, nw.ID)
 	default:
-		var st simnetStats
 		res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, selectionFor(req.Selection), runner)
-		stats = runStats{Messages: st.Messages, Rounds: st.Rounds}
+	}
+	resp := &BackboneResponse{
+		N:              nw.N(),
+		Edges:          nw.G.M(),
+		AvgDegree:      nw.G.AvgDegree(),
+		Algorithm:      req.Algorithm,
+		Mode:           req.Mode,
+		Messages:       st.Messages,
+		Rounds:         st.Rounds,
+		Ticks:          st.Ticks,
+		Dropped:        st.Dropped,
+		Duplicated:     st.Duplicated,
+		Retransmits:    st.Retransmits,
+		DupsSuppressed: st.DupsSuppressed,
+		Acks:           st.Acks,
+		Abandoned:      st.Abandoned,
+		Converged:      err == nil,
 	}
 	if err != nil {
-		return nil, fmt.Errorf("service: distributed run failed: %w", err)
+		// Under injected faults a stalled or budget-exhausted protocol is an
+		// expected, DETECTABLE outcome: report it as data, not as a server
+		// error. Without faults the same failure is a bug and stays a 500.
+		if req.Faults == nil {
+			return nil, fmt.Errorf("service: distributed run failed: %w", err)
+		}
+		resp.FailureReason = err.Error()
+		return resp, nil
 	}
-	return &BackboneResponse{
-		N:                    nw.N(),
-		Edges:                nw.G.M(),
-		AvgDegree:            nw.G.AvgDegree(),
-		Algorithm:            req.Algorithm,
-		Mode:                 req.Mode,
-		Dominators:           res.Dominators,
-		MISDominators:        res.MISDominators,
-		AdditionalDominators: res.AdditionalDominators,
-		SpannerEdges:         spannerEdges(res.Spanner),
-		IsWCDS:               wcds.IsWCDS(nw.G, res.Dominators),
-		Messages:             stats.Messages,
-		Rounds:               stats.Rounds,
-	}, nil
+	resp.Dominators = res.Dominators
+	resp.MISDominators = res.MISDominators
+	resp.AdditionalDominators = res.AdditionalDominators
+	resp.SpannerEdges = spannerEdges(res.Spanner)
+	resp.IsWCDS = wcds.IsWCDS(nw.G, res.Dominators)
+	return resp, nil
 }
 
-type runStats struct{ Messages, Rounds int }
-
-type simnetStats = simnet.Stats
-
-// runnerFor maps a mode to a protocol runner; nil means centralized.
-func runnerFor(mode string, scheduleSeed int64) (wcds.Runner, error) {
-	switch mode {
-	case "centralized":
+// runnerFor maps a request to a protocol runner; nil means centralized.
+// Fault plans compile into engine options here; the reliable layer wraps
+// the procs when requested.
+func runnerFor(req *BackboneRequest) (wcds.Runner, error) {
+	if req.Mode == "centralized" {
 		return nil, nil
-	case "sync":
-		return wcds.SyncRunner(), nil
-	case "async":
-		return wcds.AsyncRunner(simnet.WithScramble(rand.New(rand.NewSource(scheduleSeed)))), nil
-	default:
-		return nil, badRequestf("unknown mode %q", mode)
 	}
+	var opts []simnet.Option
+	async := req.Mode == "async"
+	if async {
+		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(req.ScheduleSeed))))
+	}
+	if req.Faults != nil {
+		opts = append(opts, simnet.WithFaults(*req.Faults))
+	}
+	if req.MaxRounds > 0 {
+		opts = append(opts, simnet.WithMaxRounds(req.MaxRounds))
+	}
+	if req.Reliable {
+		return wcds.ReliableRunner(async, reliable.Options{MaxRetries: req.MaxRetries}, opts...), nil
+	}
+	if async {
+		return wcds.AsyncRunner(opts...), nil
+	}
+	return wcds.SyncRunner(opts...), nil
 }
 
 func selectionFor(sel string) wcds.SelectionMode {
@@ -479,7 +580,12 @@ func (s *Service) observe(endpoint string, start time.Time) {
 // queue full → 429 + Retry-After, deadline → 504, client gone → 499-ish
 // (handled as 503), bad input discovered during compute → 400, rest → 500.
 func (s *Service) replySubmitError(w http.ResponseWriter, endpoint string, start time.Time, err error) {
+	var pe *PanicError
 	switch {
+	case errors.As(err, &pe):
+		s.panics.Inc()
+		s.errors.Inc()
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": pe.Error()})
 	case errors.Is(err, ErrQueueFull):
 		s.rejected.Inc()
 		w.Header().Set("Retry-After", "1")

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -16,6 +18,19 @@ var (
 	// ErrPoolClosed is returned by Submit after Close has begun draining.
 	ErrPoolClosed = errors.New("service: pool closed")
 )
+
+// PanicError is returned by Submit when the job function panicked. The
+// worker recovers the panic so one bad request cannot kill a pool
+// goroutine; handlers map it to HTTP 500 and count it in
+// wcds_service_panics_total.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("service: job panicked: %v", e.Value)
+}
 
 // Pool is a bounded worker pool: a fixed set of goroutines consuming a
 // bounded job queue. Both bounds are the service's overload defence — a
@@ -32,6 +47,7 @@ type Pool struct {
 	rejected atomic.Int64 // Submits refused with ErrQueueFull
 	expired  atomic.Int64 // jobs whose context ended while queued
 	inFlight atomic.Int64 // jobs currently executing
+	panicked atomic.Int64 // jobs that panicked (recovered)
 }
 
 type poolJob struct {
@@ -74,11 +90,25 @@ func (p *Pool) worker() {
 			continue
 		}
 		p.inFlight.Add(1)
-		v, err := job.fn(job.ctx)
+		v, err := runJob(job)
 		p.inFlight.Add(-1)
 		p.executed.Add(1)
+		if _, ok := err.(*PanicError); ok {
+			p.panicked.Add(1)
+		}
 		job.done <- poolResult{value: v, err: err}
 	}
+}
+
+// runJob executes one job, converting a panic into a *PanicError so the
+// worker goroutine survives and the Submit caller still gets an answer.
+func runJob(job *poolJob) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job.fn(job.ctx)
 }
 
 // Submit enqueues fn and blocks until it completes or ctx ends. It returns
@@ -143,3 +173,7 @@ func (p *Pool) Rejected() int64 { return p.rejected.Load() }
 
 // Expired returns the lifetime count of jobs whose context ended queued.
 func (p *Pool) Expired() int64 { return p.expired.Load() }
+
+// Panicked returns the lifetime count of jobs that panicked and were
+// recovered.
+func (p *Pool) Panicked() int64 { return p.panicked.Load() }

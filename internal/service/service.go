@@ -89,6 +89,7 @@ type Service struct {
 	rejected *metrics.Counter
 	timeouts *metrics.Counter
 	cacheHit *metrics.Counter
+	panics   *metrics.Counter
 	latency  map[string]*metrics.Histogram
 }
 
@@ -108,6 +109,7 @@ func New(opts Options) *Service {
 	s.rejected = s.reg.Counter("wcds_service_rejected_total", "Requests shed with 429 because the job queue was full.")
 	s.timeouts = s.reg.Counter("wcds_service_timeouts_total", "Requests that hit the per-request deadline.")
 	s.cacheHit = s.reg.Counter("wcds_service_cache_hits_total", "Requests served from the result cache.")
+	s.panics = s.reg.Counter("wcds_service_panics_total", "Panics recovered in pool jobs or HTTP handlers.")
 	s.latency = map[string]*metrics.Histogram{
 		endpointBackbone:  s.reg.Histogram("wcds_service_backbone_latency_seconds", "End-to-end latency of POST /v1/backbone."),
 		endpointDilation:  s.reg.Histogram("wcds_service_dilation_latency_seconds", "End-to-end latency of POST /v1/dilation."),

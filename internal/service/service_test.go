@@ -216,8 +216,11 @@ func TestBackpressure429WhenQueueFull(t *testing.T) {
 	svc, ts := newTestService(t, Options{Workers: 1, QueueSize: 1})
 	block := make(chan struct{})
 	var wg sync.WaitGroup
-	// Occupy the worker and the queue slot directly through the pool.
-	for i := 0; i < 2; i++ {
+	// Occupy the worker, then the queue slot, directly through the pool.
+	// Sequenced, because Submit is non-blocking: two concurrent submissions
+	// can both hit the queue before the worker dequeues either, and the
+	// loser would be rejected instead of parked.
+	submitBlocked := func() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -227,15 +230,22 @@ func TestBackpressure429WhenQueueFull(t *testing.T) {
 			})
 		}()
 	}
-	deadline := time.After(2 * time.Second)
-	for svc.pool.InFlight() != 1 || svc.pool.QueueDepth() != 1 {
-		select {
-		case <-deadline:
-			close(block)
-			t.Fatalf("pool never saturated: inFlight=%d queueDepth=%d", svc.pool.InFlight(), svc.pool.QueueDepth())
-		case <-time.After(time.Millisecond):
+	waitFor := func(cond func() bool, what string) {
+		deadline := time.After(2 * time.Second)
+		for !cond() {
+			select {
+			case <-deadline:
+				close(block)
+				t.Fatalf("pool never saturated (%s): inFlight=%d queueDepth=%d",
+					what, svc.pool.InFlight(), svc.pool.QueueDepth())
+			case <-time.After(time.Millisecond):
+			}
 		}
 	}
+	submitBlocked()
+	waitFor(func() bool { return svc.pool.InFlight() == 1 }, "worker busy")
+	submitBlocked()
+	waitFor(func() bool { return svc.pool.QueueDepth() == 1 }, "queue full")
 
 	resp, body := postJSON(t, ts.URL+"/v1/backbone", map[string]any{"seed": 1, "n": 50, "avgDegree": 6})
 	if resp.StatusCode != http.StatusTooManyRequests {

@@ -11,25 +11,41 @@ import (
 
 // RunAsync executes the protocol with one goroutine per node and unbounded
 // per-node inboxes, modelling a fully asynchronous network. It returns when
-// the protocol quiesces: no handler is running and no message is in flight,
-// detected with an activity counter.
+// the protocol quiesces: no handler is running, no message is in flight
+// (detected with an activity counter), and — for protocols with Tickers —
+// a final tick pass reported no pending work.
 //
 // Rounds is always 0 in the returned Stats; time complexity is a
-// synchronous-model notion (use RunSync to measure it).
+// synchronous-model notion (use RunSync to measure it). Scheduled faults
+// (crashes, partitions, link windows) are evaluated against the engine's
+// logical clock: deliveries so far plus tick passes so far. The clock
+// advances during silence via tick passes, so a crashed node's restart is
+// always eventually reached.
 func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	if err := validate(g, procs); err != nil {
 		return Stats{}, err
 	}
-	cfg := buildConfig(g.N(), opts)
+	if g.N() == 0 {
+		return Stats{}, nil
+	}
+	cfg, err := buildConfig(g.N(), opts)
+	if err != nil {
+		return Stats{}, err
+	}
 
 	eng := &asyncEngine{
 		cfg:     cfg,
 		g:       g,
+		procs:   procs,
+		tickers: tickerNodes(procs),
 		inboxes: make([]*inbox, g.N()),
 		done:    make(chan struct{}),
 	}
 	if cfg.scramble != nil {
 		eng.rng = &lockedRand{rng: cfg.scramble}
+	}
+	if cfg.faults != nil && (cfg.faults.plan.DelayMax > 0 || cfg.faults.plan.ReorderRate > 0) {
+		eng.reorderRNG = &lockedRand{rng: rand.New(rand.NewSource(splitmix64(cfg.faults.plan.Seed, 1<<32)))}
 	}
 	for i := range eng.inboxes {
 		eng.inboxes[i] = newInbox()
@@ -52,23 +68,44 @@ func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	stats := Stats{
 		Messages:   int(eng.messages.Load()),
 		Deliveries: int(eng.deliveries.Load()),
+		Ticks:      int(eng.tickCount.Load()),
+		Dropped:    int(eng.dropped.Load()),
+		Duplicated: int(eng.duplicated.Load()),
 	}
 	return stats, eng.err
 }
 
 type asyncEngine struct {
-	cfg     *config
-	g       *graph.Graph
-	inboxes []*inbox
-	rng     *lockedRand
+	cfg        *config
+	g          *graph.Graph
+	procs      []Proc
+	tickers    []int
+	inboxes    []*inbox
+	rng        *lockedRand // scramble insertions
+	reorderRNG *lockedRand // fault-injected reordering insertions
 
 	pending    atomic.Int64
 	messages   atomic.Int64
 	deliveries atomic.Int64
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+
+	// Tick-pass coordination. onQuiesce invocations are serialized by the
+	// pending counter's unique 0-transitions, so the two plain fields are
+	// only ever touched there (the atomics are read by handler goroutines).
+	tickCount        atomic.Int64
+	passActive       atomic.Int64
+	lastPassMessages int64
 
 	done     chan struct{}
 	doneOnce sync.Once
 	err      error
+}
+
+// now is the engine's logical clock for scheduled faults: deliveries plus
+// tick passes, so time advances even across quiescent periods.
+func (e *asyncEngine) now() int {
+	return int(e.deliveries.Load() + e.tickCount.Load())
 }
 
 // finish records the first terminal condition and releases the main
@@ -80,10 +117,55 @@ func (e *asyncEngine) finish(err error) {
 	})
 }
 
-// taskDone retires one unit of work (an Init call or a handled message).
+func (e *asyncEngine) finished() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// taskDone retires one unit of work (an Init call, a handled message or a
+// tick). The goroutine that drives the counter to zero owns the quiescence
+// decision.
 func (e *asyncEngine) taskDone() {
 	if e.pending.Add(-1) == 0 {
+		e.onQuiesce()
+	}
+}
+
+// onQuiesce fires each time the network fully drains. For protocols without
+// Tickers that is the end of the run. Otherwise it starts a tick pass —
+// unless the previous pass was silent (no sends) and every Ticker reported
+// no pending work, which is the reliable layer's termination condition.
+// Exactly one goroutine runs onQuiesce at a time: the pending counter
+// reaches zero once per epoch, and the next zero-transition happens only
+// after this invocation has queued (and nodes have consumed) its ticks.
+func (e *asyncEngine) onQuiesce() {
+	if e.finished() {
+		return
+	}
+	if len(e.tickers) == 0 {
 		e.finish(nil)
+		return
+	}
+	msgs := e.messages.Load()
+	if e.tickCount.Load() > 0 && msgs == e.lastPassMessages && e.passActive.Load() == 0 {
+		e.finish(nil)
+		return
+	}
+	if e.tickCount.Add(1) > int64(e.cfg.maxRounds) {
+		e.finish(ErrMaxRounds)
+		return
+	}
+	e.lastPassMessages = msgs
+	e.passActive.Store(0)
+	e.pending.Add(int64(len(e.tickers)))
+	for _, i := range e.tickers {
+		if !e.inboxes[i].push(envelope{to: i, tick: true}, nil) {
+			e.taskDone()
+		}
 	}
 }
 
@@ -104,6 +186,16 @@ func (e *asyncEngine) nodeLoop(wg *sync.WaitGroup, node int, proc Proc) {
 		if !ok {
 			return
 		}
+		if env.tick {
+			e.handleTick(node, proc, &ctx)
+			e.taskDone()
+			continue
+		}
+		if e.cfg.faults != nil && e.cfg.faults.blocked(env.from, node, env.sentAt, e.now()) {
+			e.dropped.Add(1)
+			e.taskDone()
+			continue
+		}
 		if d := e.deliveries.Add(1); int(d) > e.cfg.maxDeliveries {
 			e.finish(ErrMaxDeliveries)
 			e.taskDone()
@@ -114,6 +206,24 @@ func (e *asyncEngine) nodeLoop(wg *sync.WaitGroup, node int, proc Proc) {
 		}
 		proc.Recv(&ctx, env.from, env.payload)
 		e.taskDone()
+	}
+}
+
+// handleTick delivers one tick-pass token to a Ticker node, honouring crash
+// windows: a node that is down skips its tick, but if it has a restart (or
+// a future crash) ahead the pass still counts as active so the clock keeps
+// advancing toward that event.
+func (e *asyncEngine) handleTick(node int, proc Proc, ctx *Context) {
+	if e.cfg.faults != nil {
+		if down, ahead := e.cfg.faults.crashState(node, e.now()); down {
+			if ahead {
+				e.passActive.Add(1)
+			}
+			return
+		}
+	}
+	if proc.(Ticker).Tick(ctx) {
+		e.passActive.Add(1)
 	}
 }
 
@@ -135,14 +245,39 @@ func (e *asyncEngine) broadcast(from int, payload any) {
 	}
 }
 
+// enqueue applies the sender-side probabilistic faults and pushes the
+// delivery. It always runs on the sender's goroutine (sends happen inside
+// handlers), so the per-sender fault RNG needs no lock. Delay has no round
+// clock to ride on here; a delayed or reordered message is instead inserted
+// at a random position of the receiver's queue, which the asynchronous
+// model (arbitrary finite delay) permits.
 func (e *asyncEngine) enqueue(from, to int, payload any) {
-	if e.cfg.dropped() {
+	f := e.cfg.faults
+	if f != nil && f.dropSample(from) {
+		e.dropped.Add(1)
 		return
 	}
+	scatter := false
+	if f != nil {
+		scatter = f.delaySample(from) > 0 || f.reorderSample(from)
+	}
+	e.push(from, to, payload, scatter)
+	if f != nil && f.dupSample(from) {
+		e.duplicated.Add(1)
+		e.push(from, to, payload, scatter)
+	}
+}
+
+func (e *asyncEngine) push(from, to int, payload any, scatter bool) {
+	rng := e.rng
+	if rng == nil && scatter {
+		rng = e.reorderRNG
+	}
+	env := envelope{from: from, to: to, payload: payload, sentAt: e.now()}
 	// The pending increment must happen before the push so the counter can
 	// never transiently reach zero while a message is in flight.
 	e.pending.Add(1)
-	if !e.inboxes[to].push(envelope{from: from, to: to, payload: payload}, e.rng) {
+	if !e.inboxes[to].push(env, rng) {
 		// Inbox already closed during shutdown: retire the task ourselves.
 		e.taskDone()
 	}

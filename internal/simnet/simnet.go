@@ -6,8 +6,9 @@
 // of two engines:
 //
 //   - RunSync: a deterministic synchronous-round engine. All messages sent
-//     in round r are delivered in round r+1, in a fixed order. The round
-//     count is the protocol's time complexity measure.
+//     in round r are delivered in round r+1 (plus any injected delay), in a
+//     fixed order. The round count is the protocol's time complexity
+//     measure.
 //   - RunAsync: one goroutine per node with an unbounded inbox, matching
 //     the fully asynchronous event-driven model the paper describes.
 //     Termination is detected with an activity counter (messages in flight
@@ -16,6 +17,13 @@
 // Both engines run the identical Proc code, so every protocol in this
 // repository can be checked for schedule independence by running it under
 // both engines (and under randomized schedules via WithScramble).
+//
+// The kernel also carries a composable fault model (see faults.go): loss,
+// duplication, delay, reordering, node crash/restart, partitions and link
+// downtimes, all derived deterministically from a plan seed. Protocols that
+// must survive those faults wrap themselves in the reliable subpackage's
+// ack/retransmit layer, which is driven by the quiescence ticks described
+// at the Ticker interface.
 //
 // Message accounting follows the wireless convention of the paper: a local
 // broadcast is ONE message regardless of neighbour count, because a single
@@ -28,14 +36,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"wcdsnet/internal/graph"
 )
 
 // Proc is the per-node protocol state machine. The kernel guarantees that
-// Init and Recv for one node never run concurrently with each other, so
-// Proc implementations need no internal locking.
+// Init, Recv and Tick for one node never run concurrently with each other,
+// so Proc implementations need no internal locking.
 type Proc interface {
 	// Init runs once per node before any message is delivered to it.
 	Init(ctx *Context)
@@ -43,16 +50,58 @@ type Proc interface {
 	Recv(ctx *Context, from int, payload any)
 }
 
+// Ticker is an optional Proc extension giving a node a logical retry timer.
+// When the whole network is quiescent — no handler running, no message in
+// flight or scheduled — the engine runs a tick pass, invoking Tick once on
+// every Ticker node. A tick is therefore a conservative timeout: by the
+// time it fires, anything that was going to arrive has arrived, so state
+// that is still missing is genuinely lost and may be retransmitted.
+//
+// Tick reports whether the node still has pending work (unacked messages,
+// a backoff it is waiting out). The run ends after a tick pass in which no
+// node sent anything and no node reported pending work. Each tick pass
+// consumes one round of the WithMaxRounds quiescence budget, bounding
+// retry loops the same way non-quiescent protocols are bounded.
+type Ticker interface {
+	Proc
+	// Tick fires on network quiescence; it returns true while the node
+	// still has pending timed work.
+	Tick(ctx *Context) bool
+}
+
 // Stats reports the cost of a protocol run.
 type Stats struct {
 	// Messages counts radio transmissions: one per Broadcast and one per
-	// unicast Send.
+	// unicast Send (including the reliable layer's acks and retransmits).
 	Messages int
 	// Deliveries counts per-link receptions (a Broadcast to k neighbours
 	// adds k).
 	Deliveries int
 	// Rounds is the number of synchronous rounds used (0 for RunAsync).
 	Rounds int
+	// Ticks counts quiescence tick passes (retry-timer epochs); 0 for
+	// protocols without Tickers.
+	Ticks int
+	// Dropped counts deliveries lost to injected faults: probabilistic
+	// loss plus crash/partition/link blackouts.
+	Dropped int
+	// Duplicated counts extra fault-injected delivery copies enqueued.
+	Duplicated int
+
+	// The remaining counters belong to the reliable ack/retransmit layer
+	// (internal/simnet/reliable); the kernel leaves them zero and the
+	// layer's Collector merges them in after the run.
+
+	// Retransmits counts data retransmissions sent by the reliable layer.
+	Retransmits int
+	// DupsSuppressed counts duplicate data deliveries the reliable layer
+	// absorbed before they reached protocol code.
+	DupsSuppressed int
+	// Acks counts acknowledgement messages sent by the reliable layer.
+	Acks int
+	// Abandoned counts messages the reliable layer gave up on after
+	// exhausting their retry budget.
+	Abandoned int
 }
 
 // Errors returned by the engines.
@@ -87,24 +136,16 @@ type config struct {
 	maxDeliveries int
 	trace         func(Event)
 	scramble      *rand.Rand
-	dropRate      float64
-	dropRNG       *rand.Rand
-	dropMu        sync.Mutex
+	plan          *FaultPlan
+	faults        *faultState
 }
 
-// dropped decides whether one link-level delivery is lost. Guarded by a
-// mutex because the async engine calls it from many goroutines.
-func (c *config) dropped() bool {
-	if c.dropRNG == nil || c.dropRate <= 0 {
-		return false
-	}
-	c.dropMu.Lock()
-	defer c.dropMu.Unlock()
-	return c.dropRNG.Float64() < c.dropRate
-}
-
-// WithMaxRounds bounds the synchronous engine's round count. The default is
-// 20·n + 1000 rounds.
+// WithMaxRounds sets the quiescence budget: the maximum number of
+// synchronous rounds (RunSync) or quiescence tick passes (RunAsync) before
+// the engine aborts with ErrMaxRounds. The default is 20·n + 1000. Faulty
+// runs with retransmission legitimately need more rounds than the paper's
+// lossless complexity bounds suggest; raise the budget for heavy fault
+// plans.
 func WithMaxRounds(r int) Option {
 	return func(c *config) { c.maxRounds = r }
 }
@@ -130,19 +171,7 @@ func WithScramble(rng *rand.Rand) Option {
 	return func(c *config) { c.scramble = rng }
 }
 
-// WithDropRate makes each per-link delivery fail independently with
-// probability p — failure injection for protocols that assume reliable
-// local broadcast. The paper's algorithms are specified for reliable links;
-// under loss they must fail DETECTABLY (nodes left undecided), which the
-// failure-injection tests assert.
-func WithDropRate(rng *rand.Rand, p float64) Option {
-	return func(c *config) {
-		c.dropRNG = rng
-		c.dropRate = p
-	}
-}
-
-func buildConfig(n int, opts []Option) *config {
+func buildConfig(n int, opts []Option) (*config, error) {
 	c := &config{
 		maxRounds:     20*n + 1000,
 		maxDeliveries: 50_000_000,
@@ -150,21 +179,34 @@ func buildConfig(n int, opts []Option) *config {
 	for _, o := range opts {
 		o(c)
 	}
-	return c
+	if c.plan != nil {
+		f, err := compileFaults(c.plan, n)
+		if err != nil {
+			return nil, err
+		}
+		c.faults = f
+	}
+	return c, nil
 }
 
-// Context is a node's handle to the kernel, passed to every Init and Recv
-// call. It is only valid for the duration of that call.
+// Context is a node's handle to the kernel, passed to every Init, Recv and
+// Tick call. The kernel reuses one Context per node for the whole run, so
+// state installed with SetSendHook persists across calls; the pointer is
+// only valid inside handler invocations.
 type Context struct {
-	node int
-	g    *graph.Graph
-	bk   backend
+	node     int
+	g        *graph.Graph
+	bk       backend
+	sendHook func(to int, payload any)
 }
 
 type backend interface {
 	unicast(from, to int, payload any)
 	broadcast(from int, payload any)
 }
+
+// ToAll is the hook target SetSendHook receives for a Broadcast.
+const ToAll = -1
 
 // Node returns the index of the node this context belongs to.
 func (c *Context) Node() int { return c.node }
@@ -176,15 +218,45 @@ func (c *Context) Degree() int { return c.g.Degree(c.node) }
 // callers must not modify it.
 func (c *Context) Neighbors() []int { return c.g.Neighbors(c.node) }
 
+// SetSendHook diverts this node's outgoing traffic: after installation,
+// Broadcast calls fn(ToAll, payload) and Send calls fn(to, payload) instead
+// of transmitting. The hook puts (possibly rewritten) traffic on the air
+// with BroadcastDirect/SendDirect. Reliability layers use this to wrap
+// protocol messages without the protocol's cooperation; install with fn nil
+// to remove. The hook persists for the rest of the run.
+func (c *Context) SetSendHook(fn func(to int, payload any)) { c.sendHook = fn }
+
 // Broadcast transmits payload to every radio neighbour. It costs one
 // message.
 func (c *Context) Broadcast(payload any) {
+	if c.sendHook != nil {
+		c.sendHook(ToAll, payload)
+		return
+	}
 	c.bk.broadcast(c.node, payload)
 }
 
 // Send transmits payload to the single neighbour `to`. Sending to a
 // non-neighbour is a protocol bug and panics.
 func (c *Context) Send(to int, payload any) {
+	if !c.g.HasEdge(c.node, to) {
+		panic(fmt.Sprintf("simnet: node %d sent to non-neighbour %d", c.node, to))
+	}
+	if c.sendHook != nil {
+		c.sendHook(to, payload)
+		return
+	}
+	c.bk.unicast(c.node, to, payload)
+}
+
+// BroadcastDirect transmits bypassing the send hook (for the hook's own
+// wire traffic).
+func (c *Context) BroadcastDirect(payload any) {
+	c.bk.broadcast(c.node, payload)
+}
+
+// SendDirect unicasts bypassing the send hook.
+func (c *Context) SendDirect(to int, payload any) {
 	if !c.g.HasEdge(c.node, to) {
 		panic(fmt.Sprintf("simnet: node %d sent to non-neighbour %d", c.node, to))
 	}
@@ -207,42 +279,75 @@ func validate(g *graph.Graph, procs []Proc) error {
 	return nil
 }
 
+// tickerNodes lists the proc indices implementing Ticker.
+func tickerNodes(procs []Proc) []int {
+	var ts []int
+	for i, p := range procs {
+		if _, ok := p.(Ticker); ok {
+			ts = append(ts, i)
+		}
+	}
+	return ts
+}
+
 // envelope is a queued message.
 type envelope struct {
 	from    int
 	to      int
 	payload any
-	seq     int // global send sequence, for deterministic ordering
+	seq     int  // global send sequence, for deterministic ordering
+	sentAt  int  // logical send time, for scheduled-fault checks
+	tick    bool // async engine: a tick-pass token, not a message
 }
 
 // RunSync executes the protocol under the synchronous-round model and
-// returns the run cost. It terminates when a round delivers no messages, or
-// fails with ErrMaxRounds/ErrMaxDeliveries.
+// returns the run cost. It terminates when the network quiesces (no message
+// pending and, for protocols with Tickers, a tick pass reporting no
+// activity), or fails with ErrMaxRounds/ErrMaxDeliveries.
 func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	if err := validate(g, procs); err != nil {
 		return Stats{}, err
 	}
-	cfg := buildConfig(g.N(), opts)
+	if g.N() == 0 {
+		return Stats{}, nil
+	}
+	cfg, err := buildConfig(g.N(), opts)
+	if err != nil {
+		return Stats{}, err
+	}
 
-	eng := &syncEngine{cfg: cfg, g: g}
+	eng := &syncEngine{cfg: cfg, g: g, pending: make(map[int][]envelope)}
 	ctxs := make([]Context, g.N())
 	for i := range ctxs {
 		ctxs[i] = Context{node: i, g: g, bk: eng}
 	}
+	tickers := tickerNodes(procs)
 
-	// Round 0: Init in index order; sends queue for round 1.
+	// Round 0: Init in index order; sends queue for round 1 onward.
 	for i := range procs {
 		procs[i].Init(&ctxs[i])
 	}
 
-	rounds := 0
-	for len(eng.next) > 0 {
-		rounds++
-		if rounds > cfg.maxRounds {
-			return eng.stats(rounds - 1), ErrMaxRounds
+	for {
+		next, ok := eng.nextRound()
+		if !ok {
+			// Quiescent: run a tick pass, or finish if there is nothing
+			// left to wake.
+			cont, err := eng.tickPass(procs, ctxs, tickers)
+			if err != nil {
+				return eng.stats(), err
+			}
+			if !cont {
+				return eng.stats(), nil
+			}
+			continue
 		}
-		batch := eng.next
-		eng.next = nil
+		if next > cfg.maxRounds {
+			return eng.stats(), ErrMaxRounds
+		}
+		eng.round = next
+		batch := eng.pending[next]
+		delete(eng.pending, next)
 		// Deterministic delivery order: by (receiver, send sequence).
 		sort.Slice(batch, func(a, b int) bool {
 			if batch[a].to != batch[b].to {
@@ -256,33 +361,88 @@ func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 			})
 		}
 		for _, env := range batch {
-			if cfg.dropped() {
+			if cfg.faults != nil && cfg.faults.blocked(env.from, env.to, env.sentAt, eng.round) {
+				eng.dropped++
 				continue
 			}
 			eng.deliveries++
 			if eng.deliveries > cfg.maxDeliveries {
-				return eng.stats(rounds), ErrMaxDeliveries
+				return eng.stats(), ErrMaxDeliveries
 			}
 			if cfg.trace != nil {
-				cfg.trace(Event{Kind: EventDeliver, From: env.from, To: env.to, Round: rounds, Payload: env.payload})
+				cfg.trace(Event{Kind: EventDeliver, From: env.from, To: env.to, Round: eng.round, Payload: env.payload})
 			}
 			procs[env.to].Recv(&ctxs[env.to], env.from, env.payload)
 		}
 	}
-	return eng.stats(rounds), nil
 }
 
 type syncEngine struct {
 	cfg        *config
 	g          *graph.Graph
-	next       []envelope
+	pending    map[int][]envelope // absolute round -> batch
+	round      int                // round currently being delivered
 	seq        int
 	messages   int
 	deliveries int
+	dropped    int
+	duplicated int
+	ticks      int
 }
 
-func (e *syncEngine) stats(rounds int) Stats {
-	return Stats{Messages: e.messages, Deliveries: e.deliveries, Rounds: rounds}
+// nextRound returns the earliest round with pending deliveries.
+func (e *syncEngine) nextRound() (int, bool) {
+	if len(e.pending) == 0 {
+		return 0, false
+	}
+	min, first := 0, true
+	for r := range e.pending {
+		if first || r < min {
+			min, first = r, false
+		}
+	}
+	return min, true
+}
+
+// tickPass runs one quiescence tick over all Ticker nodes. It reports
+// whether the run should continue (new traffic was generated, a node still
+// has pending work, or a crashed node's restart lies ahead).
+func (e *syncEngine) tickPass(procs []Proc, ctxs []Context, tickers []int) (bool, error) {
+	if len(tickers) == 0 {
+		return false, nil
+	}
+	e.ticks++
+	e.round++
+	if e.round > e.cfg.maxRounds {
+		return false, ErrMaxRounds
+	}
+	msgsBefore := e.messages
+	active := false
+	for _, i := range tickers {
+		if e.cfg.faults != nil {
+			if down, ahead := e.cfg.faults.crashState(i, e.round); down {
+				if ahead {
+					active = true // its restart is a future event
+				}
+				continue
+			}
+		}
+		if procs[i].(Ticker).Tick(&ctxs[i]) {
+			active = true
+		}
+	}
+	return e.messages != msgsBefore || active || len(e.pending) > 0, nil
+}
+
+func (e *syncEngine) stats() Stats {
+	return Stats{
+		Messages:   e.messages,
+		Deliveries: e.deliveries,
+		Rounds:     e.round,
+		Ticks:      e.ticks,
+		Dropped:    e.dropped,
+		Duplicated: e.duplicated,
+	}
 }
 
 func (e *syncEngine) unicast(from, to int, payload any) {
@@ -291,7 +451,7 @@ func (e *syncEngine) unicast(from, to int, payload any) {
 	if e.cfg.trace != nil {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: to, Round: -1, Payload: payload})
 	}
-	e.next = append(e.next, envelope{from: from, to: to, payload: payload, seq: e.seq})
+	e.enqueueCopy(from, to, payload, e.seq)
 }
 
 func (e *syncEngine) broadcast(from int, payload any) {
@@ -303,6 +463,31 @@ func (e *syncEngine) broadcast(from int, payload any) {
 	// All copies of one broadcast share a sequence number so receivers at
 	// equal index see a stable order.
 	for _, to := range e.g.Neighbors(from) {
-		e.next = append(e.next, envelope{from: from, to: to, payload: payload, seq: e.seq})
+		e.enqueueCopy(from, to, payload, e.seq)
+	}
+}
+
+// enqueueCopy schedules one per-link delivery, applying the sender-side
+// probabilistic faults: loss, extra delay, reordering (one extra round in
+// the round model) and duplication.
+func (e *syncEngine) enqueueCopy(from, to int, payload any, seq int) {
+	f := e.cfg.faults
+	if f != nil && f.dropSample(from) {
+		e.dropped++
+		return
+	}
+	deliverAt := e.round + 1
+	if f != nil {
+		deliverAt += f.delaySample(from)
+		if f.reorderSample(from) {
+			deliverAt++
+		}
+	}
+	env := envelope{from: from, to: to, payload: payload, seq: seq, sentAt: e.round}
+	e.pending[deliverAt] = append(e.pending[deliverAt], env)
+	if f != nil && f.dupSample(from) {
+		e.duplicated++
+		dupAt := e.round + 1 + f.delaySample(from) + 1 // the copy always trails
+		e.pending[dupAt] = append(e.pending[dupAt], env)
 	}
 }

@@ -1,0 +1,34 @@
+package wcds
+
+import (
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
+)
+
+// ReliableRunner wraps a distributed construction's procs in the
+// ack/retransmit reliability layer before handing them to the chosen
+// engine, and merges the layer's counters (retransmits, suppressed
+// duplicates, acks, abandoned frames) into the returned Stats.
+//
+// Under the reliability layer every protocol message is delivered exactly
+// once with overwhelming probability at loss rates well past 30%, so a
+// Deferred-mode Algorithm II run over a faulty network converges to the
+// same WCDS as a lossless run instead of failing with undecided nodes. A
+// lossless run through this runner performs zero retransmissions.
+func ReliableRunner(async bool, ropt reliable.Options, opts ...simnet.Option) Runner {
+	return func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
+		wrapped, col := reliable.Wrap(procs, ropt)
+		var (
+			st  simnet.Stats
+			err error
+		)
+		if async {
+			st, err = simnet.RunAsync(g, wrapped, opts...)
+		} else {
+			st, err = simnet.RunSync(g, wrapped, opts...)
+		}
+		col.MergeInto(&st)
+		return st, err
+	}
+}

@@ -1,0 +1,145 @@
+package wcds
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
+	"wcdsnet/internal/udg"
+)
+
+// The PR's acceptance property: under the ack/retransmit layer, Algorithm II
+// (Deferred) over a lossy network converges to the IDENTICAL WCDS as the
+// lossless centralized reference — per seed, under both engines, at drop
+// rates up to 30%. Exactly-once delivery restores the reliable-broadcast
+// assumption, and Deferred mode is schedule-independent, so equality (not
+// just validity) is the invariant.
+func TestReliableAlgo2EqualsCentralizedUnderLoss(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	rates := []float64{0.05, 0.15, 0.3}
+	netRNG := rand.New(rand.NewSource(42))
+	for seed := 0; seed < seeds; seed++ {
+		nw, err := udg.GenConnectedAvgDegree(netRNG, 40, 7, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Algo2Centralized(nw.G, nw.ID)
+		for _, rate := range rates {
+			for _, async := range []bool{false, true} {
+				plan := simnet.FaultPlan{Seed: int64(seed), DropRate: rate}
+				runner := ReliableRunner(async, reliable.Options{}, simnet.WithFaults(plan))
+				res, st, err := Algo2Distributed(nw.G, nw.ID, Deferred, runner)
+				if err != nil {
+					t.Fatalf("seed %d rate %v async %v: %v", seed, rate, async, err)
+				}
+				if !equalInts(res.MISDominators, want.MISDominators) ||
+					!equalInts(res.AdditionalDominators, want.AdditionalDominators) {
+					t.Fatalf("seed %d rate %v async %v: reliable run diverged from centralized",
+						seed, rate, async)
+				}
+				if !IsWCDS(nw.G, res.Dominators) {
+					t.Fatalf("seed %d rate %v async %v: result is not a WCDS", seed, rate, async)
+				}
+				if st.Retransmits == 0 {
+					t.Errorf("seed %d rate %v async %v: lossy run reports zero retransmissions",
+						seed, rate, async)
+				}
+				if st.Abandoned != 0 {
+					t.Errorf("seed %d rate %v async %v: %d frames abandoned within default budget",
+						seed, rate, async, st.Abandoned)
+				}
+			}
+		}
+	}
+}
+
+// A lossless network through the reliable layer must add zero
+// retransmissions and suppress zero duplicates — the layer's overhead is
+// one ack per delivery and nothing else.
+func TestReliableLosslessAddsNoRetransmissions(t *testing.T) {
+	netRNG := rand.New(rand.NewSource(9))
+	for seed := 0; seed < 5; seed++ {
+		nw, err := udg.GenConnectedAvgDegree(netRNG, 40, 7, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Algo2Centralized(nw.G, nw.ID)
+		for _, async := range []bool{false, true} {
+			runner := ReliableRunner(async, reliable.Options{})
+			res, st, err := Algo2Distributed(nw.G, nw.ID, Deferred, runner)
+			if err != nil {
+				t.Fatalf("seed %d async %v: %v", seed, async, err)
+			}
+			if !equalInts(res.Dominators, want.Dominators) {
+				t.Fatalf("seed %d async %v: lossless reliable run diverged", seed, async)
+			}
+			if st.Retransmits != 0 || st.DupsSuppressed != 0 || st.Abandoned != 0 {
+				t.Errorf("seed %d async %v: lossless overhead: retransmits=%d dups=%d abandoned=%d",
+					seed, async, st.Retransmits, st.DupsSuppressed, st.Abandoned)
+			}
+			if st.Acks == 0 {
+				t.Errorf("seed %d async %v: reliable run sent no acks", seed, async)
+			}
+		}
+	}
+}
+
+// Algorithm I under the reliable layer: the election/tree/marking pipeline
+// also survives loss. Under the synchronous engine the reliable layer can
+// perturb message timing (retransmitted messages arrive late), so we assert
+// validity rather than BFS-tree equality.
+func TestReliableAlgo1SurvivesLoss(t *testing.T) {
+	netRNG := rand.New(rand.NewSource(5))
+	for seed := 0; seed < 6; seed++ {
+		nw, err := udg.GenConnectedAvgDegree(netRNG, 35, 7, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := simnet.FaultPlan{Seed: int64(seed), DropRate: 0.25}
+		runner := ReliableRunner(seed%2 == 1, reliable.Options{}, simnet.WithFaults(plan))
+		res, st, err := Algo1Distributed(nw.G, nw.ID, runner)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !IsWCDS(nw.G, res.Dominators) {
+			t.Fatalf("seed %d: Algorithm I under loss produced an invalid WCDS", seed)
+		}
+		if st.Retransmits == 0 {
+			t.Errorf("seed %d: lossy Algorithm I run reports zero retransmissions", seed)
+		}
+	}
+}
+
+// Crash-and-restart: a dominator-to-be goes dark mid-protocol and comes
+// back; the retransmit layer carries the protocol across the outage and the
+// Deferred result still matches the centralized reference exactly.
+func TestReliableAlgo2SurvivesCrashRestart(t *testing.T) {
+	netRNG := rand.New(rand.NewSource(17))
+	for seed := 0; seed < 4; seed++ {
+		nw, err := udg.GenConnectedAvgDegree(netRNG, 30, 6, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Algo2Centralized(nw.G, nw.ID)
+		crashed := seed % nw.N()
+		plan := simnet.FaultPlan{Seed: int64(seed), Crashes: []simnet.CrashWindow{
+			{Node: crashed, From: 2, Until: 40},
+		}}
+		runner := ReliableRunner(false, reliable.Options{},
+			simnet.WithFaults(plan), simnet.WithMaxRounds(5000))
+		res, st, err := Algo2Distributed(nw.G, nw.ID, Deferred, runner)
+		if err != nil {
+			t.Fatalf("seed %d (crash %d): %v", seed, crashed, err)
+		}
+		if !equalInts(res.Dominators, want.Dominators) {
+			t.Fatalf("seed %d: result diverged across a crash window on node %d", seed, crashed)
+		}
+		if st.Dropped == 0 {
+			t.Errorf("seed %d: crash window dropped nothing", seed)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/service"
 	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
 	"wcdsnet/internal/spanner"
 	"wcdsnet/internal/udg"
 	"wcdsnet/internal/wcds"
@@ -81,6 +82,19 @@ type (
 	Service = service.Service
 	// ServiceOptions configures a Service (zero value = defaults).
 	ServiceOptions = service.Options
+	// FaultPlan is a declarative, serializable description of the faults a
+	// distributed run injects: loss, duplication, delay, reordering,
+	// crash/restart, partitions, link downtimes.
+	FaultPlan = simnet.FaultPlan
+	// CrashWindow takes one node offline for a logical-time interval.
+	CrashWindow = simnet.CrashWindow
+	// PartitionWindow splits the network for a logical-time interval.
+	PartitionWindow = simnet.PartitionWindow
+	// LinkWindow takes one (possibly directed) link down for an interval.
+	LinkWindow = simnet.LinkWindow
+	// ReliableOptions tunes the ack/retransmit layer (zero value =
+	// defaults: 25 retries, capped-exponential backoff).
+	ReliableOptions = reliable.Options
 )
 
 // Algorithm II selection modes.
@@ -204,6 +218,59 @@ func runner(async bool, seed int64) wcds.Runner {
 		return wcds.AsyncRunner(simnet.WithScramble(rand.New(rand.NewSource(seed))))
 	}
 	return wcds.SyncRunner()
+}
+
+// RunConfig configures a distributed run beyond the engine choice: fault
+// injection, the reliable ack/retransmit layer and the quiescence budget.
+// The zero value is a lossless run on the synchronous engine.
+type RunConfig struct {
+	// Async selects the goroutine-per-node asynchronous engine.
+	Async bool
+	// ScheduleSeed scrambles the async delivery schedule (Async only).
+	ScheduleSeed int64
+	// Faults injects the given fault plan into the run.
+	Faults *FaultPlan
+	// Reliable wraps the protocol in the ack/retransmit layer, restoring
+	// the paper's reliable-broadcast assumption over the faulty network.
+	Reliable bool
+	// ReliableOptions tunes retries/backoff when Reliable is set.
+	ReliableOptions ReliableOptions
+	// MaxRounds overrides the engine's quiescence budget: synchronous
+	// rounds or asynchronous tick passes (0 = engine default).
+	MaxRounds int
+}
+
+func (cfg RunConfig) runner() wcds.Runner {
+	var opts []simnet.Option
+	if cfg.Async {
+		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(cfg.ScheduleSeed))))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, simnet.WithFaults(*cfg.Faults))
+	}
+	if cfg.MaxRounds > 0 {
+		opts = append(opts, simnet.WithMaxRounds(cfg.MaxRounds))
+	}
+	if cfg.Reliable {
+		return wcds.ReliableRunner(cfg.Async, cfg.ReliableOptions, opts...)
+	}
+	if cfg.Async {
+		return wcds.AsyncRunner(opts...)
+	}
+	return wcds.SyncRunner(opts...)
+}
+
+// AlgorithmIWithConfig runs the distributed Algorithm I under an explicit
+// RunConfig — fault injection, the reliable layer and budget control.
+func AlgorithmIWithConfig(nw *Network, cfg RunConfig) (Result, RunStats, error) {
+	return wcds.Algo1Distributed(nw.G, nw.ID, cfg.runner())
+}
+
+// AlgorithmIIWithConfig runs the distributed Algorithm II under an explicit
+// RunConfig. With cfg.Reliable set and Deferred mode, the result equals
+// AlgorithmII exactly whenever the run converges, even at heavy loss.
+func AlgorithmIIWithConfig(nw *Network, mode SelectionMode, cfg RunConfig) (Result, RunStats, error) {
+	return wcds.Algo2Distributed(nw.G, nw.ID, mode, cfg.runner())
 }
 
 // IsWCDS verifies that set is a weakly-connected dominating set of the

@@ -1,0 +1,328 @@
+// Command bench measures the sharded batch engine against the serial
+// baseline on a pinned, fully deterministic sweep and emits a
+// schema-versioned BENCH_<stamp>.json report.
+//
+// Three executions of the same spec are timed:
+//
+//	serial   — wcdsnet.RunBatchSerial: one scenario at a time, nothing
+//	           shared, nothing pooled (the pre-engine baseline)
+//	engine1  — the sharded engine pinned to one worker
+//	engineN  — the sharded engine at the requested worker count
+//
+// All three must produce byte-identical per-scenario results (compared by
+// report digest); bench exits non-zero otherwise. The pinned suite contains
+// only centralized and synchronous workloads, whose measurements are
+// schedule-independent — async message counts vary with goroutine timing
+// and would make the digest check meaningless.
+//
+// If a prior BENCH_*.json exists in the output directory, bench compares
+// against the newest one and fails on a >20% regression: throughput is
+// gated only when GOMAXPROCS matches the baseline (ops/s on a different
+// core count is not comparable), allocations per scenario are gated
+// always.
+//
+// Usage:
+//
+//	go run ./cmd/bench              # full suite (~100 scenarios)
+//	go run ./cmd/bench -quick       # CI smoke (~20 scenarios)
+//	go run ./cmd/bench -out bench/  # write the report elsewhere
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"wcdsnet"
+	"wcdsnet/internal/stats"
+)
+
+// Schema identifies the report layout; bump on breaking changes.
+const Schema = "wcdsnet-bench/v1"
+
+// regressionTolerance is the fractional slack before the gate trips.
+const regressionTolerance = 0.20
+
+// Phase is the measurement of one execution of the suite.
+type Phase struct {
+	Workers     int     `json:"workers"`
+	WallNS      int64   `json:"wall_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	AllocPerOp  float64 `json:"alloc_bytes_per_op"`
+	MallocPerOp float64 `json:"mallocs_per_op"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Schema     string           `json:"schema"`
+	Stamp      string           `json:"stamp"`
+	GoVersion  string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Quick      bool             `json:"quick"`
+	Scenarios  int              `json:"scenarios"`
+	Networks   int              `json:"networks"`
+	Digest     string           `json:"digest"`
+	Phases     map[string]Phase `json:"phases"`
+	Speedup1W  float64          `json:"speedup_1w"`
+	SpeedupNW  float64          `json:"speedup_nw"`
+	Baseline   string           `json:"baseline,omitempty"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run the ~20-scenario CI smoke suite instead of the full one")
+	out := flag.String("out", ".", "directory for the BENCH_<stamp>.json report (and where baselines are looked up)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the engineN phase")
+	reps := flag.Int("reps", 3, "repetitions per phase; the fastest is reported (damps scheduler noise)")
+	noGate := flag.Bool("no-gate", false, "skip the regression comparison against the newest prior report")
+	flag.Parse()
+
+	if err := run(*quick, *out, *workers, *reps, *noGate); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, outDir string, workers, reps int, noGate bool) error {
+	if reps < 1 {
+		reps = 1
+	}
+	spec := suite(quick)
+	ctx := context.Background()
+
+	fmt.Printf("suite: %d scenarios over %d networks (quick=%v, reps=%d, GOMAXPROCS=%d)\n",
+		spec.NumScenarios(), spec.NumNetworks(), quick, reps, runtime.GOMAXPROCS(0))
+
+	serialRep, err := timed("serial ", reps, func() (*wcdsnet.BatchReport, error) {
+		return wcdsnet.RunBatchSerial(ctx, spec)
+	})
+	if err != nil {
+		return err
+	}
+	engine1Rep, err := timed("engine1", reps, func() (*wcdsnet.BatchReport, error) {
+		return wcdsnet.RunBatch(ctx, spec, wcdsnet.BatchOptions{Workers: 1})
+	})
+	if err != nil {
+		return err
+	}
+	engineNRep, err := timed("engineN", reps, func() (*wcdsnet.BatchReport, error) {
+		return wcdsnet.RunBatch(ctx, spec, wcdsnet.BatchOptions{Workers: workers})
+	})
+	if err != nil {
+		return err
+	}
+
+	digest := serialRep.Digest()
+	if d := engine1Rep.Digest(); d != digest {
+		return fmt.Errorf("determinism violation: engine(1 worker) digest %s != serial %s", d[:12], digest[:12])
+	}
+	if d := engineNRep.Digest(); d != digest {
+		return fmt.Errorf("determinism violation: engine(%d workers) digest %s != serial %s", workers, d[:12], digest[:12])
+	}
+	if serialRep.Failed != 0 {
+		return fmt.Errorf("%d scenarios failed", serialRep.Failed)
+	}
+
+	rep := &Report{
+		Schema:     Schema,
+		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Scenarios:  serialRep.Scenarios,
+		Networks:   serialRep.Networks,
+		Digest:     digest,
+		Phases: map[string]Phase{
+			"serial":  phase(serialRep),
+			"engine1": phase(engine1Rep),
+			"engineN": phase(engineNRep),
+		},
+		Speedup1W: float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
+		SpeedupNW: float64(serialRep.WallNS) / float64(engineNRep.WallNS),
+	}
+	fmt.Printf("digest : %s (identical across serial, 1 worker, %d workers)\n", digest[:16], workers)
+	fmt.Printf("speedup: %.2fx (1 worker)  %.2fx (%d workers)\n", rep.Speedup1W, rep.SpeedupNW, workers)
+
+	var gateErr error
+	if !noGate {
+		base, name, err := newestBaseline(outDir)
+		if err != nil {
+			return err
+		}
+		if base == nil {
+			fmt.Println("gate   : no prior BENCH_*.json, nothing to compare against")
+		} else {
+			rep.Baseline = name
+			gateErr = gate(rep, base, name)
+		}
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_"+rep.Stamp+".json")
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote  :", path)
+	return gateErr
+}
+
+// suite is the pinned benchmark sweep. Full: 2 sizes × 2 degrees × 3 seeds
+// × 9 workloads = 108 scenarios over 12 networks. Quick: 1 × 1 × 3 × 9 =
+// 27 scenarios over 3 networks. Only deterministic workloads — no async
+// (async message counts are schedule-dependent and would break the digest
+// check). The nine workloads per network cell mirror how the sweep is used
+// in practice — one backbone per algorithm, a distributed run, sampled
+// dilation, and broadcast from several sources over the same backbone —
+// and exercise the engine's shared subcomputations: every cell builds its
+// network once, runs each centralized construction once and the detailed
+// distributed run once, no matter how many workloads consume them.
+func suite(quick bool) *wcdsnet.BatchSpec {
+	spec := &wcdsnet.BatchSpec{
+		Sizes:   []int{100, 200},
+		Degrees: []float64{6, 10},
+		Seeds:   []int64{1, 2, 3},
+		Workloads: []wcdsnet.BatchWorkload{
+			{Kind: "backbone", Algorithm: "II"},
+			{Kind: "backbone", Algorithm: "I"},
+			{Kind: "backbone", Algorithm: "II", Mode: "sync"},
+			{Kind: "dilation", Algorithm: "II", Pairs: 40, SampleSeed: 7},
+			{Kind: "broadcast", Source: 0},
+			{Kind: "broadcast", Source: 1},
+			{Kind: "broadcast", Source: 2},
+			{Kind: "broadcast", Source: 3},
+			{Kind: "broadcast", Source: 4},
+		},
+	}
+	if quick {
+		spec.Sizes = []int{60}
+		spec.Degrees = []float64{6}
+		spec.Seeds = []int64{1, 2, 3}
+	}
+	return spec
+}
+
+// timed runs the phase reps times and keeps the fastest repetition — wall
+// clock on a busy box only ever adds noise, so min is the honest estimate.
+// Every repetition must produce the same digest, which turns the reps into
+// extra determinism checks for free.
+func timed(label string, reps int, f func() (*wcdsnet.BatchReport, error)) (*wcdsnet.BatchReport, error) {
+	var best *wcdsnet.BatchReport
+	digest := ""
+	for i := 0; i < reps; i++ {
+		rep, err := f()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		if d := rep.Digest(); digest == "" {
+			digest = d
+		} else if d != digest {
+			return nil, fmt.Errorf("%s: repetition %d digest %s != %s", label, i+1, d[:12], digest[:12])
+		}
+		if best == nil || rep.WallNS < best.WallNS {
+			best = rep
+		}
+	}
+	p := phase(best)
+	fmt.Printf("%s: %8.1f scenarios/s  wall %7.1fms  p50 %6.2fms  p95 %6.2fms  %7.0f B/op  %5.0f allocs/op\n",
+		label, p.OpsPerSec, float64(best.WallNS)/1e6, p.P50MS, p.P95MS, p.AllocPerOp, p.MallocPerOp)
+	return best, nil
+}
+
+func phase(rep *wcdsnet.BatchReport) Phase {
+	wall := make([]float64, 0, len(rep.Results))
+	for _, r := range rep.Results {
+		wall = append(wall, float64(r.WallNS)/1e6)
+	}
+	sum := stats.Summarize(wall)
+	n := float64(rep.Scenarios)
+	return Phase{
+		Workers:     rep.Workers,
+		WallNS:      rep.WallNS,
+		OpsPerSec:   n / (float64(rep.WallNS) / 1e9),
+		P50MS:       sum.P50,
+		P95MS:       sum.P95,
+		AllocPerOp:  float64(rep.AllocBytes) / n,
+		MallocPerOp: float64(rep.Mallocs) / n,
+	}
+}
+
+// newestBaseline loads the lexically newest BENCH_*.json in dir (the stamp
+// format sorts chronologically). Returns nil when none exists.
+func newestBaseline(dir string) (*Report, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(matches) == 0 {
+		return nil, "", nil
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("read baseline %s: %w", path, err)
+	}
+	var base Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, "", fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.Schema != Schema {
+		fmt.Printf("gate   : baseline %s has schema %q, skipping comparison\n", filepath.Base(path), base.Schema)
+		return nil, "", nil
+	}
+	return &base, filepath.Base(path), nil
+}
+
+// gate compares the engineN phase against the baseline and returns an
+// error on a >20% regression. Throughput across different suite shapes or
+// core counts is not comparable and is skipped with a note; the
+// allocations-per-scenario gate holds whenever the suite shape matches.
+func gate(rep, base *Report, name string) error {
+	cur, curOK := rep.Phases["engineN"]
+	old, oldOK := base.Phases["engineN"]
+	if !curOK || !oldOK {
+		fmt.Printf("gate   : baseline %s has no engineN phase, skipping\n", name)
+		return nil
+	}
+	if base.Quick != rep.Quick || base.Scenarios != rep.Scenarios {
+		fmt.Printf("gate   : baseline %s ran a different suite (%d scenarios, quick=%v), skipping\n",
+			name, base.Scenarios, base.Quick)
+		return nil
+	}
+
+	if old.MallocPerOp > 0 {
+		limit := old.MallocPerOp * (1 + regressionTolerance)
+		if cur.MallocPerOp > limit {
+			return fmt.Errorf("regression vs %s: %.0f mallocs/op > %.0f (baseline %.0f +%d%%)",
+				name, cur.MallocPerOp, limit, old.MallocPerOp, int(regressionTolerance*100))
+		}
+	}
+	if base.GOMAXPROCS != rep.GOMAXPROCS {
+		fmt.Printf("gate   : baseline %s ran at GOMAXPROCS=%d (now %d), allocs gate only\n",
+			name, base.GOMAXPROCS, rep.GOMAXPROCS)
+		return nil
+	}
+	if old.OpsPerSec > 0 {
+		floor := old.OpsPerSec * (1 - regressionTolerance)
+		if cur.OpsPerSec < floor {
+			return fmt.Errorf("regression vs %s: %.1f scenarios/s < %.1f (baseline %.1f -%d%%)",
+				name, cur.OpsPerSec, floor, old.OpsPerSec, int(regressionTolerance*100))
+		}
+	}
+	fmt.Printf("gate   : within %.0f%% of %s (%.1f vs %.1f scenarios/s, %.0f vs %.0f allocs/op)\n",
+		regressionTolerance*100, name, cur.OpsPerSec, old.OpsPerSec, cur.MallocPerOp, old.MallocPerOp)
+	return nil
+}

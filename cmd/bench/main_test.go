@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(ops, mallocs float64, procs, scenarios int, quick bool) *Report {
+	return &Report{
+		Schema:     Schema,
+		GOMAXPROCS: procs,
+		Quick:      quick,
+		Scenarios:  scenarios,
+		Phases: map[string]Phase{
+			"engineN": {OpsPerSec: ops, MallocPerOp: mallocs},
+		},
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := report(1000, 2000, 1, 108, false)
+	cases := []struct {
+		name string
+		cur  *Report
+		fail bool
+	}{
+		{"identical", report(1000, 2000, 1, 108, false), false},
+		{"within tolerance", report(850, 2300, 1, 108, false), false},
+		{"throughput regression", report(700, 2000, 1, 108, false), true},
+		{"alloc regression", report(1000, 2500, 1, 108, false), true},
+		{"slow but different cores", report(100, 2000, 4, 108, false), false},
+		{"alloc regression gates on any cores", report(1000, 2500, 4, 108, false), true},
+		{"different suite skipped", report(10, 99999, 1, 27, true), false},
+	}
+	for _, c := range cases {
+		err := gate(c.cur, base, "baseline.json")
+		if (err != nil) != c.fail {
+			t.Errorf("%s: gate error = %v, want failure=%v", c.name, err, c.fail)
+		}
+	}
+}
+
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if base, _, err := newestBaseline(dir); err != nil || base != nil {
+		t.Fatalf("empty dir: base=%v err=%v", base, err)
+	}
+	write := func(name string, rep *Report) {
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := report(500, 3000, 1, 108, false)
+	newer := report(1000, 2000, 1, 108, false)
+	write("BENCH_20250101T000000Z.json", old)
+	write("BENCH_20260101T000000Z.json", newer)
+	base, name, err := newestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BENCH_20260101T000000Z.json" {
+		t.Fatalf("picked %s, want the newest stamp", name)
+	}
+	if base.Phases["engineN"].OpsPerSec != 1000 {
+		t.Fatalf("loaded wrong report: %+v", base)
+	}
+
+	// A baseline with a foreign schema is ignored, not an error.
+	foreign := report(1, 1, 1, 1, false)
+	foreign.Schema = "somebody-else/v9"
+	write("BENCH_20270101T000000Z.json", foreign)
+	base, _, err = newestBaseline(dir)
+	if err != nil || base != nil {
+		t.Fatalf("foreign schema: base=%v err=%v", base, err)
+	}
+}

@@ -63,7 +63,10 @@ func run() error {
 	}
 
 	// fig2: Algorithm II's WCDS with the weakly induced subgraph in black.
-	res2 := wcdsnet.AlgorithmII(nw)
+	res2, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)
+	if err != nil {
+		return err
+	}
 	if err := write("fig2-wcds-spanner.svg", render.Options{
 		Dominators:   res2.MISDominators,
 		Additional:   res2.AdditionalDominators,

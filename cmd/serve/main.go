@@ -62,16 +62,18 @@ func run() error {
 		cacheSize = flag.Int("cache", 1024, "result-cache entries")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		maxNodes  = flag.Int("maxnodes", 20000, "largest accepted network")
+		maxBatch  = flag.Int("maxbatch", 0, "largest accepted batch sweep in scenarios (0 = default, -1 = unbounded)")
 		selfcheck = flag.Int("selfcheck", 0, "fire N concurrent mixed requests and exit")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		Workers:        *workers,
-		QueueSize:      *queue,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		MaxNodes:       *maxNodes,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		CacheSize:         *cacheSize,
+		RequestTimeout:    *timeout,
+		MaxNodes:          *maxNodes,
+		MaxBatchScenarios: *maxBatch,
 	})
 	defer svc.Close()
 

@@ -94,8 +94,14 @@ func randomInstance(rng *rand.Rand, maxN int) (*udg.Network, string) {
 
 func verifyInstance(rng *rand.Rand, nw *udg.Network) error {
 	// Centralized constructions + invariants.
-	res1 := wcdsnet.AlgorithmI(nw)
-	res2 := wcdsnet.AlgorithmII(nw)
+	res1, _, err := wcdsnet.Run(nw, wcdsnet.AlgoI)
+	if err != nil {
+		return err
+	}
+	res2, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)
+	if err != nil {
+		return err
+	}
 	if !wcdsnet.IsWCDS(nw, res1.Dominators) {
 		return fmt.Errorf("Algorithm I result not a WCDS")
 	}
@@ -113,21 +119,21 @@ func verifyInstance(rng *rand.Rand, nw *udg.Network) error {
 	}
 
 	// Distributed equivalences.
-	dSync, _, err := wcdsnet.AlgorithmIIDistributed(nw, wcdsnet.Deferred, false, 0)
+	dSync, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.Distributed())
 	if err != nil {
 		return err
 	}
 	if !equal(dSync.Dominators, res2.Dominators) {
 		return fmt.Errorf("sync distributed Algorithm II diverged")
 	}
-	dAsync, _, err := wcdsnet.AlgorithmIIDistributed(nw, wcdsnet.Deferred, true, rng.Int63())
+	dAsync, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.Async(rng.Int63()))
 	if err != nil {
 		return err
 	}
 	if !equal(dAsync.Dominators, res2.Dominators) {
 		return fmt.Errorf("async distributed Algorithm II diverged")
 	}
-	zk, _, err := wcdsnet.AlgorithmIIZeroKnowledge(nw, wcdsnet.Deferred, true, rng.Int63())
+	zk, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.Async(rng.Int63()), wcdsnet.ZeroKnowledge())
 	if err != nil {
 		return err
 	}

@@ -212,26 +212,20 @@ func runWithTimeline(nw *wcdsnet.Network, algo string) (wcdsnet.Result, *simnet.
 }
 
 func runAlgo(nw *wcdsnet.Network, algo, engine string, seed int64) (wcdsnet.Result, int, int, error) {
+	which := wcdsnet.AlgoII
+	if algo == "I" {
+		which = wcdsnet.AlgoI
+	}
+	var opts []wcdsnet.Option
 	switch engine {
 	case "centralized":
-		if algo == "I" {
-			return wcdsnet.AlgorithmI(nw), 0, 0, nil
-		}
-		return wcdsnet.AlgorithmII(nw), 0, 0, nil
-	case "sync", "async":
-		async := engine == "async"
-		var (
-			res   wcdsnet.Result
-			stats wcdsnet.RunStats
-			err   error
-		)
-		if algo == "I" {
-			res, stats, err = wcdsnet.AlgorithmIDistributed(nw, async, seed)
-		} else {
-			res, stats, err = wcdsnet.AlgorithmIIDistributed(nw, wcdsnet.Deferred, async, seed)
-		}
-		return res, stats.Messages, stats.Rounds, err
+	case "sync":
+		opts = append(opts, wcdsnet.Distributed())
+	case "async":
+		opts = append(opts, wcdsnet.Async(seed))
 	default:
 		return wcdsnet.Result{}, 0, 0, fmt.Errorf("unknown engine %q", engine)
 	}
+	res, stats, err := wcdsnet.Run(nw, which, opts...)
+	return res, stats.Messages, stats.Rounds, err
 }

@@ -35,8 +35,10 @@ func main() {
 		}
 		ew += float64(len(optW))
 		ec += float64(len(optC))
-		a1 += float64(len(wcdsnet.AlgorithmI(nw).Dominators))
-		a2 += float64(len(wcdsnet.AlgorithmII(nw).Dominators))
+		r1, _, _ := wcdsnet.Run(nw, wcdsnet.AlgoI)
+		r2, _, _ := wcdsnet.Run(nw, wcdsnet.AlgoII)
+		a1 += float64(len(r1.Dominators))
+		a2 += float64(len(r2.Dominators))
 	}
 	fmt.Printf("  MWCDS %.2f  MCDS %.2f  (weak connectivity buys %.0f%% smaller minimum)\n",
 		ew/smallTrials, ec/smallTrials, 100*(1-ew/ec))
@@ -54,8 +56,8 @@ func main() {
 				log.Fatal(err)
 			}
 			misSet := mis.Greedy(nw.G, mis.ByID(nw.ID))
-			r1 := wcdsnet.AlgorithmI(nw)
-			r2 := wcdsnet.AlgorithmII(nw)
+			r1, _, _ := wcdsnet.Run(nw, wcdsnet.AlgoI)
+			r2, _, _ := wcdsnet.Run(nw, wcdsnet.AlgoII)
 			gw, err := baseline.GreedyWCDS(nw.G)
 			if err != nil {
 				log.Fatal(err)

@@ -21,7 +21,10 @@ func main() {
 	// Algorithm II: fully localized WCDS construction. The result carries
 	// the MIS dominators, the additional (connector) dominators, and the
 	// weakly induced sparse spanner.
-	res := wcdsnet.AlgorithmII(nw)
+	res, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("backbone: %d dominators (%d MIS + %d additional) out of %d nodes\n",
 		len(res.Dominators), len(res.MISDominators), len(res.AdditionalDominators), nw.N())
 	fmt.Printf("spanner:  %d of %d edges kept (%.2f edges per node)\n",
@@ -42,7 +45,7 @@ func main() {
 
 	// The same construction as a real distributed protocol, counting radio
 	// messages (Theorem 12: O(n)).
-	_, stats, err := wcdsnet.AlgorithmIIDistributed(nw, wcdsnet.Deferred, false, 0)
+	_, stats, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.Distributed())
 	if err != nil {
 		log.Fatal(err)
 	}

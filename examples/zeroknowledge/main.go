@@ -39,7 +39,10 @@ func main() {
 		b.TotalMessages, float64(b.TotalMessages)/float64(nw.N()))
 
 	// Cross-check against the centralized reference.
-	want := wcdsnet.AlgorithmII(nw)
+	want, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)
+	if err != nil {
+		log.Fatal(err)
+	}
 	same := len(res.Dominators) == len(want.Dominators)
 	for i := 0; same && i < len(res.Dominators); i++ {
 		same = res.Dominators[i] == want.Dominators[i]

@@ -1,0 +1,258 @@
+package batch
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"wcdsnet/internal/simnet"
+)
+
+func testSpec() *Spec {
+	return &Spec{
+		Sizes:   []int{30, 50},
+		Degrees: []float64{6},
+		Seeds:   []int64{1, 2},
+		Workloads: []Workload{
+			{Kind: Backbone, Algorithm: "II"},
+			{Kind: Backbone, Algorithm: "I", Mode: "sync"},
+			{Kind: Dilation, Pairs: 40, SampleSeed: 7},
+			{Kind: Broadcast, Source: 3},
+		},
+	}
+}
+
+func TestExpandDeterministicOrder(t *testing.T) {
+	spec := testSpec()
+	scens, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != spec.NumScenarios() {
+		t.Fatalf("expanded %d scenarios, want %d", len(scens), spec.NumScenarios())
+	}
+	for i, sc := range scens {
+		if sc.Index != i {
+			t.Fatalf("scenario %d carries index %d", i, sc.Index)
+		}
+		wantNet := i / len(spec.Workloads)
+		if sc.Net != wantNet {
+			t.Fatalf("scenario %d: net %d, want %d", i, sc.Net, wantNet)
+		}
+	}
+	// First block is (30, 6, seed 1) across all four workloads.
+	if scens[0].Size != 30 || scens[0].Seed != 1 || scens[0].Workload != 0 {
+		t.Fatalf("unexpected first scenario %+v", scens[0])
+	}
+	if scens[len(scens)-1].Size != 50 || scens[len(scens)-1].Seed != 2 {
+		t.Fatalf("unexpected last scenario %+v", scens[len(scens)-1])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{Degrees: []float64{6}, Seeds: []int64{1}},
+		{Sizes: []int{10}, Seeds: []int64{1}},
+		{Sizes: []int{10}, Degrees: []float64{6}},
+		{Sizes: []int{-5}, Degrees: []float64{6}, Seeds: []int64{1}},
+		{Sizes: []int{10}, Degrees: []float64{0}, Seeds: []int64{1}},
+		{Sizes: []int{10}, Degrees: []float64{6}, Seeds: []int64{1},
+			Workloads: []Workload{{Algorithm: "III"}}},
+		{Sizes: []int{10}, Degrees: []float64{6}, Seeds: []int64{1},
+			Workloads: []Workload{{Mode: "quantum"}}},
+		{Sizes: []int{10}, Degrees: []float64{6}, Seeds: []int64{1},
+			Workloads: []Workload{{Kind: Broadcast, Source: 10}}},
+		{Sizes: []int{10}, Degrees: []float64{6}, Seeds: []int64{1},
+			Workloads: []Workload{{Reliable: true}}}, // centralized + reliable
+		{Sizes: []int{10}, Degrees: []float64{6}, Seeds: []int64{1},
+			Workloads: []Workload{{Kind: Dilation, Reliable: true}}},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, spec)
+		}
+	}
+}
+
+// TestRunMatchesSerial is the engine's core contract: serial baseline,
+// 1-worker engine and N-worker engine must produce byte-identical
+// per-scenario results (canonical form, wall time excluded).
+func TestRunMatchesSerial(t *testing.T) {
+	spec := testSpec()
+	ctx := context.Background()
+
+	serial, err := RunSerial(ctx, testSpec())
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	one, err := Run(ctx, testSpec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Run(1): %v", err)
+	}
+	many, err := Run(ctx, spec, Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("Run(8): %v", err)
+	}
+
+	if serial.Failed != 0 || one.Failed != 0 || many.Failed != 0 {
+		t.Fatalf("failures: serial=%d one=%d many=%d", serial.Failed, one.Failed, many.Failed)
+	}
+	if s, o := serial.Digest(), one.Digest(); s != o {
+		t.Errorf("serial and 1-worker digests differ:\n%s\nvs\n%s",
+			firstDiff(serial.Canonical(), one.Canonical()), "")
+	}
+	if o, m := one.Digest(), many.Digest(); o != m {
+		t.Errorf("1-worker and 8-worker digests differ:\n%s",
+			firstDiff(one.Canonical(), many.Canonical()))
+	}
+	if many.Workers != 8 {
+		t.Errorf("report claims %d workers, want 8", many.Workers)
+	}
+	for i, res := range many.Results {
+		if res.Index != i {
+			t.Fatalf("result %d out of order (index %d)", i, res.Index)
+		}
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range min(len(al), len(bl)) {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\n  vs " + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+func TestRunResultsSane(t *testing.T) {
+	rep, err := Run(context.Background(), testSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		switch {
+		case strings.HasPrefix(res.Workload, "backbone"):
+			if res.Backbone == 0 || !res.Valid || !res.Converged {
+				t.Errorf("scenario %d (%s): bad backbone row %+v", res.Index, res.Workload, res)
+			}
+			if res.Ratio <= 0 || res.Ratio > 1 {
+				t.Errorf("scenario %d: ratio %v out of (0,1]", res.Index, res.Ratio)
+			}
+		case strings.HasPrefix(res.Workload, "dilation"):
+			if res.Pairs == 0 || res.AvgTopo < 1 {
+				t.Errorf("scenario %d: bad dilation row %+v", res.Index, res)
+			}
+		case strings.HasPrefix(res.Workload, "broadcast"):
+			if !res.Covered || res.FloodTx == 0 {
+				t.Errorf("scenario %d: bad broadcast row %+v", res.Index, res)
+			}
+		}
+		if res.WallNS <= 0 {
+			t.Errorf("scenario %d: wallNS %d", res.Index, res.WallNS)
+		}
+	}
+	if len(rep.Aggregates) == 0 {
+		t.Fatal("no aggregates")
+	}
+	if agg, ok := rep.Aggregates["backbone-II-centralized/ratio"]; !ok || agg.N != 4 {
+		t.Errorf("missing or short ratio aggregate: %+v (have %v)", agg, keys(rep.Aggregates))
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestRunStreamsResults(t *testing.T) {
+	spec := &Spec{Sizes: []int{20}, Degrees: []float64{5}, Seeds: []int64{1, 2, 3}}
+	seen := map[int]bool{}
+	rep, err := Run(context.Background(), spec, Options{
+		Workers: 3,
+		OnResult: func(r Result) {
+			if seen[r.Index] {
+				t.Errorf("scenario %d streamed twice", r.Index)
+			}
+			seen[r.Index] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != rep.Scenarios {
+		t.Fatalf("streamed %d of %d results", len(seen), rep.Scenarios)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	// Enough scenarios that cancellation lands mid-sweep.
+	spec := &Spec{Sizes: []int{60}, Degrees: []float64{8}, Seeds: make([]int64, 200)}
+	for i := range spec.Seeds {
+		spec.Seeds[i] = int64(i + 1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	rep, err := Run(ctx, spec, Options{
+		Workers: 2,
+		OnResult: func(Result) {
+			n++
+			if n == 5 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rep.Results) >= rep.Scenarios {
+		t.Fatalf("cancelled run completed all %d scenarios", rep.Scenarios)
+	}
+	for i := 1; i < len(rep.Results); i++ {
+		if rep.Results[i-1].Index >= rep.Results[i].Index {
+			t.Fatalf("compacted results out of index order at %d", i)
+		}
+	}
+}
+
+func TestRunFaultyWorkloadRecordsFailureNotError(t *testing.T) {
+	spec := &Spec{
+		Sizes: []int{30}, Degrees: []float64{6}, Seeds: []int64{1},
+		Workloads: []Workload{{
+			Kind: Backbone, Algorithm: "II", Mode: "sync",
+			Faults:    &simnet.FaultPlan{DropRate: 0.6, Seed: 9},
+			MaxRounds: 60,
+		}},
+	}
+	rep, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	if res.Err != "" {
+		t.Fatalf("lossy run reported hard error %q", res.Err)
+	}
+	if res.Converged && !res.Valid {
+		t.Fatalf("claims convergence with invalid WCDS: %+v", res)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("detectable non-convergence counted as failure: %+v", res)
+	}
+}
+
+func TestRunSerialCancellation(t *testing.T) {
+	spec := &Spec{Sizes: []int{40}, Degrees: []float64{6}, Seeds: []int64{1, 2, 3, 4, 5}}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	rep, err := RunSerial(ctx, spec)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("expired context still ran %d scenarios", len(rep.Results))
+	}
+}

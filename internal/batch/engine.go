@@ -1,0 +1,378 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcdsnet/internal/route"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
+	"wcdsnet/internal/spanner"
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+// genMaxTries bounds connected-instance rejection sampling, matching the
+// service's limit so batch and serve agree on which cells are realisable.
+const genMaxTries = 2000
+
+// netMemo holds the shared subcomputations of one (size, degree, seed)
+// network cell. Each is computed at most once per Run, no matter how many
+// scenarios of the cell execute or which workers pick them up; RunSerial
+// gives every scenario a fresh memo instead, which is exactly the
+// recompute-per-scenario cost the engine exists to remove.
+type netMemo struct {
+	size   int
+	degree float64
+	seed   int64
+
+	netOnce sync.Once
+	nw      *udg.Network
+	netErr  error
+
+	// Centralized constructions, indexed 0 = Algorithm I, 1 = Algorithm II.
+	centOnce [2]sync.Once
+	centRes  [2]wcds.Result
+
+	// Distributed Algorithm II with routing tables, plus the derived relay
+	// set (shared by every broadcast source over the cell).
+	detOnce  sync.Once
+	detRes   wcds.Result
+	detRelay []bool
+	detErr   error
+}
+
+func (m *netMemo) network() (*udg.Network, error) {
+	m.netOnce.Do(func() {
+		rng := rand.New(rand.NewSource(m.seed))
+		m.nw, m.netErr = udg.GenConnectedAvgDegree(rng, m.size, m.degree, genMaxTries)
+	})
+	return m.nw, m.netErr
+}
+
+func (m *netMemo) centralized(algo string) (*udg.Network, wcds.Result, error) {
+	nw, err := m.network()
+	if err != nil {
+		return nil, wcds.Result{}, err
+	}
+	i := 0
+	if algo == "II" {
+		i = 1
+	}
+	m.centOnce[i].Do(func() {
+		if i == 0 {
+			m.centRes[i] = wcds.Algo1Centralized(nw.G, nw.ID)
+		} else {
+			m.centRes[i] = wcds.Algo2Centralized(nw.G, nw.ID)
+		}
+	})
+	return nw, m.centRes[i], nil
+}
+
+func (m *netMemo) detailed() (*udg.Network, wcds.Result, []bool, error) {
+	nw, err := m.network()
+	if err != nil {
+		return nil, wcds.Result{}, nil, err
+	}
+	m.detOnce.Do(func() {
+		res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+		if err != nil {
+			m.detErr = fmt.Errorf("batch: backbone construction failed: %v", err)
+			return
+		}
+		m.detRes = res
+		m.detRelay = route.RelaySet(nw.G, nw.ID, res, tables)
+	})
+	return nw, m.detRes, m.detRelay, m.detErr
+}
+
+// Options configures Run.
+type Options struct {
+	// Workers is the shard count (<= 0 means GOMAXPROCS). The result set is
+	// identical for every value; only wall time changes.
+	Workers int
+	// OnResult, when non-nil, streams each finished scenario as it
+	// completes. Calls are serialized but arrive in completion order, not
+	// index order; Report.Results is always index-ordered regardless.
+	OnResult func(Result)
+}
+
+// Run executes the sweep across opts.Workers goroutines and returns the
+// full report. Workers pull scenario indices from a shared atomic counter
+// and write into a results array addressed by scenario index, so the
+// output is deterministic in layout for any worker count; scenario content
+// is deterministic whenever the underlying measurement is (async-mode
+// message counts are schedule-dependent by nature, in serial runs too).
+//
+// On context cancellation Run stops dispatching, returns the completed
+// results (compacted, still index-ordered) and reports ctx.Err().
+func Run(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
+	scens, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, max(len(scens), 1))
+
+	memos := make([]*netMemo, spec.NumNetworks())
+	for _, sc := range scens {
+		if memos[sc.Net] == nil {
+			memos[sc.Net] = &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed}
+		}
+	}
+
+	results := make([]Result, len(scens))
+	done := make([]bool, len(scens))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var (
+		next atomic.Int64
+		cbMu sync.Mutex
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scens) || ctx.Err() != nil {
+					return
+				}
+				sc := scens[i]
+				res := runScenario(sc, &spec.Workloads[sc.Workload], memos[sc.Net])
+				results[i] = res
+				done[i] = true
+				if opts.OnResult != nil {
+					cbMu.Lock()
+					opts.OnResult(res)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	runtime.ReadMemStats(&ms1)
+	rep := &Report{
+		Scenarios: len(scens),
+		Networks:  spec.NumNetworks(),
+		Workers:   workers,
+		WallNS:    time.Since(start).Nanoseconds(),
+		// TotalAlloc and Mallocs are monotone, so the deltas are exact for
+		// the run (plus whatever unrelated goroutines allocate meanwhile).
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+	}
+	if err := ctx.Err(); err != nil {
+		for i, ok := range done {
+			if ok {
+				rep.Results = append(rep.Results, results[i])
+			}
+		}
+		rep.finish()
+		return rep, err
+	}
+	rep.Results = results
+	rep.finish()
+	return rep, nil
+}
+
+// RunSerial is the pre-engine baseline: the same scenarios, one at a time,
+// each regenerating its network and recomputing every construction from
+// scratch (a fresh memo per scenario, so nothing is shared). cmd/bench
+// reports the engine's speedup against this.
+func RunSerial(ctx context.Context, spec *Spec) (*Report, error) {
+	scens, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(scens))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for _, sc := range scens {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		memo := &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed}
+		results = append(results, runScenario(sc, &spec.Workloads[sc.Workload], memo))
+	}
+	runtime.ReadMemStats(&ms1)
+	rep := &Report{
+		Scenarios:  len(scens),
+		Networks:   spec.NumNetworks(),
+		Workers:    1,
+		Serial:     true,
+		WallNS:     time.Since(start).Nanoseconds(),
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+		Results:    results,
+	}
+	rep.finish()
+	return rep, ctx.Err()
+}
+
+// runScenario executes one scenario, converting panics in measurement code
+// into failed rows so a single bad cell cannot take down a sweep.
+func runScenario(sc Scenario, w *Workload, memo *netMemo) (res Result) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed,
+				Workload: w.label(), Err: fmt.Sprintf("panic: %v", r)}
+		}
+		res.WallNS = time.Since(start).Nanoseconds()
+	}()
+	res = execScenario(sc, w, memo)
+	return res
+}
+
+func execScenario(sc Scenario, w *Workload, memo *netMemo) Result {
+	r := Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed, Workload: w.label()}
+	switch w.Kind {
+	case Dilation:
+		nw, res, err := memo.centralized(w.Algorithm)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		r.Edges = nw.G.M()
+		var pairs [][2]int
+		if w.Pairs <= 0 {
+			pairs = spanner.AllPairs(nw.G)
+		} else {
+			pairs = spanner.SamplePairs(rand.New(rand.NewSource(w.SampleSeed)), nw.N(), w.Pairs)
+		}
+		report, err := spanner.Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		r.SpannerEdges = res.Spanner.M()
+		r.Pairs = report.Pairs
+		if report.WorstTopo.HopsG > 0 {
+			r.WorstTopo = float64(report.WorstTopo.HopsSpanner) / float64(report.WorstTopo.HopsG)
+		}
+		if report.WorstGeo.LenG > 0 {
+			r.WorstGeo = report.WorstGeo.LenSpanner / report.WorstGeo.LenG
+		}
+		r.AvgTopo = report.AvgTopoRatio
+		r.AvgGeo = report.AvgGeoRatio
+		r.BoundsOK = report.TopoBoundHolds && report.GeoBoundHolds
+		return r
+
+	case Broadcast:
+		nw, _, relay, err := memo.detailed()
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		r.Edges = nw.G.M()
+		backbone := route.Broadcast(nw.G, relay, w.Source)
+		flood := route.BlindFlood(nw.G, w.Source)
+		r.RelaySize = backbone.RelaySetSize
+		r.BackboneTx = backbone.Transmissions
+		r.FloodTx = flood.Transmissions
+		r.Covered = backbone.Covered
+		if flood.Transmissions > 0 {
+			r.Saving = 1 - float64(backbone.Transmissions)/float64(flood.Transmissions)
+		}
+		return r
+
+	default: // Backbone
+		if w.Mode == "centralized" {
+			nw, res, err := memo.centralized(w.Algorithm)
+			if err != nil {
+				r.Err = err.Error()
+				return r
+			}
+			fillBackbone(&r, nw, res)
+			r.Converged = true
+			return r
+		}
+		nw, err := memo.network()
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		var (
+			res wcds.Result
+			st  simnet.Stats
+		)
+		runner := runnerFor(w)
+		if w.Algorithm == "I" {
+			res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
+		} else {
+			mode := wcds.Deferred
+			if w.Selection == "eager" {
+				mode = wcds.Eager
+			}
+			res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, mode, runner)
+		}
+		r.Messages = st.Messages
+		r.Rounds = st.Rounds
+		r.Dropped = st.Dropped
+		r.Retransmits = st.Retransmits
+		if err != nil {
+			// Under injected faults a stalled run is a detectable outcome,
+			// recorded as non-convergence; without faults it is a hard error.
+			if w.Faults == nil {
+				r.Err = err.Error()
+			} else {
+				r.Failure = err.Error()
+			}
+			return r
+		}
+		fillBackbone(&r, nw, res)
+		r.Converged = true
+		return r
+	}
+}
+
+func fillBackbone(r *Result, nw *udg.Network, res wcds.Result) {
+	r.Edges = nw.G.M()
+	r.Backbone = len(res.Dominators)
+	r.MIS = len(res.MISDominators)
+	r.Additional = len(res.AdditionalDominators)
+	if res.Spanner != nil {
+		r.SpannerEdges = res.Spanner.M()
+	}
+	r.Valid = wcds.IsWCDS(nw.G, res.Dominators)
+	if nw.N() > 0 {
+		r.Ratio = float64(r.Backbone) / float64(nw.N())
+	}
+}
+
+// runnerFor compiles a distributed workload into a protocol runner,
+// mirroring the service's option mapping.
+func runnerFor(w *Workload) wcds.Runner {
+	var opts []simnet.Option
+	async := w.Mode == "async"
+	if async {
+		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(w.ScheduleSeed))))
+	}
+	if w.Faults != nil {
+		opts = append(opts, simnet.WithFaults(*w.Faults))
+	}
+	if w.MaxRounds > 0 {
+		opts = append(opts, simnet.WithMaxRounds(w.MaxRounds))
+	}
+	if w.Reliable {
+		return wcds.ReliableRunner(async, reliable.Options{MaxRetries: w.MaxRetries}, opts...)
+	}
+	if async {
+		return wcds.AsyncRunner(opts...)
+	}
+	return wcds.SyncRunner(opts...)
+}

@@ -1,0 +1,267 @@
+// Package batch is the sharded batch-run engine: it executes a declarative
+// sweep — sizes × densities × seeds × workloads, optionally fault-injected —
+// across worker goroutines and streams per-scenario results plus aggregate
+// statistics.
+//
+// Large-scale evaluation of UDG backbone constructions is how the
+// literature compares algorithms (sweeps over size, density and seed
+// grids), and before this package every sweep in the repository ran
+// scenarios one at a time through its own ad-hoc loop, regenerating the
+// topology and re-running the construction for every measurement taken on
+// it. The engine fixes both costs:
+//
+//   - Sharding: scenarios are dispatched to workers by a deterministic
+//     scenario index. Every scenario is a pure function of the spec, so the
+//     result array is identical — byte for byte under Report.Canonical —
+//     regardless of the worker count.
+//   - Shared subcomputations: scenarios over the same (size, degree, seed)
+//     cell share one generated network, one centralized construction per
+//     algorithm and one distributed table-building run, each computed once
+//     behind a sync.Once instead of once per scenario.
+//   - Pooled hot paths: udg.BuildGraph grid scratch and simnet message
+//     queues are recycled through sync.Pools, cutting steady-state
+//     allocations of the generate/construct loop.
+//
+// RunSerial preserves the pre-engine behaviour — fully independent
+// scenario executions in a plain loop — and is the baseline cmd/bench
+// measures speedup against.
+package batch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wcdsnet/internal/simnet"
+)
+
+// Kind names a workload: the measurement taken on a network cell.
+type Kind string
+
+// Workload kinds.
+const (
+	// Backbone runs a WCDS construction (Algorithm I or II; centralized,
+	// sync or async; optionally fault-injected and reliable).
+	Backbone Kind = "backbone"
+	// Dilation runs the centralized construction and measures spanner
+	// dilation over sampled pairs.
+	Dilation Kind = "dilation"
+	// Broadcast builds the backbone with routing tables and compares a
+	// backbone broadcast from Source against a blind flood.
+	Broadcast Kind = "broadcast"
+)
+
+// Workload describes one measurement applied to every network cell of the
+// sweep. The zero value of each field selects the documented default.
+type Workload struct {
+	// Kind selects the measurement (default Backbone).
+	Kind Kind `json:"kind,omitempty"`
+	// Algorithm is "I" or "II" (default "II"; Backbone and Dilation).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Mode is "centralized" (default), "sync" or "async" (Backbone only).
+	Mode string `json:"mode,omitempty"`
+	// Selection is "deferred" (default) or "eager" (distributed Algorithm
+	// II only).
+	Selection string `json:"selection,omitempty"`
+	// ScheduleSeed scrambles the async schedule (mode "async").
+	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
+	// Faults injects a fault plan into distributed backbone runs.
+	Faults *simnet.FaultPlan `json:"faults,omitempty"`
+	// Reliable wraps distributed runs in the ack/retransmit layer.
+	Reliable bool `json:"reliable,omitempty"`
+	// MaxRetries overrides the reliable layer's retry budget (0 = default).
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// MaxRounds overrides the engine quiescence budget (0 = default).
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// Pairs is the dilation sample size (Dilation; <= 0 means all pairs).
+	Pairs int `json:"pairs,omitempty"`
+	// SampleSeed seeds dilation pair sampling.
+	SampleSeed int64 `json:"sampleSeed,omitempty"`
+	// Source is the broadcast origin node (Broadcast).
+	Source int `json:"source,omitempty"`
+}
+
+// normalize defaults and canonicalises the enum fields in place.
+func (w *Workload) normalize(i int) error {
+	switch w.Kind {
+	case "", Backbone:
+		w.Kind = Backbone
+	case Dilation, Broadcast:
+	default:
+		return fmt.Errorf("batch: workload %d: unknown kind %q", i, w.Kind)
+	}
+	switch w.Algorithm {
+	case "", "II", "ii", "2":
+		w.Algorithm = "II"
+	case "I", "i", "1":
+		w.Algorithm = "I"
+	default:
+		return fmt.Errorf("batch: workload %d: unknown algorithm %q (want I or II)", i, w.Algorithm)
+	}
+	switch strings.ToLower(w.Mode) {
+	case "", "centralized":
+		w.Mode = "centralized"
+	case "sync":
+		w.Mode = "sync"
+	case "async":
+		w.Mode = "async"
+	default:
+		return fmt.Errorf("batch: workload %d: unknown mode %q (want centralized, sync or async)", i, w.Mode)
+	}
+	switch strings.ToLower(w.Selection) {
+	case "", "deferred":
+		w.Selection = "deferred"
+	case "eager":
+		w.Selection = "eager"
+	default:
+		return fmt.Errorf("batch: workload %d: unknown selection %q (want deferred or eager)", i, w.Selection)
+	}
+	if w.Faults != nil && w.Faults.Empty() {
+		w.Faults = nil
+	}
+	faulty := w.Faults != nil || w.Reliable || w.MaxRetries != 0 || w.MaxRounds != 0
+	if w.Kind == Backbone && faulty && w.Mode == "centralized" {
+		return fmt.Errorf("batch: workload %d: faults/reliable/maxRetries/maxRounds require mode sync or async", i)
+	}
+	if w.Kind != Backbone && faulty {
+		return fmt.Errorf("batch: workload %d: faults/reliable budgets apply to backbone workloads only", i)
+	}
+	if w.MaxRetries < 0 || w.MaxRounds < 0 {
+		return fmt.Errorf("batch: workload %d: negative budget", i)
+	}
+	if w.Source < 0 {
+		return fmt.Errorf("batch: workload %d: source %d must be non-negative", i, w.Source)
+	}
+	return nil
+}
+
+// label renders the workload as a short deterministic tag for result rows.
+func (w *Workload) label() string {
+	switch w.Kind {
+	case Dilation:
+		return fmt.Sprintf("dilation-%s-p%d", w.Algorithm, w.Pairs)
+	case Broadcast:
+		return fmt.Sprintf("broadcast-src%d", w.Source)
+	default:
+		tag := fmt.Sprintf("backbone-%s-%s", w.Algorithm, w.Mode)
+		if w.Faults != nil {
+			tag += "-faulty"
+		}
+		if w.Reliable {
+			tag += "-reliable"
+		}
+		return tag
+	}
+}
+
+// Spec is a declarative sweep: the cartesian product of Sizes × Degrees ×
+// Seeds defines the network cells, and every Workload runs once per cell.
+// Scenario i of the expansion is sizes-major, workloads-minor:
+//
+//	index = ((si·|Degrees| + di)·|Seeds| + ki)·|Workloads| + wi
+type Spec struct {
+	// Sizes lists node counts.
+	Sizes []int `json:"sizes"`
+	// Degrees lists target average degrees.
+	Degrees []float64 `json:"degrees"`
+	// Seeds lists network generation seeds.
+	Seeds []int64 `json:"seeds"`
+	// Workloads lists the measurements taken on every cell (default: one
+	// centralized Algorithm II backbone).
+	Workloads []Workload `json:"workloads,omitempty"`
+}
+
+// Scenario is one expanded unit of work.
+type Scenario struct {
+	Index    int
+	Size     int
+	Degree   float64
+	Seed     int64
+	Workload int // index into Spec.Workloads
+	Net      int // index of the (size, degree, seed) network cell
+}
+
+// Validate normalizes the workloads in place and checks every axis. It
+// must be called (directly or via Expand) before running the spec.
+func (s *Spec) Validate() error {
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("batch: no sizes given")
+	}
+	minSize := s.Sizes[0]
+	for _, n := range s.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("batch: size %d must be positive", n)
+		}
+		minSize = min(minSize, n)
+	}
+	if len(s.Degrees) == 0 {
+		return fmt.Errorf("batch: no degrees given")
+	}
+	for _, d := range s.Degrees {
+		if !(d > 0) || math.IsInf(d, 0) {
+			return fmt.Errorf("batch: degree %v must be positive and finite", d)
+		}
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("batch: no seeds given")
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []Workload{{}}
+	}
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if err := w.normalize(i); err != nil {
+			return err
+		}
+		if w.Kind == Broadcast && w.Source >= minSize {
+			return fmt.Errorf("batch: workload %d: broadcast source %d out of range for size %d", i, w.Source, minSize)
+		}
+		if w.Faults != nil {
+			if err := w.Faults.Validate(minSize); err != nil {
+				return fmt.Errorf("batch: workload %d: %v", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// NumScenarios returns the expansion size without expanding.
+func (s *Spec) NumScenarios() int {
+	w := len(s.Workloads)
+	if w == 0 {
+		w = 1
+	}
+	return len(s.Sizes) * len(s.Degrees) * len(s.Seeds) * w
+}
+
+// NumNetworks returns the number of distinct network cells.
+func (s *Spec) NumNetworks() int {
+	return len(s.Sizes) * len(s.Degrees) * len(s.Seeds)
+}
+
+// Expand validates the spec and returns the deterministic scenario list.
+func (s *Spec) Expand() ([]Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	scens := make([]Scenario, 0, s.NumScenarios())
+	net := 0
+	for _, size := range s.Sizes {
+		for _, deg := range s.Degrees {
+			for _, seed := range s.Seeds {
+				for wi := range s.Workloads {
+					scens = append(scens, Scenario{
+						Index:    len(scens),
+						Size:     size,
+						Degree:   deg,
+						Seed:     seed,
+						Workload: wi,
+						Net:      net,
+					})
+				}
+				net++
+			}
+		}
+	}
+	return scens, nil
+}

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
-	"wcdsnet/internal/service"
+	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
 	"wcdsnet/internal/wcds"
@@ -26,7 +26,7 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 		client = http.DefaultClient
 	}
 	return func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, error) {
-		req := service.BackboneRequest{
+		req := api.BackboneRequest{
 			Algorithm: "II",
 			Selection: "deferred",
 			Faults:    &plan,
@@ -60,7 +60,7 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 			return wcds.Result{}, simnet.Stats{}, fmt.Errorf("chaos: POST /v1/backbone: %w", err)
 		}
 		defer httpResp.Body.Close()
-		var resp service.BackboneResponse
+		var resp api.BackboneResponse
 		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 			return wcds.Result{}, simnet.Stats{}, fmt.Errorf("chaos: decode response: %w", err)
 		}

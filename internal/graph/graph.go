@@ -68,6 +68,18 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// AddEdgeUnchecked inserts the undirected edge {u, v} without the
+// self-loop, range and duplicate checks of AddEdge. It exists for bulk
+// constructions (udg.BuildGraph) whose geometry already guarantees a valid,
+// duplicate-free edge stream; the duplicate scan in AddEdge is O(degree)
+// and dominates dense builds. Callers violating the guarantees corrupt the
+// graph.
+func (g *Graph) AddEdgeUnchecked(u, v int) {
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+}
+
 // HasEdge reports whether the undirected edge {u, v} exists. Out-of-range
 // endpoints report false.
 func (g *Graph) HasEdge(u, v int) bool {

@@ -1,0 +1,75 @@
+// Package api is the versioned wire contract of the backbone service: the
+// request/response structs of every /v1 endpoint, the canonical cache-key
+// rendering of each request, and the sentinel error taxonomy shared by the
+// facade, the service handlers and the chaos HTTP runner.
+//
+// Before this package existed, the wire types lived in internal/service and
+// internal/chaos re-declared fragments of them; every new consumer (the
+// batch endpoint, cmd/bench, external harnesses) would have multiplied the
+// drift. All serve/chaos/batch traffic now flows through these types, and
+// error-to-HTTP-status mapping happens in exactly one place (HTTPStatus)
+// instead of per-handler string matching.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Version names the wire contract carried by this package. It changes only
+// with breaking field or semantics changes; additive fields keep it.
+const Version = "v1"
+
+// Sentinel errors shared by the facade, the batch engine and the service
+// handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works
+// through arbitrarily deep call stacks.
+var (
+	// ErrInvalidInput marks requests or arguments rejected by validation:
+	// malformed specs, unknown algorithm names, out-of-range parameters.
+	ErrInvalidInput = errors.New("invalid input")
+	// ErrUnreachable marks computations that require a connected network (or
+	// a reachable destination) and were given a disconnected one.
+	ErrUnreachable = errors.New("network not connected")
+	// ErrBudgetExceeded marks distributed runs that blew their quiescence or
+	// delivery budget before terminating.
+	ErrBudgetExceeded = errors.New("run budget exceeded")
+)
+
+// Errorf builds a validation error: the formatted message wrapping
+// ErrInvalidInput, so HTTPStatus maps it to 400 and errors.Is can detect it.
+func Errorf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrInvalidInput)...)
+}
+
+// HTTPStatus maps an error onto its HTTP status code. This is the single
+// place the service translates the error taxonomy to the wire:
+//
+//	ErrInvalidInput   → 400 Bad Request
+//	ErrUnreachable    → 422 Unprocessable Entity
+//	ErrBudgetExceeded → 422 Unprocessable Entity
+//	anything else     → 500 Internal Server Error
+//
+// Pool-level conditions (queue full, deadline, shutdown) are transport
+// concerns handled before compute errors reach this function.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrInvalidInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnreachable), errors.Is(err, ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// HashKey collapses an arbitrary-length canonical request string into a
+// fixed-size content address for the result cache.
+func HashKey(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}

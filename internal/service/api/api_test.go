@@ -1,0 +1,134 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrInvalidInput, http.StatusBadRequest},
+		{Errorf("bad field %d", 7), http.StatusBadRequest},
+		{ErrUnreachable, http.StatusUnprocessableEntity},
+		{ErrBudgetExceeded, http.StatusUnprocessableEntity},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// Wrapping survives arbitrary depth.
+	deep := Errorf("outer: %v", Errorf("inner"))
+	if HTTPStatus(deep) != http.StatusBadRequest {
+		t.Errorf("deeply wrapped validation error lost its status")
+	}
+}
+
+func TestErrorfWrapsSentinel(t *testing.T) {
+	err := Errorf("n=%d too big", 9)
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("Errorf result is not ErrInvalidInput: %v", err)
+	}
+	if !strings.Contains(err.Error(), "n=9 too big") {
+		t.Fatalf("message lost: %v", err)
+	}
+}
+
+func TestNetworkSpecValidate(t *testing.T) {
+	good := NetworkSpec{N: 50, AvgDegree: 6, Seed: 1}
+	if err := good.Validate(100); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []NetworkSpec{
+		{},
+		{N: -1, AvgDegree: 6},
+		{N: 500, AvgDegree: 6}, // over maxNodes
+		{N: 10, AvgDegree: 6, Positions: [][2]float64{{0, 0}}}, // both forms
+		{IDs: []int{1, 2}}, // ids without positions
+	}
+	for i, sp := range bad {
+		err := sp.Validate(100)
+		if err == nil {
+			t.Errorf("case %d: accepted %+v", i, sp)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("case %d: validation error does not wrap ErrInvalidInput: %v", i, err)
+		}
+	}
+}
+
+func TestCacheKeysDistinguishRequests(t *testing.T) {
+	base := func() BackboneRequest {
+		r := BackboneRequest{NetworkSpec: NetworkSpec{N: 40, AvgDegree: 6, Seed: 3}}
+		if err := r.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := base()
+	b := base()
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("identical requests hash differently")
+	}
+	c := base()
+	c.Algorithm = "I"
+	if c.CacheKey() == a.CacheKey() {
+		t.Fatal("algorithm not part of the cache key")
+	}
+	d := base()
+	d.Seed = 4
+	if d.CacheKey() == a.CacheKey() {
+		t.Fatal("seed not part of the cache key")
+	}
+}
+
+func TestNormalizeCanonicalisesSpellings(t *testing.T) {
+	a := BackboneRequest{NetworkSpec: NetworkSpec{N: 40, AvgDegree: 6}, Algorithm: "ii", Mode: "SYNC"}
+	b := BackboneRequest{NetworkSpec: NetworkSpec{N: 40, AvgDegree: 6}, Algorithm: "2", Mode: "sync"}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("equivalent spellings produce different cache keys")
+	}
+}
+
+func TestBatchRequestNormalize(t *testing.T) {
+	ok := BatchRequest{BatchSpec: BatchSpec{Sizes: []int{30}, Degrees: []float64{6}, Seeds: []int64{1, 2}}}
+	if err := ok.Normalize(100, 50); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if k1, k2 := ok.CacheKey(), ok.CacheKey(); k1 != k2 {
+		t.Fatal("batch cache key unstable")
+	}
+	// Workers must not affect the cache key.
+	w := ok
+	w.Workers = 7
+	if w.CacheKey() != ok.CacheKey() {
+		t.Fatal("workers leaked into the batch cache key")
+	}
+
+	tooBig := BatchRequest{BatchSpec: BatchSpec{Sizes: []int{3000}, Degrees: []float64{6}, Seeds: []int64{1}}}
+	if err := tooBig.Normalize(100, 50); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("oversize node count not rejected as invalid input: %v", err)
+	}
+	tooMany := BatchRequest{BatchSpec: BatchSpec{Sizes: []int{10}, Degrees: []float64{6},
+		Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}}
+	if err := tooMany.Normalize(100, 5); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("oversize scenario count not rejected as invalid input: %v", err)
+	}
+	if err := tooMany.Normalize(100, 0); err != nil {
+		t.Fatalf("unbounded scenario limit rejected valid sweep: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+
+	"wcdsnet/internal/batch"
+)
+
+// BatchSpec and BatchWorkload are the engine's declarative types, exposed
+// verbatim on the wire so POST /v1/batch and internal/batch can never
+// drift: the JSON schema IS the engine schema.
+type (
+	BatchSpec     = batch.Spec
+	BatchWorkload = batch.Workload
+)
+
+// BatchRequest asks the service to execute a sweep with the sharded batch
+// engine.
+type BatchRequest struct {
+	BatchSpec
+	// Workers overrides the engine's shard count (0 = GOMAXPROCS). It does
+	// not affect results, only wall time, and is excluded from the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Normalize validates the spec in place (workload enums are defaulted and
+// case-folded) and enforces the service's size and scenario-count bounds.
+func (req *BatchRequest) Normalize(maxNodes, maxScenarios int) error {
+	if req.Workers < 0 {
+		return Errorf("workers %d must be non-negative", req.Workers)
+	}
+	if err := req.BatchSpec.Validate(); err != nil {
+		return Errorf("%v", err)
+	}
+	for _, n := range req.Sizes {
+		if n > maxNodes {
+			return Errorf("size %d exceeds the service limit of %d nodes", n, maxNodes)
+		}
+	}
+	if n := req.NumScenarios(); maxScenarios > 0 && n > maxScenarios {
+		return Errorf("%d scenarios exceed the service limit of %d", n, maxScenarios)
+	}
+	return nil
+}
+
+// CacheKey returns the content address of the sweep. Normalize must have
+// run first so equivalent spellings of a workload render identically.
+func (req *BatchRequest) CacheKey() string {
+	var b strings.Builder
+	b.WriteString("batch|")
+	// Spec marshals deterministically (fixed field order, omitempty), so
+	// its JSON form is a sound cache key for the normalized request.
+	enc, _ := json.Marshal(req.BatchSpec)
+	b.Write(enc)
+	return HashKey(b.String())
+}
+
+// BatchResponse is the engine report plus the canonical digest, which
+// clients can compare across runs and worker counts.
+type BatchResponse struct {
+	batch.Report
+	Digest string `json:"digest"`
+	Cached bool   `json:"cached"`
+}

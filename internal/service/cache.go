@@ -2,13 +2,13 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"sync"
+
+	"wcdsnet/internal/service/api"
 )
 
 // Cache is a content-addressed LRU result cache. Keys are canonical hashes
-// of the request (see cacheKey in handlers.go): two requests that describe
+// of the request (see CacheKey in internal/service/api): two requests that describe
 // the same computation — same scenario parameters or explicit topology,
 // same algorithm, same mode — map to the same entry, so a fleet of clients
 // replaying near-identical scenarios is served from memory in microseconds
@@ -92,8 +92,7 @@ func (c *Cache) Stats() (hits, misses, evictions int64) {
 }
 
 // hashKey collapses an arbitrary-length canonical request string into a
-// fixed-size content address.
+// fixed-size content address (the api package owns the definition).
 func hashKey(canonical string) string {
-	sum := sha256.Sum256([]byte(canonical))
-	return hex.EncodeToString(sum[:])
+	return api.HashKey(canonical)
 }

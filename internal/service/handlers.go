@@ -7,10 +7,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
-	"strings"
 	"time"
 
+	"wcdsnet/internal/batch"
 	"wcdsnet/internal/route"
+	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/simnet/reliable"
 	"wcdsnet/internal/spanner"
@@ -22,6 +23,7 @@ const (
 	endpointBackbone  = "backbone"
 	endpointDilation  = "dilation"
 	endpointBroadcast = "broadcast"
+	endpointBatch     = "batch"
 )
 
 // maxBodyBytes bounds request bodies; an explicit 20k-node topology with
@@ -33,6 +35,7 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/backbone   compute a WCDS backbone (Algorithm I or II)
 //	POST /v1/dilation   measure spanner dilation over sampled pairs
 //	POST /v1/broadcast  backbone broadcast vs. blind flood
+//	POST /v1/batch      run a declarative sweep on the batch engine
 //	GET  /healthz       liveness + pool snapshot
 //	GET  /metrics       Prometheus text exposition
 func (s *Service) Handler() http.Handler {
@@ -40,6 +43,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/backbone", s.handleBackbone)
 	mux.HandleFunc("POST /v1/dilation", s.handleDilation)
 	mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.recoverPanics(mux)
@@ -65,136 +69,6 @@ func (s *Service) recoverPanics(next http.Handler) http.Handler {
 
 // --- backbone --------------------------------------------------------------
 
-// BackboneRequest asks for a WCDS construction over the given network.
-type BackboneRequest struct {
-	NetworkSpec
-	// Algorithm is "I" or "II" (default "II").
-	Algorithm string `json:"algorithm,omitempty"`
-	// Mode is "centralized" (default), "sync" or "async".
-	Mode string `json:"mode,omitempty"`
-	// Selection is Algorithm II's connector-selection mode: "deferred"
-	// (default, schedule-independent) or "eager".
-	Selection string `json:"selection,omitempty"`
-	// ScheduleSeed scrambles the async engine's schedule (mode "async").
-	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
-
-	// Faults injects the given fault plan into the distributed run
-	// (modes "sync"/"async" only). See simnet.FaultPlan for the schema.
-	Faults *simnet.FaultPlan `json:"faults,omitempty"`
-	// Reliable wraps the protocol in the ack/retransmit layer so it
-	// converges under loss; implied counters appear in the response.
-	Reliable bool `json:"reliable,omitempty"`
-	// MaxRetries overrides the reliable layer's per-message retry budget
-	// (0 = default).
-	MaxRetries int `json:"maxRetries,omitempty"`
-	// MaxRounds overrides the engine's quiescence budget: synchronous
-	// rounds or async tick passes (0 = engine default). Heavy fault plans
-	// with retransmission legitimately need more than the default.
-	MaxRounds int `json:"maxRounds,omitempty"`
-}
-
-// BackboneResponse reports the construction. Node-valued fields use dense
-// graph indices 0..n-1 (the same indexing an explicit positions array uses).
-type BackboneResponse struct {
-	N                    int     `json:"n"`
-	Edges                int     `json:"edges"`
-	AvgDegree            float64 `json:"avgDegree"`
-	Algorithm            string  `json:"algorithm"`
-	Mode                 string  `json:"mode"`
-	Dominators           []int   `json:"dominators"`
-	MISDominators        []int   `json:"misDominators,omitempty"`
-	AdditionalDominators []int   `json:"additionalDominators,omitempty"`
-	SpannerEdges         int     `json:"spannerEdges"`
-	IsWCDS               bool    `json:"isWCDS"`
-	Messages             int     `json:"messages,omitempty"`
-	Rounds               int     `json:"rounds,omitempty"`
-	Cached               bool    `json:"cached"`
-
-	// Converged is false when a fault-injected run quiesced without every
-	// node deciding, or blew its round budget — a detectable failure, not
-	// an HTTP error. FailureReason carries the detail. Lossless runs are
-	// always converged (a failure there is answered 500 instead).
-	Converged     bool   `json:"converged"`
-	FailureReason string `json:"failureReason,omitempty"`
-	// Fault and reliability accounting for distributed runs.
-	Ticks          int `json:"ticks,omitempty"`
-	Dropped        int `json:"dropped,omitempty"`
-	Duplicated     int `json:"duplicated,omitempty"`
-	Retransmits    int `json:"retransmits,omitempty"`
-	DupsSuppressed int `json:"dupsSuppressed,omitempty"`
-	Acks           int `json:"acks,omitempty"`
-	Abandoned      int `json:"abandoned,omitempty"`
-}
-
-func (req *BackboneRequest) normalize() error {
-	switch req.Algorithm {
-	case "", "II", "ii", "2":
-		req.Algorithm = "II"
-	case "I", "i", "1":
-		req.Algorithm = "I"
-	default:
-		return badRequestf("unknown algorithm %q (want I or II)", req.Algorithm)
-	}
-	switch strings.ToLower(req.Mode) {
-	case "", "centralized":
-		req.Mode = "centralized"
-	case "sync":
-		req.Mode = "sync"
-	case "async":
-		req.Mode = "async"
-	default:
-		return badRequestf("unknown mode %q (want centralized, sync or async)", req.Mode)
-	}
-	switch strings.ToLower(req.Selection) {
-	case "", "deferred":
-		req.Selection = "deferred"
-	case "eager":
-		req.Selection = "eager"
-	default:
-		return badRequestf("unknown selection %q (want deferred or eager)", req.Selection)
-	}
-	if req.Faults != nil && req.Faults.Empty() {
-		req.Faults = nil
-	}
-	faulty := req.Faults != nil || req.Reliable || req.MaxRetries != 0 || req.MaxRounds != 0
-	if faulty && req.Mode == "centralized" {
-		return badRequestf("faults/reliable/maxRetries/maxRounds require mode sync or async")
-	}
-	if req.MaxRetries < 0 {
-		return badRequestf("maxRetries %d must be non-negative", req.MaxRetries)
-	}
-	if req.MaxRounds < 0 {
-		return badRequestf("maxRounds %d must be non-negative", req.MaxRounds)
-	}
-	if req.Faults != nil {
-		// Validate against the spec's node count; both spec forms know it
-		// before the network is built.
-		n := req.NetworkSpec.N
-		if len(req.NetworkSpec.Positions) > 0 {
-			n = len(req.NetworkSpec.Positions)
-		}
-		if err := req.Faults.Validate(n); err != nil {
-			return badRequestf("%v", err)
-		}
-	}
-	return nil
-}
-
-func (req *BackboneRequest) cacheKey() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "backbone|algo=%s|mode=%s|sel=%s|sched=%d|", req.Algorithm, req.Mode, req.Selection, req.ScheduleSeed)
-	fmt.Fprintf(&b, "rel=%v,retries=%d,rounds=%d|", req.Reliable, req.MaxRetries, req.MaxRounds)
-	if req.Faults != nil {
-		// FaultPlan marshals deterministically (fixed field order, omitempty),
-		// so the JSON form is a sound cache-key fragment.
-		plan, _ := json.Marshal(req.Faults)
-		b.Write(plan)
-		b.WriteByte('|')
-	}
-	req.NetworkSpec.canonical(&b)
-	return hashKey(b.String())
-}
-
 func (s *Service) handleBackbone(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	var req BackboneRequest
@@ -203,21 +77,21 @@ func (s *Service) handleBackbone(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		s.replyError(w, endpointBackbone, start, err)
 		return
 	}
-	if err := req.NetworkSpec.validate(s.opts.MaxNodes); err != nil {
+	if err := req.NetworkSpec.Validate(s.opts.MaxNodes); err != nil {
 		s.replyError(w, endpointBackbone, start, err)
 		return
 	}
-	s.serve(w, r, endpointBackbone, start, req.cacheKey(),
+	s.serve(w, r, endpointBackbone, start, req.CacheKey(),
 		func(context.Context) (any, error) { return computeBackbone(&req) },
 		func(v any) any { resp := *(v.(*BackboneResponse)); return &resp })
 }
 
 func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
-	nw, err := req.NetworkSpec.build()
+	nw, err := req.NetworkSpec.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -310,54 +184,6 @@ func selectionFor(sel string) wcds.SelectionMode {
 
 // --- dilation --------------------------------------------------------------
 
-// DilationRequest measures the quality of the Algorithm II spanner over the
-// given network.
-type DilationRequest struct {
-	NetworkSpec
-	// Algorithm is "I" or "II" (default "II").
-	Algorithm string `json:"algorithm,omitempty"`
-	// Pairs is the number of sampled node pairs; <= 0 measures every
-	// non-adjacent pair (quadratic — capped by the service's MaxNodes).
-	Pairs int `json:"pairs,omitempty"`
-	// SampleSeed seeds pair sampling (ignored when Pairs <= 0).
-	SampleSeed int64 `json:"sampleSeed,omitempty"`
-}
-
-// DilationResponse flattens spanner.Report plus network context.
-type DilationResponse struct {
-	N              int     `json:"n"`
-	Edges          int     `json:"edges"`
-	SpannerEdges   int     `json:"spannerEdges"`
-	Algorithm      string  `json:"algorithm"`
-	Pairs          int     `json:"pairs"`
-	WorstTopoRatio float64 `json:"worstTopoRatio"`
-	WorstGeoRatio  float64 `json:"worstGeoRatio"`
-	AvgTopoRatio   float64 `json:"avgTopoRatio"`
-	AvgGeoRatio    float64 `json:"avgGeoRatio"`
-	TopoBoundHolds bool    `json:"topoBoundHolds"`
-	GeoBoundHolds  bool    `json:"geoBoundHolds"`
-	Cached         bool    `json:"cached"`
-}
-
-func (req *DilationRequest) normalize() error {
-	switch req.Algorithm {
-	case "", "II", "ii", "2":
-		req.Algorithm = "II"
-	case "I", "i", "1":
-		req.Algorithm = "I"
-	default:
-		return badRequestf("unknown algorithm %q (want I or II)", req.Algorithm)
-	}
-	return nil
-}
-
-func (req *DilationRequest) cacheKey() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "dilation|algo=%s|pairs=%d|pseed=%d|", req.Algorithm, req.Pairs, req.SampleSeed)
-	req.NetworkSpec.canonical(&b)
-	return hashKey(b.String())
-}
-
 func (s *Service) handleDilation(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	var req DilationRequest
@@ -366,21 +192,21 @@ func (s *Service) handleDilation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		s.replyError(w, endpointDilation, start, err)
 		return
 	}
-	if err := req.NetworkSpec.validate(s.opts.MaxNodes); err != nil {
+	if err := req.NetworkSpec.Validate(s.opts.MaxNodes); err != nil {
 		s.replyError(w, endpointDilation, start, err)
 		return
 	}
-	s.serve(w, r, endpointDilation, start, req.cacheKey(),
+	s.serve(w, r, endpointDilation, start, req.CacheKey(),
 		func(context.Context) (any, error) { return computeDilation(&req) },
 		func(v any) any { resp := *(v.(*DilationResponse)); return &resp })
 }
 
 func computeDilation(req *DilationRequest) (*DilationResponse, error) {
-	nw, err := req.NetworkSpec.build()
+	nw, err := req.NetworkSpec.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -424,36 +250,6 @@ func computeDilation(req *DilationRequest) (*DilationResponse, error) {
 
 // --- broadcast -------------------------------------------------------------
 
-// BroadcastRequest floods a message from Source over the Algorithm II
-// backbone relay set and over a blind flood for comparison.
-type BroadcastRequest struct {
-	NetworkSpec
-	// Source is the originating node index (default 0).
-	Source int `json:"source,omitempty"`
-}
-
-// BroadcastResponse compares backbone broadcast against blind flooding.
-type BroadcastResponse struct {
-	N                     int     `json:"n"`
-	Edges                 int     `json:"edges"`
-	Source                int     `json:"source"`
-	RelaySetSize          int     `json:"relaySetSize"`
-	BackboneTransmissions int     `json:"backboneTransmissions"`
-	BackboneReceptions    int     `json:"backboneReceptions"`
-	BackboneCovered       bool    `json:"backboneCovered"`
-	FloodTransmissions    int     `json:"floodTransmissions"`
-	FloodReceptions       int     `json:"floodReceptions"`
-	TransmissionSaving    float64 `json:"transmissionSaving"`
-	Cached                bool    `json:"cached"`
-}
-
-func (req *BroadcastRequest) cacheKey() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "broadcast|src=%d|", req.Source)
-	req.NetworkSpec.canonical(&b)
-	return hashKey(b.String())
-}
-
 func (s *Service) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	var req BroadcastRequest
@@ -462,26 +258,26 @@ func (s *Service) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := req.NetworkSpec.validate(s.opts.MaxNodes); err != nil {
+	if err := req.NetworkSpec.Validate(s.opts.MaxNodes); err != nil {
 		s.replyError(w, endpointBroadcast, start, err)
 		return
 	}
 	if req.Source < 0 {
-		s.replyError(w, endpointBroadcast, start, badRequestf("source %d must be non-negative", req.Source))
+		s.replyError(w, endpointBroadcast, start, api.Errorf("source %d must be non-negative", req.Source))
 		return
 	}
-	s.serve(w, r, endpointBroadcast, start, req.cacheKey(),
+	s.serve(w, r, endpointBroadcast, start, req.CacheKey(),
 		func(context.Context) (any, error) { return computeBroadcast(&req) },
 		func(v any) any { resp := *(v.(*BroadcastResponse)); return &resp })
 }
 
 func computeBroadcast(req *BroadcastRequest) (*BroadcastResponse, error) {
-	nw, err := req.NetworkSpec.build()
+	nw, err := req.NetworkSpec.Build()
 	if err != nil {
 		return nil, err
 	}
 	if req.Source >= nw.N() {
-		return nil, badRequestf("source %d out of range for %d nodes", req.Source, nw.N())
+		return nil, api.Errorf("source %d out of range for %d nodes", req.Source, nw.N())
 	}
 	res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
 	if err != nil {
@@ -507,6 +303,41 @@ func computeBroadcast(req *BroadcastRequest) (*BroadcastResponse, error) {
 		TransmissionSaving:    saving,
 		Cached:                false,
 	}, nil
+}
+
+// --- batch -----------------------------------------------------------------
+
+// handleBatch runs a declarative sweep on the sharded batch engine. The
+// request is bounded by MaxNodes and MaxBatchScenarios before any work is
+// admitted, executes under the pool's per-request deadline (cancelling the
+// engine cancels cleanly mid-sweep), and full-sweep reports are cached by
+// the canonical spec just like single-scenario endpoints.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req BatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.replyError(w, endpointBatch, time.Now(), err)
+		return
+	}
+	start := time.Now()
+	if err := req.Normalize(s.opts.MaxNodes, s.opts.MaxBatchScenarios); err != nil {
+		s.replyError(w, endpointBatch, start, err)
+		return
+	}
+	s.serve(w, r, endpointBatch, start, req.CacheKey(),
+		func(ctx context.Context) (any, error) { return computeBatch(ctx, &req) },
+		func(v any) any { resp := *(v.(*BatchResponse)); return &resp })
+}
+
+func computeBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	spec := req.BatchSpec
+	rep, err := batch.Run(ctx, &spec, batch.Options{Workers: req.Workers})
+	if err != nil {
+		// Cancellation/deadline surfaces through the pool's error mapping
+		// (504/503); the engine has no other failure mode after Normalize.
+		return nil, err
+	}
+	return &BatchResponse{Report: *rep, Digest: rep.Digest()}, nil
 }
 
 // --- health and metrics ----------------------------------------------------
@@ -567,6 +398,8 @@ func setCached(resp any) {
 		t.Cached = true
 	case *BroadcastResponse:
 		t.Cached = true
+	case *BatchResponse:
+		t.Cached = true
 	}
 }
 
@@ -604,15 +437,13 @@ func (s *Service) replySubmitError(w http.ResponseWriter, endpoint string, start
 	s.observe(endpoint, start)
 }
 
-// replyError answers validation (400) and internal (500) failures.
+// replyError answers compute and validation failures. The status comes
+// from api.HTTPStatus — the single place the error taxonomy maps to the
+// wire (400 for ErrInvalidInput, 422 for ErrUnreachable/ErrBudgetExceeded,
+// 500 otherwise).
 func (s *Service) replyError(w http.ResponseWriter, endpoint string, start time.Time, err error) {
 	s.errors.Inc()
-	status := http.StatusInternalServerError
-	var bad errBadRequest
-	if errors.As(err, &bad) {
-		status = http.StatusBadRequest
-	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, api.HTTPStatus(err), map[string]string{"error": err.Error()})
 	s.observe(endpoint, start)
 }
 
@@ -620,7 +451,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return badRequestf("invalid request body: %v", err)
+		return api.Errorf("invalid request body: %v", err)
 	}
 	return nil
 }

@@ -22,17 +22,12 @@
 package service
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
 	"runtime"
-	"strings"
 	"time"
 
-	"wcdsnet/internal/geom"
 	"wcdsnet/internal/graph"
+	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/service/metrics"
-	"wcdsnet/internal/udg"
 )
 
 // Options configures a Service. The zero value is usable: every field has
@@ -51,6 +46,10 @@ type Options struct {
 	// MaxNodes rejects generate/submit requests above this node count with
 	// 400 before any allocation (default: 20000).
 	MaxNodes int
+	// MaxBatchScenarios bounds the expansion size a POST /v1/batch sweep
+	// may request (default: 5000). Negative disables the batch endpoint's
+	// bound entirely.
+	MaxBatchScenarios int
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +70,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNodes <= 0 {
 		o.MaxNodes = 20000
+	}
+	if o.MaxBatchScenarios == 0 {
+		o.MaxBatchScenarios = 5000
+	}
+	if o.MaxBatchScenarios < 0 {
+		o.MaxBatchScenarios = 0 // unbounded
 	}
 	return o
 }
@@ -114,6 +119,7 @@ func New(opts Options) *Service {
 		endpointBackbone:  s.reg.Histogram("wcds_service_backbone_latency_seconds", "End-to-end latency of POST /v1/backbone."),
 		endpointDilation:  s.reg.Histogram("wcds_service_dilation_latency_seconds", "End-to-end latency of POST /v1/dilation."),
 		endpointBroadcast: s.reg.Histogram("wcds_service_broadcast_latency_seconds", "End-to-end latency of POST /v1/broadcast."),
+		endpointBatch:     s.reg.Histogram("wcds_service_batch_latency_seconds", "End-to-end latency of POST /v1/batch."),
 	}
 	s.reg.GaugeFunc("wcds_service_queue_depth", "Jobs waiting in the pool queue.",
 		func() float64 { return float64(s.pool.QueueDepth()) })
@@ -143,132 +149,20 @@ func (s *Service) PoolStats() (executed, rejected, expired int64) {
 
 // --- request model ---------------------------------------------------------
 
-// NetworkSpec describes the network a request operates on: either a
-// generated scenario (Seed/N/AvgDegree) or an explicit topology
-// (Positions + optional IDs + optional Radius). Exactly one of the two
-// forms must be used.
-type NetworkSpec struct {
-	// Scenario generation (mirrors wcdsnet.GenerateNetwork).
-	Seed      int64   `json:"seed,omitempty"`
-	N         int     `json:"n,omitempty"`
-	AvgDegree float64 `json:"avgDegree,omitempty"`
-
-	// Explicit topology (mirrors wcdsnet.NewNetwork). IDs defaults to
-	// 0..len(positions)-1 and Radius to 1.
-	Positions [][2]float64 `json:"positions,omitempty"`
-	IDs       []int        `json:"ids,omitempty"`
-	Radius    float64      `json:"radius,omitempty"`
-}
-
-// errBadRequest marks validation failures the handler maps to HTTP 400.
-type errBadRequest struct{ msg string }
-
-func (e errBadRequest) Error() string { return e.msg }
-
-func badRequestf(format string, args ...any) error {
-	return errBadRequest{msg: fmt.Sprintf(format, args...)}
-}
-
-// validate checks the spec against the service limits and reports which
-// form it uses.
-func (sp *NetworkSpec) validate(maxNodes int) error {
-	explicit := len(sp.Positions) > 0 || len(sp.IDs) > 0
-	generated := sp.N != 0 || sp.AvgDegree != 0 || sp.Seed != 0
-	switch {
-	case explicit && (sp.N != 0 || sp.AvgDegree != 0):
-		return badRequestf("give either positions or n/avgDegree, not both")
-	case explicit:
-		if len(sp.Positions) == 0 {
-			return badRequestf("ids given without positions")
-		}
-		if len(sp.Positions) > maxNodes {
-			return badRequestf("%d positions exceed the service limit of %d nodes", len(sp.Positions), maxNodes)
-		}
-		if len(sp.IDs) > 0 && len(sp.IDs) != len(sp.Positions) {
-			return badRequestf("%d ids for %d positions", len(sp.IDs), len(sp.Positions))
-		}
-		if sp.Radius < 0 || math.IsNaN(sp.Radius) || math.IsInf(sp.Radius, 0) {
-			return badRequestf("radius %v must be positive", sp.Radius)
-		}
-		for i, p := range sp.Positions {
-			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
-				return badRequestf("position %d is not finite", i)
-			}
-		}
-		return nil
-	case generated:
-		if sp.N <= 0 {
-			return badRequestf("node count n=%d must be positive", sp.N)
-		}
-		if sp.N > maxNodes {
-			return badRequestf("n=%d exceeds the service limit of %d nodes", sp.N, maxNodes)
-		}
-		if !(sp.AvgDegree > 0) || math.IsInf(sp.AvgDegree, 0) { // catches NaN and non-positive
-			return badRequestf("avgDegree %v must be positive and finite", sp.AvgDegree)
-		}
-		return nil
-	default:
-		return badRequestf("empty network spec: give n/avgDegree or positions")
-	}
-}
-
-// build materialises the network. Validation must already have passed.
-func (sp *NetworkSpec) build() (*udg.Network, error) {
-	if len(sp.Positions) > 0 {
-		pos := make([]geom.Point, len(sp.Positions))
-		for i, p := range sp.Positions {
-			pos[i] = geom.Point{X: p[0], Y: p[1]}
-		}
-		ids := sp.IDs
-		if len(ids) == 0 {
-			ids = make([]int, len(pos))
-			for i := range ids {
-				ids[i] = i
-			}
-		}
-		radius := sp.Radius
-		if radius == 0 {
-			radius = 1
-		}
-		nw, err := udg.New(pos, ids, radius)
-		if err != nil {
-			return nil, badRequestf("%v", err)
-		}
-		return nw, nil
-	}
-	rng := rand.New(rand.NewSource(sp.Seed))
-	nw, err := udg.GenConnectedAvgDegree(rng, sp.N, sp.AvgDegree, 2000)
-	if err != nil {
-		// The parameters parsed but no connected instance exists for them
-		// (e.g. avgDegree ≈ n): the client's input is at fault, not us.
-		return nil, badRequestf("scenario not realisable: %v", err)
-	}
-	return nw, nil
-}
-
-// canonical renders the spec as a deterministic string fragment for cache
-// keys. Two specs describing the same computation render identically.
-func (sp *NetworkSpec) canonical(b *strings.Builder) {
-	if len(sp.Positions) > 0 {
-		b.WriteString("explicit:r=")
-		radius := sp.Radius
-		if radius == 0 {
-			radius = 1
-		}
-		fmt.Fprintf(b, "%g;", radius)
-		for i, p := range sp.Positions {
-			fmt.Fprintf(b, "%g,%g", p[0], p[1])
-			if len(sp.IDs) > 0 {
-				fmt.Fprintf(b, "#%d", sp.IDs[i])
-			} else {
-				fmt.Fprintf(b, "#%d", i)
-			}
-			b.WriteByte(';')
-		}
-		return
-	}
-	fmt.Fprintf(b, "gen:seed=%d,n=%d,deg=%g", sp.Seed, sp.N, sp.AvgDegree)
-}
+// The wire types live in internal/service/api (the versioned contract
+// shared with the chaos harness, cmd/bench and external clients); these
+// aliases keep the service's historical names importable.
+type (
+	NetworkSpec       = api.NetworkSpec
+	BackboneRequest   = api.BackboneRequest
+	BackboneResponse  = api.BackboneResponse
+	DilationRequest   = api.DilationRequest
+	DilationResponse  = api.DilationResponse
+	BroadcastRequest  = api.BroadcastRequest
+	BroadcastResponse = api.BroadcastResponse
+	BatchRequest      = api.BatchRequest
+	BatchResponse     = api.BatchResponse
+)
 
 // spannerOf is a small helper for response assembly.
 func spannerEdges(g *graph.Graph) int {

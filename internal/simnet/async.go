@@ -283,30 +283,35 @@ func (e *asyncEngine) push(from, to int, payload any, scatter bool) {
 	}
 }
 
-// inbox is an unbounded FIFO mailbox with condition-variable wakeup.
+// inbox is an unbounded FIFO mailbox with condition-variable wakeup. The
+// queue is head-indexed over a pooled backing array: pops advance head
+// instead of re-slicing (which would strand the consumed prefix), the
+// array's capacity is reused once the queue drains, and close returns it
+// to the shared envelope pool for the next run.
 type inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []envelope
+	head   int
 	closed bool
 }
 
 func newInbox() *inbox {
-	b := &inbox{}
+	b := &inbox{queue: getEnvBatch()}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// push appends env (or inserts at a random position when rng is non-nil)
-// and reports whether the inbox accepted it.
+// push appends env (or inserts at a random position among the undelivered
+// messages when rng is non-nil) and reports whether the inbox accepted it.
 func (b *inbox) push(env envelope, rng *lockedRand) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return false
 	}
-	if rng != nil && len(b.queue) > 0 {
-		i := rng.intn(len(b.queue) + 1)
+	if active := len(b.queue) - b.head; rng != nil && active > 0 {
+		i := b.head + rng.intn(active+1)
 		b.queue = append(b.queue, envelope{})
 		copy(b.queue[i+1:], b.queue[i:])
 		b.queue[i] = env
@@ -323,20 +328,30 @@ func (b *inbox) push(env envelope, rng *lockedRand) bool {
 func (b *inbox) pop() (envelope, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for len(b.queue) == 0 && !b.closed {
+	for b.head == len(b.queue) && !b.closed {
 		b.cond.Wait()
 	}
 	if b.closed {
 		return envelope{}, false
 	}
-	env := b.queue[0]
-	b.queue = b.queue[1:]
+	env := b.queue[b.head]
+	b.queue[b.head] = envelope{} // drop the payload reference now
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+	}
 	return env, true
 }
 
 func (b *inbox) close() {
 	b.mu.Lock()
 	b.closed = true
+	if b.queue != nil {
+		putEnvBatch(b.queue)
+		b.queue = nil
+		b.head = 0
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

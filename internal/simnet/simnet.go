@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"wcdsnet/internal/graph"
 )
@@ -300,6 +301,30 @@ type envelope struct {
 	tick    bool // async engine: a tick-pass token, not a message
 }
 
+// envBatchPool recycles the per-round delivery batches of the synchronous
+// engine (and the async inbox backing arrays): a batch sweep running
+// thousands of simulations would otherwise re-allocate the same queue
+// slices for every round of every run. Batches are zeroed before they are
+// returned so pooled memory never pins protocol payloads.
+var envBatchPool = sync.Pool{
+	New: func() any {
+		b := make([]envelope, 0, 64)
+		return &b
+	},
+}
+
+func getEnvBatch() []envelope {
+	return (*envBatchPool.Get().(*[]envelope))[:0]
+}
+
+func putEnvBatch(b []envelope) {
+	for i := range b {
+		b[i] = envelope{}
+	}
+	b = b[:0]
+	envBatchPool.Put(&b)
+}
+
 // RunSync executes the protocol under the synchronous-round model and
 // returns the run cost. It terminates when the network quiesces (no message
 // pending and, for protocols with Tickers, a tick pass reporting no
@@ -374,6 +399,7 @@ func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 			}
 			procs[env.to].Recv(&ctxs[env.to], env.from, env.payload)
 		}
+		putEnvBatch(batch)
 	}
 }
 
@@ -484,10 +510,20 @@ func (e *syncEngine) enqueueCopy(from, to int, payload any, seq int) {
 		}
 	}
 	env := envelope{from: from, to: to, payload: payload, seq: seq, sentAt: e.round}
-	e.pending[deliverAt] = append(e.pending[deliverAt], env)
+	e.enqueueAt(deliverAt, env)
 	if f != nil && f.dupSample(from) {
 		e.duplicated++
 		dupAt := e.round + 1 + f.delaySample(from) + 1 // the copy always trails
-		e.pending[dupAt] = append(e.pending[dupAt], env)
+		e.enqueueAt(dupAt, env)
 	}
+}
+
+// enqueueAt appends env to the given round's batch, drawing a recycled
+// batch from the pool when the round has none yet.
+func (e *syncEngine) enqueueAt(round int, env envelope) {
+	b, ok := e.pending[round]
+	if !ok {
+		b = getEnvBatch()
+	}
+	e.pending[round] = append(b, env)
 }

@@ -1,0 +1,165 @@
+package udg
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wcdsnet/internal/geom"
+	"wcdsnet/internal/graph"
+)
+
+// naiveGraph is the O(n²) reference construction BuildGraph must match
+// edge-for-edge: every pair within radius (inclusive) is adjacent.
+func naiveGraph(pos []geom.Point, radius float64) *graph.Graph {
+	g := graph.New(len(pos))
+	r2 := radius * radius
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist2(pos[j]) <= r2 {
+				if err := g.AddEdge(i, j); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func sameGraph(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("node count %d, want %d", got.N(), want.N())
+	}
+	if got.M() != want.M() {
+		t.Fatalf("edge count %d, want %d", got.M(), want.M())
+	}
+	ge, we := got.Edges(), want.Edges()
+	for i := range we {
+		if ge[i] != we[i] {
+			t.Fatalf("edge %d is %v, want %v", i, ge[i], we[i])
+		}
+	}
+}
+
+func TestBuildGraphNegativeCoordinatesMatchNaive(t *testing.T) {
+	// Points straddling both axes: the grid offset must handle negative
+	// coordinates without folding distinct cells together.
+	pos := []geom.Point{
+		{X: -3.2, Y: -1.1}, {X: -2.5, Y: -1.3}, {X: -2.4, Y: -0.2},
+		{X: -0.5, Y: 0.4}, {X: 0.3, Y: -0.6}, {X: 0.9, Y: 0.9},
+		{X: -1.5, Y: 1.7}, {X: -1.4, Y: 1.0}, {X: 2.2, Y: -2.8},
+		{X: 2.9, Y: -2.1},
+	}
+	sameGraph(t, BuildGraph(pos, 1), naiveGraph(pos, 1))
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(120)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64()*12 - 6, Y: rng.Float64()*12 - 6}
+		}
+		sameGraph(t, BuildGraph(pts, 1), naiveGraph(pts, 1))
+	}
+}
+
+func TestBuildGraphExactRadiusIsAdjacent(t *testing.T) {
+	// The unit-disk rule is inclusive: distance exactly equal to the radius
+	// is an edge. Axis-aligned pairs make the distance exactly representable.
+	cases := []struct {
+		pos    []geom.Point
+		radius float64
+	}{
+		{[]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, 1},
+		{[]geom.Point{{X: 0, Y: 0}, {X: 0, Y: 1}}, 1},
+		{[]geom.Point{{X: -1, Y: 0}, {X: -1, Y: -2.5}}, 2.5},
+		{[]geom.Point{{X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.75}}, 0.25},
+	}
+	for i, tc := range cases {
+		g := BuildGraph(tc.pos, tc.radius)
+		if !g.HasEdge(0, 1) {
+			t.Errorf("case %d: points at distance exactly %v not adjacent", i, tc.radius)
+		}
+		sameGraph(t, g, naiveGraph(tc.pos, tc.radius))
+	}
+	// Just beyond the radius is NOT an edge.
+	g := BuildGraph([]geom.Point{{X: 0, Y: 0}, {X: 1.0000001, Y: 0}}, 1)
+	if g.HasEdge(0, 1) {
+		t.Errorf("points beyond the radius must not be adjacent")
+	}
+}
+
+func TestBuildGraphSparseFallbackMatchesNaive(t *testing.T) {
+	// Two far-apart clusters force the dense grid over budget, exercising
+	// the map-backed fallback path.
+	rng := rand.New(rand.NewSource(11))
+	var pos []geom.Point
+	for i := 0; i < 30; i++ {
+		pos = append(pos, geom.Point{X: rng.Float64() * 3, Y: rng.Float64() * 3})
+	}
+	for i := 0; i < 30; i++ {
+		pos = append(pos, geom.Point{X: 1e6 + rng.Float64()*3, Y: -1e6 + rng.Float64()*3})
+	}
+	sameGraph(t, BuildGraph(pos, 1), naiveGraph(pos, 1))
+}
+
+// TestBuildGraphPooledParallelEqualsSerial is the property test for the
+// pooled scratch: many goroutines build graphs concurrently (recycling the
+// same sync.Pool buffers) and every construction must equal the naive
+// serial reference edge-for-edge.
+func TestBuildGraphPooledParallelEqualsSerial(t *testing.T) {
+	type instance struct {
+		pos    []geom.Point
+		radius float64
+		want   *graph.Graph
+	}
+	rng := rand.New(rand.NewSource(23))
+	var instances []instance
+	for k := 0; k < 12; k++ {
+		n := 10 + rng.Intn(200)
+		side := 2 + rng.Float64()*10
+		offX, offY := rng.Float64()*8-4, rng.Float64()*8-4
+		radius := 0.5 + rng.Float64()*1.5
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: offX + rng.Float64()*side, Y: offY + rng.Float64()*side}
+		}
+		instances = append(instances, instance{pts, radius, naiveGraph(pts, radius)})
+	}
+
+	const workers, rounds = 8, 6
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k, inst := range instances {
+					got := BuildGraph(inst.pos, inst.radius)
+					if got.M() != inst.want.M() {
+						errs <- fmt.Errorf("worker %d round %d instance %d: %d edges, want %d",
+							w, r, k, got.M(), inst.want.M())
+						return
+					}
+					ge, we := got.Edges(), inst.want.Edges()
+					for i := range we {
+						if ge[i] != we[i] {
+							errs <- fmt.Errorf("worker %d round %d instance %d: edge %d is %v, want %v",
+								w, r, k, i, ge[i], we[i])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

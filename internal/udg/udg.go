@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"wcdsnet/internal/geom"
 	"wcdsnet/internal/graph"
@@ -59,11 +60,115 @@ func New(pos []geom.Point, ids []int, radius float64) (*Network, error) {
 // BuildGraph constructs the unit-disk graph over pos with the given radius
 // using a uniform grid of radius-sized cells, so expected construction time
 // is linear in nodes plus edges.
+//
+// The grid scratch (cell offsets and the counting-sorted node order) is
+// recycled through a sync.Pool: batch sweeps that build thousands of graphs
+// reuse the same buffers instead of re-allocating them per call. The pooled
+// dense-grid path and the sparse map fallback produce identical graphs.
 func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
 	g := graph.New(len(pos))
 	if len(pos) == 0 {
 		return g
 	}
+	minX, minY := pos[0].X, pos[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pos[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	colsF := math.Floor((maxX-minX)/radius) + 1
+	rowsF := math.Floor((maxY-minY)/radius) + 1
+	// Point clouds much sparser than one node per few cells (or with a
+	// degenerate extent) would waste memory on an almost-empty dense grid;
+	// hash cells instead. Generated topologies always take the dense path.
+	if !(colsF >= 1 && rowsF >= 1) || colsF*rowsF > 8*float64(len(pos))+1024 {
+		buildGraphSparse(g, pos, radius)
+		g.SortAdjacency()
+		return g
+	}
+	cols, rows := int(colsF), int(rowsF)
+	cellOf := func(p geom.Point) int {
+		return int((p.Y-minY)/radius)*cols + int((p.X-minX)/radius)
+	}
+	nCells := cols * rows
+	sc := gridPool.Get().(*gridScratch)
+	start := grow(&sc.start, nCells+1)
+	order := grow(&sc.order, len(pos))
+	// Counting sort of node indices by cell: start[c] ends up as the offset
+	// of cell c's slice of order, and order lists nodes in index order
+	// within each cell.
+	for _, p := range pos {
+		start[cellOf(p)+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		start[c+1] += start[c]
+	}
+	fill := grow(&sc.fill, nCells)
+	for i, p := range pos {
+		c := cellOf(p)
+		order[start[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	r2 := radius * radius
+	for i, p := range pos {
+		c := cellOf(p)
+		cx, cy := c%cols, c/cols
+		for dy := -1; dy <= 1; dy++ {
+			y := cy + dy
+			if y < 0 || y >= rows {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				x := cx + dx
+				if x < 0 || x >= cols {
+					continue
+				}
+				cc := y*cols + x
+				for _, j32 := range order[start[cc]:start[cc+1]] {
+					j := int(j32)
+					if j <= i {
+						continue
+					}
+					if p.Dist2(pos[j]) <= r2 {
+						// Each pair is visited once (j > i over disjoint
+						// cells), so the unchecked insert is safe.
+						g.AddEdgeUnchecked(i, j)
+					}
+				}
+			}
+		}
+	}
+	gridPool.Put(sc)
+	g.SortAdjacency()
+	return g
+}
+
+// gridScratch is the reusable working memory of one BuildGraph call.
+type gridScratch struct {
+	start []int32
+	fill  []int32
+	order []int32
+}
+
+var gridPool = sync.Pool{New: func() any { return &gridScratch{} }}
+
+// grow returns (*s)[:n] zeroed, reallocating only when capacity is short.
+func grow(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	for i := range *s {
+		(*s)[i] = 0
+	}
+	return *s
+}
+
+// buildGraphSparse is the map-backed fallback grid for point clouds whose
+// bounding box is huge (or not finite) relative to the node count.
+func buildGraphSparse(g *graph.Graph, pos []geom.Point, radius float64) {
 	type cell struct{ cx, cy int }
 	cells := make(map[cell][]int, len(pos))
 	cellOf := func(p geom.Point) cell {
@@ -85,18 +190,12 @@ func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
 					if p.Dist2(pos[j]) <= r2 {
 						// Duplicate additions are impossible: each pair is
 						// visited once via the j > i guard.
-						if err := g.AddEdge(i, j); err != nil {
-							// Unreachable by construction; keep the graph
-							// consistent rather than panicking in a library.
-							continue
-						}
+						g.AddEdgeUnchecked(i, j)
 					}
 				}
 			}
 		}
 	}
-	g.SortAdjacency()
-	return g
 }
 
 // Rebuild recomputes the unit-disk graph after position changes (mobility).

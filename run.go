@@ -1,0 +1,241 @@
+package wcdsnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"wcdsnet/internal/batch"
+	"wcdsnet/internal/service/api"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/wcds"
+)
+
+// Algorithm names a WCDS construction of the paper.
+type Algorithm int
+
+const (
+	// AlgoI is Algorithm I: leader election + spanning tree + level-ranked
+	// MIS, |WCDS| ≤ 5·opt.
+	AlgoI Algorithm = iota + 1
+	// AlgoII is Algorithm II: ID-ranked MIS + additional dominators, fully
+	// localized, dilation-3 spanner.
+	AlgoII
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoI:
+		return "I"
+	case AlgoII:
+		return "II"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Sentinel errors of the unified Run API, shared with the HTTP service
+// (internal/service/api owns them; the service maps them onto statuses in
+// exactly one place). Test with errors.Is.
+var (
+	// ErrInvalidInput marks arguments rejected by validation.
+	ErrInvalidInput = api.ErrInvalidInput
+	// ErrUnreachable marks computations handed a disconnected network.
+	ErrUnreachable = api.ErrUnreachable
+	// ErrBudgetExceeded marks distributed runs that blew their quiescence
+	// or delivery budget before terminating.
+	ErrBudgetExceeded = api.ErrBudgetExceeded
+)
+
+// runOptions is assembled by the Option list; the zero value is the
+// centralized reference construction.
+type runOptions struct {
+	distributed   bool
+	async         bool
+	scheduleSeed  int64
+	selection     SelectionMode
+	faults        *FaultPlan
+	reliable      bool
+	relOpts       ReliableOptions
+	maxRounds     int
+	zeroKnowledge bool
+}
+
+// Option configures Run. Options compose; each documents whether it
+// implies a distributed execution.
+type Option func(*runOptions)
+
+// Distributed runs the protocol on the deterministic synchronous-round
+// engine instead of the centralized reference.
+func Distributed() Option {
+	return func(o *runOptions) { o.distributed = true }
+}
+
+// Async runs the protocol on the goroutine-per-node asynchronous engine
+// with a seeded schedule scramble. Implies Distributed.
+func Async(scheduleSeed int64) Option {
+	return func(o *runOptions) { o.distributed, o.async, o.scheduleSeed = true, true, scheduleSeed }
+}
+
+// WithSelection picks Algorithm II's connector-selection mode (Deferred by
+// default; ignored by Algorithm I).
+func WithSelection(mode SelectionMode) Option {
+	return func(o *runOptions) { o.selection = mode }
+}
+
+// WithFaults injects the fault plan into the run. Implies Distributed —
+// faults only exist on the simulation engines.
+func WithFaults(plan FaultPlan) Option {
+	return func(o *runOptions) { o.distributed, o.faults = true, &plan }
+}
+
+// WithReliable wraps the protocol in the ack/retransmit layer so it
+// converges under loss (zero value opts = defaults). Implies Distributed.
+func WithReliable(opts ReliableOptions) Option {
+	return func(o *runOptions) { o.distributed, o.reliable, o.relOpts = true, true, opts }
+}
+
+// WithMaxRounds overrides the engine's quiescence budget: synchronous
+// rounds or asynchronous tick passes (0 = engine default). Implies
+// Distributed.
+func WithMaxRounds(n int) Option {
+	return func(o *runOptions) { o.distributed, o.maxRounds = true, n }
+}
+
+// ZeroKnowledge prepends in-protocol HELLO neighbour discovery: every node
+// starts knowing only its own ID. Implies Distributed.
+func ZeroKnowledge() Option {
+	return func(o *runOptions) { o.distributed, o.zeroKnowledge = true, true }
+}
+
+// Run is the single entry point for WCDS construction: pick the algorithm,
+// then opt into distribution, asynchrony, fault injection, reliability and
+// discovery with options. No options runs the centralized reference (zero
+// RunStats); see the Option constructors for what each adds.
+//
+//	res, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)                  // centralized
+//	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.Async(7))
+//	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoI,
+//	    wcdsnet.WithFaults(plan), wcdsnet.WithReliable(wcdsnet.ReliableOptions{}))
+//
+// Errors wrap the package sentinels: ErrInvalidInput for bad arguments and
+// ErrBudgetExceeded when a distributed run exhausts its round or delivery
+// budget (test with errors.Is).
+func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) {
+	if nw == nil {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: nil network: %w", ErrInvalidInput)
+	}
+	if algo != AlgoI && algo != AlgoII {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: unknown algorithm %d (want AlgoI or AlgoII): %w", int(algo), ErrInvalidInput)
+	}
+	var o runOptions
+	o.selection = Deferred
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.maxRounds < 0 {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: maxRounds %d must be non-negative: %w", o.maxRounds, ErrInvalidInput)
+	}
+	if o.faults != nil {
+		if err := o.faults.Validate(nw.N()); err != nil {
+			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: %v: %w", err, ErrInvalidInput)
+		}
+	}
+
+	if !o.distributed {
+		if algo == AlgoI {
+			return wcds.Algo1Centralized(nw.G, nw.ID), RunStats{}, nil
+		}
+		if o.selection != Deferred {
+			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: selection mode %v requires a distributed run: %w", o.selection, ErrInvalidInput)
+		}
+		return wcds.Algo2Centralized(nw.G, nw.ID), RunStats{}, nil
+	}
+
+	run := o.compileRunner()
+	var (
+		res Result
+		st  RunStats
+		err error
+	)
+	switch {
+	case algo == AlgoI && o.zeroKnowledge:
+		res, st, err = wcds.Algo1ZeroKnowledge(nw.G, nw.ID, run)
+	case algo == AlgoI:
+		res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, run)
+	case o.zeroKnowledge:
+		res, st, err = wcds.Algo2ZeroKnowledge(nw.G, nw.ID, o.selection, run)
+	default:
+		res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, o.selection, run)
+	}
+	if err != nil {
+		if errors.Is(err, simnet.ErrMaxRounds) || errors.Is(err, simnet.ErrMaxDeliveries) {
+			err = fmt.Errorf("wcdsnet: %w (%w)", err, ErrBudgetExceeded)
+		} else {
+			err = fmt.Errorf("wcdsnet: %w", err)
+		}
+	}
+	return res, st, err
+}
+
+func (o *runOptions) compileRunner() wcds.Runner {
+	var opts []simnet.Option
+	if o.async {
+		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(o.scheduleSeed))))
+	}
+	if o.faults != nil {
+		opts = append(opts, simnet.WithFaults(*o.faults))
+	}
+	if o.maxRounds > 0 {
+		opts = append(opts, simnet.WithMaxRounds(o.maxRounds))
+	}
+	if o.reliable {
+		return wcds.ReliableRunner(o.async, o.relOpts, opts...)
+	}
+	if o.async {
+		return wcds.AsyncRunner(opts...)
+	}
+	return wcds.SyncRunner(opts...)
+}
+
+// --- batch engine ------------------------------------------------------------
+
+// Batch engine types, re-exported from internal/batch. A BatchSpec is the
+// declarative cartesian sweep (sizes × degrees × seeds × workloads) the
+// sharded engine executes; POST /v1/batch accepts the same schema.
+type (
+	// BatchSpec declares a sweep for RunBatch.
+	BatchSpec = batch.Spec
+	// BatchWorkload is one measurement applied to every network cell.
+	BatchWorkload = batch.Workload
+	// BatchOptions tunes RunBatch (worker count, streaming callback).
+	BatchOptions = batch.Options
+	// BatchResult is one finished scenario row.
+	BatchResult = batch.Result
+	// BatchReport is the full sweep outcome with aggregate statistics.
+	BatchReport = batch.Report
+)
+
+// RunBatch executes the sweep on the sharded batch engine: deterministic
+// scenario sharding across workers, shared per-network subcomputations and
+// pooled hot paths. Results are identical for every worker count; see
+// (*BatchReport).Digest.
+func RunBatch(ctx context.Context, spec *BatchSpec, opts BatchOptions) (*BatchReport, error) {
+	rep, err := batch.Run(ctx, spec, opts)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("wcdsnet: %w: %w", ErrInvalidInput, err)
+	}
+	return rep, err
+}
+
+// RunBatchSerial executes the sweep one scenario at a time with nothing
+// shared or pooled — the pre-engine baseline cmd/bench measures speedup
+// against.
+func RunBatchSerial(ctx context.Context, spec *BatchSpec) (*BatchReport, error) {
+	rep, err := batch.RunSerial(ctx, spec)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("wcdsnet: %w: %w", ErrInvalidInput, err)
+	}
+	return rep, err
+}

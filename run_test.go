@@ -1,0 +1,167 @@
+package wcdsnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func runTestNetwork(t *testing.T, n int, seed int64) *Network {
+	t.Helper()
+	nw, err := GenerateNetwork(seed, n, 6)
+	if err != nil {
+		t.Fatalf("generate network: %v", err)
+	}
+	return nw
+}
+
+// The unified Run entry point must agree exactly with every legacy entry
+// point it replaces.
+func TestRunMatchesLegacyEntryPoints(t *testing.T) {
+	nw := runTestNetwork(t, 60, 11)
+
+	r1, st1, err := Run(nw, AlgoI)
+	if err != nil || st1 != (RunStats{}) {
+		t.Fatalf("centralized AlgoI: stats %+v err %v", st1, err)
+	}
+	if want := AlgorithmI(nw); len(r1.Dominators) != len(want.Dominators) {
+		t.Fatalf("Run(AlgoI) = %d dominators, AlgorithmI = %d", len(r1.Dominators), len(want.Dominators))
+	}
+
+	r2, _, err := Run(nw, AlgoII)
+	if err != nil {
+		t.Fatalf("centralized AlgoII: %v", err)
+	}
+	if want := AlgorithmII(nw); len(r2.Dominators) != len(want.Dominators) {
+		t.Fatalf("Run(AlgoII) = %d dominators, AlgorithmII = %d", len(r2.Dominators), len(want.Dominators))
+	}
+
+	// Distributed sync AlgoII (Deferred) equals the centralized reference.
+	rd, st, err := Run(nw, AlgoII, Distributed())
+	if err != nil {
+		t.Fatalf("distributed AlgoII: %v", err)
+	}
+	if st.Messages == 0 {
+		t.Fatal("distributed run reported zero messages")
+	}
+	if len(rd.Dominators) != len(r2.Dominators) {
+		t.Fatalf("deferred distributed = %d dominators, centralized = %d", len(rd.Dominators), len(r2.Dominators))
+	}
+
+	// Async with a pinned seed matches the legacy spelling exactly.
+	ra, sta, err := Run(nw, AlgoII, Async(7))
+	if err != nil {
+		t.Fatalf("async AlgoII: %v", err)
+	}
+	wantRes, wantStats, err := AlgorithmIIDistributed(nw, Deferred, true, 7)
+	if err != nil {
+		t.Fatalf("legacy async AlgoII: %v", err)
+	}
+	if len(ra.Dominators) != len(wantRes.Dominators) || sta.Messages != wantStats.Messages {
+		t.Fatalf("Run(Async(7)) diverged from AlgorithmIIDistributed: %d/%d msgs vs %d/%d",
+			len(ra.Dominators), sta.Messages, len(wantRes.Dominators), wantStats.Messages)
+	}
+
+	// Zero-knowledge discovery composes.
+	rz, stz, err := Run(nw, AlgoI, ZeroKnowledge())
+	if err != nil {
+		t.Fatalf("zero-knowledge AlgoI: %v", err)
+	}
+	if len(rz.Dominators) != len(r1.Dominators) {
+		t.Fatalf("zero-knowledge AlgoI = %d dominators, centralized = %d", len(rz.Dominators), len(r1.Dominators))
+	}
+	if stz.Messages == 0 {
+		t.Fatal("zero-knowledge run reported zero messages")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	nw := runTestNetwork(t, 30, 3)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nil network", func() error { _, _, err := Run(nil, AlgoII); return err }},
+		{"unknown algorithm", func() error { _, _, err := Run(nw, Algorithm(9)); return err }},
+		{"negative budget", func() error { _, _, err := Run(nw, AlgoII, WithMaxRounds(-1)); return err }},
+		{"centralized eager", func() error { _, _, err := Run(nw, AlgoII, WithSelection(Eager)); return err }},
+		{"bad fault plan", func() error {
+			_, _, err := Run(nw, AlgoII, WithFaults(FaultPlan{DropRate: 2}))
+			return err
+		}},
+	}
+	for _, c := range cases {
+		err := c.run()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("%s: error does not wrap ErrInvalidInput: %v", c.name, err)
+		}
+	}
+}
+
+func TestRunBudgetExceededSentinel(t *testing.T) {
+	nw := runTestNetwork(t, 80, 5)
+	_, _, err := Run(nw, AlgoII, WithMaxRounds(1))
+	if err == nil {
+		t.Fatal("one-round budget converged; cannot exercise the sentinel")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("budget blow-out does not wrap ErrBudgetExceeded: %v", err)
+	}
+	if errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("budget blow-out mislabelled as invalid input: %v", err)
+	}
+}
+
+func TestRunConfigShimMatchesOptions(t *testing.T) {
+	nw := runTestNetwork(t, 50, 21)
+	plan := FaultPlan{DropRate: 0.05, Seed: 9}
+	cfg := RunConfig{Faults: &plan, Reliable: true, MaxRounds: 4000}
+
+	legacyRes, legacySt, legacyErr := AlgorithmIIWithConfig(nw, Deferred, cfg)
+	newRes, newSt, newErr := Run(nw, AlgoII,
+		WithFaults(plan), WithReliable(ReliableOptions{}), WithMaxRounds(4000))
+	if (legacyErr == nil) != (newErr == nil) {
+		t.Fatalf("shim and Run disagree on error: %v vs %v", legacyErr, newErr)
+	}
+	if legacyErr == nil {
+		if len(legacyRes.Dominators) != len(newRes.Dominators) {
+			t.Fatalf("shim = %d dominators, Run = %d", len(legacyRes.Dominators), len(newRes.Dominators))
+		}
+		if legacySt.Messages != newSt.Messages {
+			t.Fatalf("shim = %d messages, Run = %d", legacySt.Messages, newSt.Messages)
+		}
+	}
+}
+
+func TestRunBatchFacade(t *testing.T) {
+	spec := &BatchSpec{
+		Sizes:   []int{30},
+		Degrees: []float64{6},
+		Seeds:   []int64{1, 2},
+		Workloads: []BatchWorkload{
+			{Kind: "backbone", Algorithm: "II"},
+		},
+	}
+	rep, err := RunBatch(context.Background(), spec, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if rep.Scenarios != 2 || rep.Failed != 0 {
+		t.Fatalf("report: %d scenarios, %d failed", rep.Scenarios, rep.Failed)
+	}
+	serial, err := RunBatchSerial(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunBatchSerial: %v", err)
+	}
+	if rep.Digest() != serial.Digest() {
+		t.Fatal("engine and serial digests differ")
+	}
+
+	if _, err := RunBatch(context.Background(), &BatchSpec{}, BatchOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("empty spec not rejected as invalid input: %v", err)
+	}
+}

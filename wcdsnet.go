@@ -166,35 +166,46 @@ func ServeHandler(opts ServiceOptions) (http.Handler, *Service) {
 // AlgorithmI runs the centralized reference of the paper's Algorithm I
 // (leader + spanning tree + level-ranked MIS): a WCDS of size ≤ 5·opt whose
 // black edges form a sparse spanner. The network must be connected.
+//
+// Deprecated: use Run(nw, AlgoI).
 func AlgorithmI(nw *Network) Result {
-	return wcds.Algo1Centralized(nw.G, nw.ID)
+	res, _, _ := Run(nw, AlgoI)
+	return res
 }
 
 // AlgorithmII runs the centralized reference of the paper's Algorithm II
 // (ID-ranked MIS + additional dominators): a fully localized WCDS whose
 // spanner has topological dilation 3 and geometric dilation 6.
+//
+// Deprecated: use Run(nw, AlgoII).
 func AlgorithmII(nw *Network) Result {
-	return wcds.Algo2Centralized(nw.G, nw.ID)
+	res, _, _ := Run(nw, AlgoII)
+	return res
 }
 
 // AlgorithmIDistributed executes the full three-phase Algorithm I protocol
-// on the simulation kernel and reports its message cost. Set async for the
-// goroutine-per-node asynchronous engine (seeded schedule scrambling);
-// otherwise the deterministic synchronous engine is used and the result
-// equals AlgorithmI exactly.
+// on the simulation kernel and reports its message cost.
+//
+// Deprecated: use Run(nw, AlgoI, Distributed()) or
+// Run(nw, AlgoI, Async(seed)).
 func AlgorithmIDistributed(nw *Network, async bool, seed int64) (Result, RunStats, error) {
-	return wcds.Algo1Distributed(nw.G, nw.ID, runner(async, seed))
+	return Run(nw, AlgoI, engineOpt(async, seed))
 }
 
 // AlgorithmIIDistributed executes the Algorithm II protocol on the
 // simulation kernel. In Deferred mode the result equals AlgorithmII exactly
 // under every engine and schedule.
+//
+// Deprecated: use Run(nw, AlgoII, Distributed(), WithSelection(mode)) or
+// Run(nw, AlgoII, Async(seed), WithSelection(mode)).
 func AlgorithmIIDistributed(nw *Network, mode SelectionMode, async bool, seed int64) (Result, RunStats, error) {
-	return wcds.Algo2Distributed(nw.G, nw.ID, mode, runner(async, seed))
+	return Run(nw, AlgoII, engineOpt(async, seed), WithSelection(mode))
 }
 
-// AlgorithmIIWithTables is AlgorithmIIDistributed (Deferred, synchronous)
-// returning each node's accumulated routing tables as well.
+// AlgorithmIIWithTables is a distributed Algorithm II run (Deferred,
+// synchronous) returning each node's accumulated routing tables as well.
+// It stays a separate entry point: tables are a protocol byproduct the
+// unified Run API deliberately does not expose.
 func AlgorithmIIWithTables(nw *Network) (Result, []Tables, RunStats, error) {
 	return wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
 }
@@ -203,26 +214,34 @@ func AlgorithmIIWithTables(nw *Network) (Result, []Tables, RunStats, error) {
 // neighbour discovery: every node starts knowing only its own ID. The
 // Deferred result still equals AlgorithmII exactly, at one extra beacon per
 // node.
+//
+// Deprecated: use Run(nw, AlgoII, ZeroKnowledge(), ...).
 func AlgorithmIIZeroKnowledge(nw *Network, mode SelectionMode, async bool, seed int64) (Result, RunStats, error) {
-	return wcds.Algo2ZeroKnowledge(nw.G, nw.ID, mode, runner(async, seed))
+	return Run(nw, AlgoII, engineOpt(async, seed), WithSelection(mode), ZeroKnowledge())
 }
 
 // AlgorithmIZeroKnowledge is the Algorithm I counterpart: HELLO discovery,
 // then election, levels and colour marking, from own-ID-only knowledge.
+//
+// Deprecated: use Run(nw, AlgoI, ZeroKnowledge(), ...).
 func AlgorithmIZeroKnowledge(nw *Network, async bool, seed int64) (Result, RunStats, error) {
-	return wcds.Algo1ZeroKnowledge(nw.G, nw.ID, runner(async, seed))
+	return Run(nw, AlgoI, engineOpt(async, seed), ZeroKnowledge())
 }
 
-func runner(async bool, seed int64) wcds.Runner {
+// engineOpt translates the legacy (async, seed) pair onto the Option form.
+func engineOpt(async bool, seed int64) Option {
 	if async {
-		return wcds.AsyncRunner(simnet.WithScramble(rand.New(rand.NewSource(seed))))
+		return Async(seed)
 	}
-	return wcds.SyncRunner()
+	return Distributed()
 }
 
 // RunConfig configures a distributed run beyond the engine choice: fault
 // injection, the reliable ack/retransmit layer and the quiescence budget.
 // The zero value is a lossless run on the synchronous engine.
+//
+// Deprecated: pass Options to Run instead (WithFaults, WithReliable,
+// WithMaxRounds, Async).
 type RunConfig struct {
 	// Async selects the goroutine-per-node asynchronous engine.
 	Async bool
@@ -240,37 +259,39 @@ type RunConfig struct {
 	MaxRounds int
 }
 
-func (cfg RunConfig) runner() wcds.Runner {
-	var opts []simnet.Option
+// options translates the legacy config onto the Option form.
+func (cfg RunConfig) options() []Option {
+	opts := []Option{Distributed()}
 	if cfg.Async {
-		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(cfg.ScheduleSeed))))
+		opts = append(opts, Async(cfg.ScheduleSeed))
 	}
 	if cfg.Faults != nil {
-		opts = append(opts, simnet.WithFaults(*cfg.Faults))
-	}
-	if cfg.MaxRounds > 0 {
-		opts = append(opts, simnet.WithMaxRounds(cfg.MaxRounds))
+		opts = append(opts, WithFaults(*cfg.Faults))
 	}
 	if cfg.Reliable {
-		return wcds.ReliableRunner(cfg.Async, cfg.ReliableOptions, opts...)
+		opts = append(opts, WithReliable(cfg.ReliableOptions))
 	}
-	if cfg.Async {
-		return wcds.AsyncRunner(opts...)
+	if cfg.MaxRounds > 0 {
+		opts = append(opts, WithMaxRounds(cfg.MaxRounds))
 	}
-	return wcds.SyncRunner(opts...)
+	return opts
 }
 
 // AlgorithmIWithConfig runs the distributed Algorithm I under an explicit
 // RunConfig — fault injection, the reliable layer and budget control.
+//
+// Deprecated: use Run(nw, AlgoI, WithFaults(...), WithReliable(...), ...).
 func AlgorithmIWithConfig(nw *Network, cfg RunConfig) (Result, RunStats, error) {
-	return wcds.Algo1Distributed(nw.G, nw.ID, cfg.runner())
+	return Run(nw, AlgoI, cfg.options()...)
 }
 
 // AlgorithmIIWithConfig runs the distributed Algorithm II under an explicit
 // RunConfig. With cfg.Reliable set and Deferred mode, the result equals
 // AlgorithmII exactly whenever the run converges, even at heavy loss.
+//
+// Deprecated: use Run(nw, AlgoII, WithSelection(mode), WithFaults(...), ...).
 func AlgorithmIIWithConfig(nw *Network, mode SelectionMode, cfg RunConfig) (Result, RunStats, error) {
-	return wcds.Algo2Distributed(nw.G, nw.ID, mode, cfg.runner())
+	return Run(nw, AlgoII, append(cfg.options(), WithSelection(mode))...)
 }
 
 // IsWCDS verifies that set is a weakly-connected dominating set of the

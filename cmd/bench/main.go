@@ -40,11 +40,14 @@ import (
 	"time"
 
 	"wcdsnet"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/stats"
 )
 
-// Schema identifies the report layout; bump on breaking changes.
-const Schema = "wcdsnet-bench/v1"
+// Schema identifies the report layout; bump on breaking changes. v2 added
+// protocol_phases (the merged per-phase cost breakdown of the suite's
+// distributed workloads) and retention pruning via -keep.
+const Schema = "wcdsnet-bench/v2"
 
 // regressionTolerance is the fractional slack before the gate trips.
 const regressionTolerance = 0.20
@@ -74,6 +77,11 @@ type Report struct {
 	Speedup1W  float64          `json:"speedup_1w"`
 	SpeedupNW  float64          `json:"speedup_nw"`
 	Baseline   string           `json:"baseline,omitempty"`
+
+	// ProtocolPhases merges the per-phase protocol cost breakdown across
+	// the suite's distributed workloads (from the engineN execution). Wall
+	// times are scheduler-dependent; the counters are deterministic.
+	ProtocolPhases []wcdsnet.PhaseSpan `json:"protocol_phases,omitempty"`
 }
 
 func main() {
@@ -82,15 +90,16 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the engineN phase")
 	reps := flag.Int("reps", 3, "repetitions per phase; the fastest is reported (damps scheduler noise)")
 	noGate := flag.Bool("no-gate", false, "skip the regression comparison against the newest prior report")
+	keep := flag.Int("keep", 5, "retain only the newest N BENCH_*.json reports after writing (0 = keep all)")
 	flag.Parse()
 
-	if err := run(*quick, *out, *workers, *reps, *noGate); err != nil {
+	if err := run(*quick, *out, *workers, *reps, *noGate, *keep); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, outDir string, workers, reps int, noGate bool) error {
+func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -144,8 +153,9 @@ func run(quick bool, outDir string, workers, reps int, noGate bool) error {
 			"engine1": phase(engine1Rep),
 			"engineN": phase(engineNRep),
 		},
-		Speedup1W: float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
-		SpeedupNW: float64(serialRep.WallNS) / float64(engineNRep.WallNS),
+		Speedup1W:      float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
+		SpeedupNW:      float64(serialRep.WallNS) / float64(engineNRep.WallNS),
+		ProtocolPhases: phaseTotals(engineNRep),
 	}
 	fmt.Printf("digest : %s (identical across serial, 1 worker, %d workers)\n", digest[:16], workers)
 	fmt.Printf("speedup: %.2fx (1 worker)  %.2fx (%d workers)\n", rep.Speedup1W, rep.SpeedupNW, workers)
@@ -176,7 +186,46 @@ func run(quick bool, outDir string, workers, reps int, noGate bool) error {
 		return err
 	}
 	fmt.Println("wrote  :", path)
+	if pruned, err := prune(outDir, keep); err != nil {
+		return err
+	} else if len(pruned) > 0 {
+		fmt.Printf("pruned : %d old report(s), keeping the newest %d\n", len(pruned), keep)
+	}
 	return gateErr
+}
+
+// phaseTotals merges the per-phase protocol breakdown across every result
+// of the report (only distributed workloads carry one).
+func phaseTotals(rep *wcdsnet.BatchReport) []wcdsnet.PhaseSpan {
+	totals := obs.NewSpans()
+	for i := range rep.Results {
+		totals.Merge(rep.Results[i].Phases)
+	}
+	return totals.Snapshot()
+}
+
+// prune deletes all but the newest keep BENCH_*.json reports in dir, so
+// repeated bench runs stop accumulating baselines. keep <= 0 disables
+// pruning.
+func prune(dir string, keep int) ([]string, error) {
+	if keep <= 0 {
+		return nil, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) <= keep {
+		return nil, nil
+	}
+	sort.Strings(matches) // stamps sort chronologically
+	doomed := matches[:len(matches)-keep]
+	for _, path := range doomed {
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("prune %s: %w", path, err)
+		}
+	}
+	return doomed, nil
 }
 
 // suite is the pinned benchmark sweep. Full: 2 sizes × 2 degrees × 3 seeds

@@ -80,3 +80,49 @@ func TestNewestBaseline(t *testing.T) {
 		t.Fatalf("foreign schema: base=%v err=%v", base, err)
 	}
 }
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{
+		"BENCH_20240101T000000Z.json",
+		"BENCH_20250101T000000Z.json",
+		"BENCH_20260101T000000Z.json",
+		"BENCH_20260301T000000Z.json",
+	}
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unrelated files are never touched.
+	if err := os.WriteFile(filepath.Join(dir, "notes.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pruned, err := prune(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 2 {
+		t.Fatalf("pruned %d reports, want 2: %v", len(pruned), pruned)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 ||
+		filepath.Base(left[0]) != names[2] || filepath.Base(left[1]) != names[3] {
+		t.Fatalf("kept %v, want the two newest stamps", left)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.json")); err != nil {
+		t.Fatalf("prune touched an unrelated file: %v", err)
+	}
+
+	// Idempotent below the threshold; keep <= 0 disables pruning.
+	if pruned, err := prune(dir, 2); err != nil || len(pruned) != 0 {
+		t.Fatalf("second prune: %v, %v", pruned, err)
+	}
+	if pruned, err := prune(dir, 0); err != nil || len(pruned) != 0 {
+		t.Fatalf("keep=0 pruned %v, %v", pruned, err)
+	}
+}

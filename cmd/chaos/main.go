@@ -125,6 +125,16 @@ func run() error {
 
 func report(rep *chaos.Report, label string, verbose bool) {
 	fmt.Printf("%-28s %s\n", label+":", rep.Summary())
+	if len(rep.PhaseTotals) > 0 {
+		fmt.Print("  phases: ")
+		for i, sp := range rep.PhaseTotals {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%s msgs=%d rtx=%d", sp.Name, sp.Messages, sp.Retransmits)
+		}
+		fmt.Println()
+	}
 	for _, s := range rep.Scenarios {
 		switch {
 		case s.Outcome == chaos.Violated:

@@ -200,7 +200,7 @@ func runWithTimeline(nw *wcdsnet.Network, algo string) (wcdsnet.Result, *simnet.
 	runner := wcds.SyncRunner(opt)
 	var (
 		res   wcdsnet.Result
-		stats wcdsnet.RunStats
+		stats simnet.Stats
 		err   error
 	)
 	if algo == "I" {

@@ -256,3 +256,87 @@ func TestRunSerialCancellation(t *testing.T) {
 		t.Fatalf("expired context still ran %d scenarios", len(rep.Results))
 	}
 }
+
+// nonConvergingSpec is one scenario that can never quiesce on its own: a
+// never-healing partition with an effectively unbounded retry and round
+// budget, so the reliable layer retransmits forever. Only mid-run
+// cancellation can end it quickly.
+func nonConvergingSpec() *Spec {
+	return &Spec{
+		Sizes: []int{60}, Degrees: []float64{8}, Seeds: []int64{3},
+		Workloads: []Workload{{
+			Kind: Backbone, Algorithm: "II", Mode: "sync",
+			Faults: &simnet.FaultPlan{
+				Partitions: []simnet.PartitionWindow{{From: 0, Group: []int{0, 1, 2}}},
+			},
+			Reliable:   true,
+			MaxRetries: 100_000_000,
+			MaxRounds:  100_000_000,
+		}},
+	}
+}
+
+func TestRunCancelsMidScenario(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, nonConvergingSpec(), Options{Workers: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("non-converging scenario completed without error")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the deadline did not interrupt the run", elapsed)
+	}
+	// The interrupted row is dropped: not a result, not a failure.
+	if len(rep.Results) != 0 || rep.Failed != 0 {
+		t.Fatalf("cancelled scenario surfaced as data: results=%d failed=%d", len(rep.Results), rep.Failed)
+	}
+}
+
+func TestRunSerialCancelsMidScenario(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := RunSerial(ctx, nonConvergingSpec())
+	if err == nil {
+		t.Fatal("non-converging scenario completed without error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("cancelled scenario surfaced as a result row")
+	}
+}
+
+func TestRunCollectsPhases(t *testing.T) {
+	spec := &Spec{
+		Sizes: []int{40}, Degrees: []float64{6}, Seeds: []int64{1},
+		Workloads: []Workload{
+			{Kind: Backbone, Algorithm: "I", Mode: "sync"},
+			{Kind: Backbone, Algorithm: "II", Mode: "sync"},
+			{Kind: Backbone, Algorithm: "II"}, // centralized: no phases
+		},
+	}
+	rep, err := Run(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		distributed := strings.Contains(res.Workload, "sync")
+		if distributed && len(res.Phases) == 0 {
+			t.Fatalf("distributed row %q has no phase breakdown", res.Workload)
+		}
+		if !distributed && len(res.Phases) != 0 {
+			t.Fatalf("centralized row %q has phases: %+v", res.Workload, res.Phases)
+		}
+		total := 0
+		for _, sp := range res.Phases {
+			total += sp.Messages
+		}
+		if distributed && total != res.Messages {
+			t.Fatalf("row %q: phase messages %d != total %d", res.Workload, total, res.Messages)
+		}
+	}
+}

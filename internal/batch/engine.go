@@ -2,6 +2,7 @@ package batch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/simnet/reliable"
@@ -74,15 +76,19 @@ func (m *netMemo) centralized(algo string) (*udg.Network, wcds.Result, error) {
 	return nw, m.centRes[i], nil
 }
 
-func (m *netMemo) detailed() (*udg.Network, wcds.Result, []bool, error) {
+func (m *netMemo) detailed(ctx context.Context) (*udg.Network, wcds.Result, []bool, error) {
 	nw, err := m.network()
 	if err != nil {
 		return nil, wcds.Result{}, nil, err
 	}
 	m.detOnce.Do(func() {
-		res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+		// Every scenario of a Run shares one ctx, so memoizing under the
+		// first caller's context is sound: a cancellation that interrupts
+		// this construction would have interrupted every other consumer too.
+		res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred,
+			wcds.SyncRunner(simnet.WithContext(ctx)))
 		if err != nil {
-			m.detErr = fmt.Errorf("batch: backbone construction failed: %v", err)
+			m.detErr = fmt.Errorf("batch: backbone construction failed: %w", err)
 			return
 		}
 		m.detRes = res
@@ -150,7 +156,12 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
 					return
 				}
 				sc := scens[i]
-				res := runScenario(sc, &spec.Workloads[sc.Workload], memos[sc.Net])
+				res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memos[sc.Net])
+				if res.cancelled {
+					// Mid-scenario cancellation: the row is neither a result
+					// nor a failure — drop it and stop pulling work.
+					return
+				}
 				results[i] = res
 				done[i] = true
 				if opts.OnResult != nil {
@@ -206,7 +217,11 @@ func RunSerial(ctx context.Context, spec *Spec) (*Report, error) {
 			break
 		}
 		memo := &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed}
-		results = append(results, runScenario(sc, &spec.Workloads[sc.Workload], memo))
+		res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memo)
+		if res.cancelled {
+			break
+		}
+		results = append(results, res)
 	}
 	runtime.ReadMemStats(&ms1)
 	rep := &Report{
@@ -225,7 +240,7 @@ func RunSerial(ctx context.Context, spec *Spec) (*Report, error) {
 
 // runScenario executes one scenario, converting panics in measurement code
 // into failed rows so a single bad cell cannot take down a sweep.
-func runScenario(sc Scenario, w *Workload, memo *netMemo) (res Result) {
+func runScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo) (res Result) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -234,11 +249,16 @@ func runScenario(sc Scenario, w *Workload, memo *netMemo) (res Result) {
 		}
 		res.WallNS = time.Since(start).Nanoseconds()
 	}()
-	res = execScenario(sc, w, memo)
+	res = execScenario(ctx, sc, w, memo)
 	return res
 }
 
-func execScenario(sc Scenario, w *Workload, memo *netMemo) Result {
+// isCancel reports whether err is a context expiry (from any layer).
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo) Result {
 	r := Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed, Workload: w.label()}
 	switch w.Kind {
 	case Dilation:
@@ -273,8 +293,11 @@ func execScenario(sc Scenario, w *Workload, memo *netMemo) Result {
 		return r
 
 	case Broadcast:
-		nw, _, relay, err := memo.detailed()
+		nw, _, relay, err := memo.detailed(ctx)
 		if err != nil {
+			if isCancel(err) {
+				r.cancelled = true
+			}
 			r.Err = err.Error()
 			return r
 		}
@@ -310,7 +333,8 @@ func execScenario(sc Scenario, w *Workload, memo *netMemo) Result {
 			res wcds.Result
 			st  simnet.Stats
 		)
-		runner := runnerFor(w)
+		rec := obs.NewSpans()
+		runner := runnerFor(ctx, w, rec)
 		if w.Algorithm == "I" {
 			res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
 		} else {
@@ -324,12 +348,19 @@ func execScenario(sc Scenario, w *Workload, memo *netMemo) Result {
 		r.Rounds = st.Rounds
 		r.Dropped = st.Dropped
 		r.Retransmits = st.Retransmits
+		r.Phases = rec.Snapshot()
 		if err != nil {
-			// Under injected faults a stalled run is a detectable outcome,
-			// recorded as non-convergence; without faults it is a hard error.
-			if w.Faults == nil {
+			// A cancellation is neither data nor failure: the caller drops
+			// the row. Under injected faults a stalled run is a detectable
+			// outcome, recorded as non-convergence; without faults it is a
+			// hard error.
+			switch {
+			case isCancel(err):
+				r.cancelled = true
 				r.Err = err.Error()
-			} else {
+			case w.Faults == nil:
+				r.Err = err.Error()
+			default:
 				r.Failure = err.Error()
 			}
 			return r
@@ -355,9 +386,10 @@ func fillBackbone(r *Result, nw *udg.Network, res wcds.Result) {
 }
 
 // runnerFor compiles a distributed workload into a protocol runner,
-// mirroring the service's option mapping.
-func runnerFor(w *Workload) wcds.Runner {
-	var opts []simnet.Option
+// mirroring the service's option mapping. ctx makes the run interruptible
+// mid-flight; rec (when non-nil) collects the per-phase breakdown.
+func runnerFor(ctx context.Context, w *Workload, rec *obs.Spans) wcds.Runner {
+	opts := []simnet.Option{simnet.WithContext(ctx)}
 	async := w.Mode == "async"
 	if async {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(w.ScheduleSeed))))
@@ -368,8 +400,15 @@ func runnerFor(w *Workload) wcds.Runner {
 	if w.MaxRounds > 0 {
 		opts = append(opts, simnet.WithMaxRounds(w.MaxRounds))
 	}
+	if rec != nil {
+		opts = append(opts, wcds.ObserveOption(rec))
+	}
 	if w.Reliable {
-		return wcds.ReliableRunner(async, reliable.Options{MaxRetries: w.MaxRetries}, opts...)
+		ropt := reliable.Options{MaxRetries: w.MaxRetries}
+		if rec != nil {
+			ropt.Observer, ropt.Phase = rec, wcds.PhaseOf
+		}
+		return wcds.ReliableRunner(async, ropt, opts...)
 	}
 	if async {
 		return wcds.AsyncRunner(opts...)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/stats"
 )
 
@@ -54,7 +55,16 @@ type Result struct {
 	Saving     float64 `json:"saving,omitempty"`
 	Covered    bool    `json:"covered,omitempty"`
 
+	// Phases is the per-phase cost breakdown of a distributed backbone run
+	// (messages, deliveries, rounds, retransmits, wall time per paper
+	// phase). Wall times are excluded from Canonical like WallNS.
+	Phases []obs.Span `json:"phases,omitempty"`
+
 	WallNS int64 `json:"wallNS"`
+
+	// cancelled marks a row interrupted by context expiry mid-run; the
+	// engine drops such rows instead of reporting them as failures.
+	cancelled bool
 }
 
 // Canonical renders every deterministic field as one line. Two runs of the
@@ -70,8 +80,9 @@ func (r *Result) Canonical() string {
 		r.Converged, r.Messages, r.Rounds, r.Dropped, r.Retransmits)
 	fmt.Fprintf(&b, "p=%d,wt=%g,at=%g,wg=%g,ag=%g,ok=%t|",
 		r.Pairs, r.WorstTopo, r.AvgTopo, r.WorstGeo, r.AvgGeo, r.BoundsOK)
-	fmt.Fprintf(&b, "rel=%d,btx=%d,ftx=%d,sav=%g,cov=%t",
+	fmt.Fprintf(&b, "rel=%d,btx=%d,ftx=%d,sav=%g,cov=%t|",
 		r.RelaySize, r.BackboneTx, r.FloodTx, r.Saving, r.Covered)
+	fmt.Fprintf(&b, "ph=%s", obs.CanonicalSpans(r.Phases))
 	return b.String()
 }
 
@@ -122,6 +133,11 @@ func (r *Report) finish() {
 		}
 		if res.FloodTx > 0 {
 			add(res.Workload, "saving", res.Saving)
+		}
+		for _, sp := range res.Phases {
+			if sp.Messages > 0 {
+				add(res.Workload, "phase:"+sp.Name+"/messages", float64(sp.Messages))
+			}
 		}
 	}
 	r.Aggregates = make(map[string]stats.Summary, len(samples))

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"wcdsnet/internal/mis"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/simnet/reliable"
 	"wcdsnet/internal/udg"
@@ -135,6 +136,9 @@ type ScenarioResult struct {
 	Outcome Outcome
 	Detail  string
 	Stats   simnet.Stats
+	// Phases is the run's per-phase cost breakdown (empty for runners that
+	// do not instrument, e.g. a corrupt test double).
+	Phases []obs.Span
 }
 
 // Report aggregates a sweep.
@@ -143,6 +147,9 @@ type Report struct {
 	Converged  int
 	Degraded   int
 	Violations int
+	// PhaseTotals merges every scenario's breakdown: where the sweep's
+	// message and retransmission budget actually went, phase by phase.
+	PhaseTotals []obs.Span
 }
 
 // Failed reports whether the sweep found any invariant violation.
@@ -155,10 +162,11 @@ func (r *Report) Summary() string {
 }
 
 // Runner executes one scenario: given the network and plan, produce a
-// result, run stats and an error. Run uses the in-process reliable
-// Algorithm II; cmd/chaos can substitute an HTTP-backed runner to exercise
-// the service layer end to end.
-type Runner func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, error)
+// result, run stats, a per-phase breakdown (nil when the runner does not
+// instrument) and an error. Run uses the in-process reliable Algorithm II;
+// cmd/chaos can substitute an HTTP-backed runner to exercise the service
+// layer end to end.
+type Runner func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error)
 
 // Run sweeps cfg.Seeds randomized scenarios through the in-process
 // reliable Algorithm II and verifies every invariant.
@@ -178,6 +186,7 @@ func RunWith(cfg Config, run Runner) (*Report, error) {
 		cfg.AvgDegree = 7
 	}
 	rep := &Report{}
+	totals := obs.NewSpans()
 	for i := 0; i < cfg.Seeds; i++ {
 		seed := cfg.BaseSeed + int64(i)
 		sr, err := runScenario(seed, cfg, run)
@@ -185,6 +194,7 @@ func RunWith(cfg Config, run Runner) (*Report, error) {
 			return rep, err
 		}
 		rep.Scenarios = append(rep.Scenarios, sr)
+		totals.Merge(sr.Phases)
 		switch sr.Outcome {
 		case Converged:
 			rep.Converged++
@@ -194,6 +204,7 @@ func RunWith(cfg Config, run Runner) (*Report, error) {
 			rep.Violations++
 		}
 	}
+	rep.PhaseTotals = totals.Snapshot()
 	return rep, nil
 }
 
@@ -206,8 +217,9 @@ func runScenario(seed int64, cfg Config, run Runner) (ScenarioResult, error) {
 	plan := RandomPlan(rng, nw.N(), cfg.Intensity)
 	sr := ScenarioResult{Seed: seed}
 
-	res, st, err := run(nw, plan, cfg)
+	res, st, phases, err := run(nw, plan, cfg)
 	sr.Stats = st
+	sr.Phases = phases
 	if err != nil || st.Abandoned > 0 {
 		// An honest failure: the protocol stalled, blew its budget, or the
 		// reliable layer gave up on frames. All detectable; none fatal.
@@ -251,22 +263,26 @@ func verify(nw *udg.Network, res wcds.Result) string {
 	return strings.Join(problems, "; ")
 }
 
-func reliableAlgo2(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, error) {
+func reliableAlgo2(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error) {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		// Generous default: heavy fault schedules legitimately need many
 		// retransmission epochs beyond the paper's lossless bounds.
 		maxRounds = 200*nw.N() + 5000
 	}
+	rec := obs.NewSpans()
 	opts := []simnet.Option{
 		simnet.WithFaults(plan),
 		simnet.WithMaxRounds(maxRounds),
+		wcds.ObserveOption(rec),
 	}
 	if cfg.Async {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(plan.Seed))))
 	}
-	runner := wcds.ReliableRunner(cfg.Async, reliable.Options{MaxRetries: cfg.MaxRetries}, opts...)
-	return wcds.Algo2Distributed(nw.G, nw.ID, wcds.Deferred, runner)
+	ropt := reliable.Options{MaxRetries: cfg.MaxRetries, Observer: rec, Phase: wcds.PhaseOf}
+	runner := wcds.ReliableRunner(cfg.Async, ropt, opts...)
+	res, st, err := wcds.Algo2Distributed(nw.G, nw.ID, wcds.Deferred, runner)
+	return res, st, rec.Snapshot(), err
 }
 
 func equalSets(a, b []int) bool {

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
@@ -71,6 +72,16 @@ func TestSweepFindsNoViolations(t *testing.T) {
 			t.Errorf("async=%v: no scenario converged at intensity 0.6; harness too harsh: %s",
 				async, rep.Summary())
 		}
+		// Phase accounting must reconcile with the engine's own counters:
+		// every sent message belongs to exactly one phase.
+		wantMsgs := 0
+		for _, s := range rep.Scenarios {
+			wantMsgs += s.Stats.Messages
+		}
+		gotMsgs := obs.Total(rep.PhaseTotals, func(sp obs.Span) int { return sp.Messages })
+		if gotMsgs != wantMsgs {
+			t.Errorf("async=%v: phase totals carry %d messages, stats %d", async, gotMsgs, wantMsgs)
+		}
 		t.Logf("async=%v: %s", async, rep.Summary())
 	}
 }
@@ -94,7 +105,7 @@ func TestSweepZeroIntensityAllConverge(t *testing.T) {
 // result diverges from the reference is a Violation, never silently
 // accepted.
 func TestHarnessCatchesCorruptRuns(t *testing.T) {
-	corrupt := func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, error) {
+	corrupt := func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error) {
 		all := make([]int, nw.N())
 		for i := range all {
 			all[i] = i
@@ -105,7 +116,7 @@ func TestHarnessCatchesCorruptRuns(t *testing.T) {
 			Dominators:    all,
 			MISDominators: all,
 			Spanner:       wcds.WeaklyInduced(nw.G, all),
-		}, simnet.Stats{}, nil
+		}, simnet.Stats{}, nil, nil
 	}
 	rep, err := RunWith(Config{Seeds: 2, N: 15, AvgDegree: 4}, corrupt)
 	if err != nil {
@@ -145,6 +156,10 @@ func TestSweepThroughHTTPService(t *testing.T) {
 	}
 	if rep.Converged == 0 {
 		t.Errorf("no scenario converged through the service: %s", rep.Summary())
+	}
+	// The breakdown must survive the round trip over the wire schema.
+	if obs.Total(rep.PhaseTotals, func(sp obs.Span) int { return sp.Messages }) == 0 {
+		t.Error("HTTP sweep carried no per-phase breakdown back from the service")
 	}
 	t.Logf("http: %s", rep.Summary())
 }

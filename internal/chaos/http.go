@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
@@ -25,7 +26,7 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, error) {
+	return func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error) {
 		req := api.BackboneRequest{
 			Algorithm: "II",
 			Selection: "deferred",
@@ -53,16 +54,16 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 
 		body, err := json.Marshal(&req)
 		if err != nil {
-			return wcds.Result{}, simnet.Stats{}, fmt.Errorf("chaos: marshal request: %w", err)
+			return wcds.Result{}, simnet.Stats{}, nil, fmt.Errorf("chaos: marshal request: %w", err)
 		}
 		httpResp, err := client.Post(baseURL+"/v1/backbone", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return wcds.Result{}, simnet.Stats{}, fmt.Errorf("chaos: POST /v1/backbone: %w", err)
+			return wcds.Result{}, simnet.Stats{}, nil, fmt.Errorf("chaos: POST /v1/backbone: %w", err)
 		}
 		defer httpResp.Body.Close()
 		var resp api.BackboneResponse
 		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-			return wcds.Result{}, simnet.Stats{}, fmt.Errorf("chaos: decode response: %w", err)
+			return wcds.Result{}, simnet.Stats{}, nil, fmt.Errorf("chaos: decode response: %w", err)
 		}
 		st := simnet.Stats{
 			Messages:       resp.Messages,
@@ -75,11 +76,13 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 			Acks:           resp.Acks,
 			Abandoned:      resp.Abandoned,
 		}
+		// The per-phase breakdown rides the bumped wire schema back to the
+		// harness, so HTTP sweeps account costs exactly like in-process ones.
 		if httpResp.StatusCode != http.StatusOK {
-			return wcds.Result{}, st, fmt.Errorf("chaos: service answered %d", httpResp.StatusCode)
+			return wcds.Result{}, st, resp.Phases, fmt.Errorf("chaos: service answered %d", httpResp.StatusCode)
 		}
 		if !resp.Converged {
-			return wcds.Result{}, st, fmt.Errorf("chaos: run did not converge: %s", resp.FailureReason)
+			return wcds.Result{}, st, resp.Phases, fmt.Errorf("chaos: run did not converge: %s", resp.FailureReason)
 		}
 		res := wcds.Result{
 			Dominators:           resp.Dominators,
@@ -87,6 +90,6 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 			AdditionalDominators: resp.AdditionalDominators,
 			Spanner:              wcds.WeaklyInduced(nw.G, resp.Dominators),
 		}
-		return res, st, nil
+		return res, st, resp.Phases, nil
 	}
 }

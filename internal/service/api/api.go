@@ -19,9 +19,16 @@ import (
 	"net/http"
 )
 
-// Version names the wire contract carried by this package. It changes only
-// with breaking field or semantics changes; additive fields keep it.
+// Version names the wire contract carried by this package (the /v1 URL
+// prefix). It changes only with breaking field or semantics changes;
+// additive fields bump SchemaVersion instead.
 const Version = "v1"
+
+// SchemaVersion is the additive revision of the response schema within the
+// Version contract, echoed in the "schema" field of backbone and batch
+// responses. Revision 2 added the per-phase cost breakdown (phases) and
+// this field itself; revision 1 responses carried neither.
+const SchemaVersion = 2
 
 // Sentinel errors shared by the facade, the batch engine and the service
 // handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works

@@ -62,4 +62,7 @@ type BatchResponse struct {
 	batch.Report
 	Digest string `json:"digest"`
 	Cached bool   `json:"cached"`
+	// Schema echoes SchemaVersion (see api.go); revision 2 added per-phase
+	// breakdowns to the embedded report's results.
+	Schema int `json:"schema"`
 }

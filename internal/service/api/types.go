@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"wcdsnet/internal/geom"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
 )
@@ -176,6 +177,14 @@ type BackboneResponse struct {
 	Messages             int     `json:"messages,omitempty"`
 	Rounds               int     `json:"rounds,omitempty"`
 	Cached               bool    `json:"cached"`
+	// Schema echoes SchemaVersion so clients can detect which additive
+	// revision of this response they are reading.
+	Schema int `json:"schema"`
+
+	// Phases breaks a distributed run's cost down by protocol phase
+	// (discovery, election, levels, mis, recruit, reliable). Centralized
+	// runs have no phases.
+	Phases []obs.Span `json:"phases,omitempty"`
 
 	// Converged is false when a fault-injected run quiesced without every
 	// node deciding, or blew its round budget — a detectable failure, not

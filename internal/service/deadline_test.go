@@ -1,0 +1,136 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// nonConvergingBackbone is a request that can never quiesce on its own: a
+// never-healing partition under the reliable layer with effectively
+// unbounded retry and round budgets, so retransmission continues forever.
+// Only the per-request deadline reaching into the run can end it.
+func nonConvergingBackbone() map[string]any {
+	return map[string]any{
+		"seed": 3, "n": 60, "avgDegree": 8,
+		"algorithm": "II", "mode": "sync",
+		"reliable":   true,
+		"maxRetries": 100_000_000,
+		"maxRounds":  100_000_000,
+		"faults": map[string]any{
+			"partitions": []map[string]any{{"from": 0, "group": []int{0, 1, 2}}},
+		},
+	}
+}
+
+// The tentpole acceptance check: a short request deadline must interrupt a
+// non-converging run mid-flight (prompt 504) AND free the worker — before
+// context plumbing, Submit returned but the worker ground on until the
+// round budget, wedging a Workers=1 service for minutes.
+func TestBackboneDeadlineInterruptsRunAndFreesWorker(t *testing.T) {
+	svc, ts := newTestService(t, Options{
+		Workers:        1,
+		RequestTimeout: 150 * time.Millisecond,
+		CacheSize:      -1,
+	})
+
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/backbone", nonConvergingBackbone())
+	elapsed := time.Since(start)
+
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, body %v; want 504", resp.StatusCode, body)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("504 took %v; the deadline did not interrupt the run promptly", elapsed)
+	}
+	// A deadline-expired fault run must never masquerade as detectable
+	// non-convergence data.
+	if body["failureReason"] != nil {
+		t.Fatalf("cancellation surfaced as failure data: %v", body)
+	}
+
+	// The worker itself must come free: the run observes the expired
+	// context within a round, so in-flight drains to zero shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.pool.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker still busy %v after the 504; deadline did not reach the run", time.Since(start))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the freed worker serves the next request normally.
+	ok, okBody := postJSON(t, ts.URL+"/v1/backbone", map[string]any{
+		"seed": 1, "n": 40, "avgDegree": 6, "mode": "sync",
+	})
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request after timeout: status %d, body %v", ok.StatusCode, okBody)
+	}
+}
+
+// Distributed responses carry the per-phase breakdown and the bumped
+// schema revision; centralized responses have the revision but no phases.
+func TestBackboneResponseCarriesPhases(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/backbone", map[string]any{
+		"seed": 9, "n": 80, "avgDegree": 7, "algorithm": "II", "mode": "sync",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	if body["schema"] != float64(2) {
+		t.Fatalf("schema = %v; want 2", body["schema"])
+	}
+	phases, ok := body["phases"].([]any)
+	if !ok || len(phases) == 0 {
+		t.Fatalf("distributed response carries no phases: %v", body["phases"])
+	}
+	total := 0
+	names := map[string]bool{}
+	for _, p := range phases {
+		sp := p.(map[string]any)
+		names[sp["name"].(string)] = true
+		if m, ok := sp["messages"].(float64); ok {
+			total += int(m)
+		}
+	}
+	if msgs := int(body["messages"].(float64)); total != msgs {
+		t.Fatalf("phase messages sum to %d, stats report %d", total, msgs)
+	}
+	for _, want := range []string{"mis", "recruit"} {
+		if !names[want] {
+			t.Fatalf("phase %q missing from breakdown %v", want, names)
+		}
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/backbone", map[string]any{
+		"seed": 9, "n": 80, "avgDegree": 7, "algorithm": "II",
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("centralized status %d: %v", resp2.StatusCode, body2)
+	}
+	if body2["phases"] != nil {
+		t.Fatalf("centralized response carries phases: %v", body2["phases"])
+	}
+	if body2["schema"] != float64(2) {
+		t.Fatalf("centralized schema = %v; want 2", body2["schema"])
+	}
+}
+
+// Per-phase counters reach the Prometheus exposition with name-suffixed
+// metrics (the registry has no label support).
+func TestPhaseMetricsExposed(t *testing.T) {
+	svc, ts := newTestService(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/backbone", map[string]any{
+		"seed": 5, "n": 50, "avgDegree": 6, "mode": "sync",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	c := svc.reg.Counter("wcds_service_phase_mis_messages_total", "")
+	if c.Value() <= 0 {
+		t.Fatalf("wcds_service_phase_mis_messages_total = %d after a distributed run", c.Value())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wcdsnet/internal/batch"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/simnet"
@@ -86,11 +87,11 @@ func (s *Service) handleBackbone(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serve(w, r, endpointBackbone, start, req.CacheKey(),
-		func(context.Context) (any, error) { return computeBackbone(&req) },
+		func(ctx context.Context) (any, error) { return s.computeBackbone(ctx, &req) },
 		func(v any) any { resp := *(v.(*BackboneResponse)); return &resp })
 }
 
-func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
+func (s *Service) computeBackbone(ctx context.Context, req *BackboneRequest) (*BackboneResponse, error) {
 	nw, err := req.NetworkSpec.Build()
 	if err != nil {
 		return nil, err
@@ -99,10 +100,7 @@ func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
 		res wcds.Result
 		st  simnet.Stats
 	)
-	runner, err := runnerFor(req)
-	if err != nil {
-		return nil, err
-	}
+	runner, rec := runnerFor(ctx, req)
 	switch {
 	case req.Algorithm == "I" && runner == nil:
 		res = wcds.Algo1Centralized(nw.G, nw.ID)
@@ -129,8 +127,19 @@ func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
 		Acks:           st.Acks,
 		Abandoned:      st.Abandoned,
 		Converged:      err == nil,
+		Schema:         api.SchemaVersion,
+	}
+	if rec != nil {
+		resp.Phases = rec.Snapshot()
+		s.recordPhases(resp.Phases)
 	}
 	if err != nil {
+		// The request deadline propagates into the run itself; its expiry is
+		// a transport condition (504 via the pool's error mapping), never
+		// response data — checked before the faults-as-data branch below.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
 		// Under injected faults a stalled or budget-exhausted protocol is an
 		// expected, DETECTABLE outcome: report it as data, not as a server
 		// error. Without faults the same failure is a bug and stays a 500.
@@ -150,12 +159,15 @@ func computeBackbone(req *BackboneRequest) (*BackboneResponse, error) {
 
 // runnerFor maps a request to a protocol runner; nil means centralized.
 // Fault plans compile into engine options here; the reliable layer wraps
-// the procs when requested.
-func runnerFor(req *BackboneRequest) (wcds.Runner, error) {
+// the procs when requested. Distributed runners carry the request context
+// (so the per-request deadline interrupts the run mid-flight) and a phase
+// recorder (so the response reports the per-phase breakdown).
+func runnerFor(ctx context.Context, req *BackboneRequest) (wcds.Runner, *obs.Spans) {
 	if req.Mode == "centralized" {
 		return nil, nil
 	}
-	var opts []simnet.Option
+	rec := obs.NewSpans()
+	opts := []simnet.Option{simnet.WithContext(ctx), wcds.ObserveOption(rec)}
 	async := req.Mode == "async"
 	if async {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(req.ScheduleSeed))))
@@ -167,12 +179,13 @@ func runnerFor(req *BackboneRequest) (wcds.Runner, error) {
 		opts = append(opts, simnet.WithMaxRounds(req.MaxRounds))
 	}
 	if req.Reliable {
-		return wcds.ReliableRunner(async, reliable.Options{MaxRetries: req.MaxRetries}, opts...), nil
+		ropt := reliable.Options{MaxRetries: req.MaxRetries, Observer: rec, Phase: wcds.PhaseOf}
+		return wcds.ReliableRunner(async, ropt, opts...), rec
 	}
 	if async {
-		return wcds.AsyncRunner(opts...), nil
+		return wcds.AsyncRunner(opts...), rec
 	}
-	return wcds.SyncRunner(opts...), nil
+	return wcds.SyncRunner(opts...), rec
 }
 
 func selectionFor(sel string) wcds.SelectionMode {
@@ -267,11 +280,11 @@ func (s *Service) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serve(w, r, endpointBroadcast, start, req.CacheKey(),
-		func(context.Context) (any, error) { return computeBroadcast(&req) },
+		func(ctx context.Context) (any, error) { return computeBroadcast(ctx, &req) },
 		func(v any) any { resp := *(v.(*BroadcastResponse)); return &resp })
 }
 
-func computeBroadcast(req *BroadcastRequest) (*BroadcastResponse, error) {
+func computeBroadcast(ctx context.Context, req *BroadcastRequest) (*BroadcastResponse, error) {
 	nw, err := req.NetworkSpec.Build()
 	if err != nil {
 		return nil, err
@@ -279,7 +292,11 @@ func computeBroadcast(req *BroadcastRequest) (*BroadcastResponse, error) {
 	if req.Source >= nw.N() {
 		return nil, api.Errorf("source %d out of range for %d nodes", req.Source, nw.N())
 	}
-	res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+	res, tables, _, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred,
+		wcds.SyncRunner(simnet.WithContext(ctx)))
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: backbone construction failed: %w", err)
 	}
@@ -337,7 +354,7 @@ func computeBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error
 		// (504/503); the engine has no other failure mode after Normalize.
 		return nil, err
 	}
-	return &BatchResponse{Report: *rep, Digest: rep.Digest()}, nil
+	return &BatchResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}, nil
 }
 
 // --- health and metrics ----------------------------------------------------

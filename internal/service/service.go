@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"wcdsnet/internal/graph"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/service/metrics"
 )
@@ -134,6 +135,23 @@ func New(opts Options) *Service {
 	s.reg.GaugeFunc("wcds_service_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	return s
+}
+
+// recordPhases folds one run's per-phase breakdown into the registry. The
+// metrics package has no label support, so each phase gets name-suffixed
+// counters; phase names are a small closed set (see wcds.PhaseOf) and
+// Registry.Counter is idempotent, so lazy registration here is cheap.
+func (s *Service) recordPhases(spans []obs.Span) {
+	for _, sp := range spans {
+		if sp.Messages > 0 {
+			s.reg.Counter("wcds_service_phase_"+sp.Name+"_messages_total",
+				"Protocol messages sent in the "+sp.Name+" phase across all runs.").Add(int64(sp.Messages))
+		}
+		if sp.Retransmits > 0 {
+			s.reg.Counter("wcds_service_phase_"+sp.Name+"_retransmits_total",
+				"Reliable-layer retransmissions attributed to the "+sp.Name+" phase.").Add(int64(sp.Retransmits))
+		}
+	}
 }
 
 // Close drains the worker pool: accepted jobs finish, new Submits fail.

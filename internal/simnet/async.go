@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"wcdsnet/internal/graph"
+	"wcdsnet/internal/obs"
 )
 
 // RunAsync executes the protocol with one goroutine per node and unbounded
@@ -52,6 +53,19 @@ func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	}
 	// One pending task per node for its Init call.
 	eng.pending.Store(int64(g.N()))
+
+	// Cancellation watcher: a context expiry terminates the run from
+	// outside the node goroutines. The watcher itself exits with the run,
+	// so cancellable runs leak no goroutines.
+	if cancel := cfg.ctx.Done(); cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				eng.finish(cancelErr(-1, cfg.ctx.Err()))
+			case <-eng.done:
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for i := range procs {
@@ -146,6 +160,12 @@ func (e *asyncEngine) onQuiesce() {
 	if e.finished() {
 		return
 	}
+	// Belt-and-braces alongside the watcher goroutine: a quiescent network
+	// never starts a new tick epoch on an expired context.
+	if err := e.cfg.ctx.Err(); err != nil {
+		e.finish(cancelErr(-1, err))
+		return
+	}
 	if len(e.tickers) == 0 {
 		e.finish(nil)
 		return
@@ -204,6 +224,9 @@ func (e *asyncEngine) nodeLoop(wg *sync.WaitGroup, node int, proc Proc) {
 		if e.cfg.trace != nil {
 			e.cfg.trace(Event{Kind: EventDeliver, From: env.from, To: node, Round: -1, Payload: env.payload})
 		}
+		if e.cfg.rec != nil {
+			e.cfg.rec.Event(e.cfg.classify(env.payload), obs.Deliver, -1)
+		}
 		proc.Recv(&ctx, env.from, env.payload)
 		e.taskDone()
 	}
@@ -232,6 +255,9 @@ func (e *asyncEngine) unicast(from, to int, payload any) {
 	if e.cfg.trace != nil {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: to, Round: -1, Payload: payload})
 	}
+	if e.cfg.rec != nil {
+		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, -1)
+	}
 	e.enqueue(from, to, payload)
 }
 
@@ -239,6 +265,9 @@ func (e *asyncEngine) broadcast(from int, payload any) {
 	e.messages.Add(1)
 	if e.cfg.trace != nil {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: -1, Round: -1, Payload: payload})
+	}
+	if e.cfg.rec != nil {
+		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, -1)
 	}
 	for _, to := range e.g.Neighbors(from) {
 		e.enqueue(from, to, payload)

@@ -30,6 +30,7 @@
 package reliable
 
 import (
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
 )
 
@@ -54,6 +55,14 @@ type Options struct {
 	// ticks to wait before that retransmission. Default: capped
 	// exponential 1, 2, 4, 8, 8, ...
 	Backoff func(attempt int) int
+	// Observer, when set, receives one obs.Retransmit event per
+	// retransmission, attributed to Phase(payload) of the frame being
+	// retried — so per-phase breakdowns show which protocol phase is
+	// paying the reliability cost. Must be goroutine-safe under RunAsync.
+	Observer obs.Recorder
+	// Phase classifies a retried frame's protocol payload for Observer.
+	// Nil attributes every retransmission to "reliable".
+	Phase func(payload any) string
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +76,9 @@ func (o Options) withDefaults() Options {
 			}
 			return 1 << (attempt - 1)
 		}
+	}
+	if o.Observer != nil && o.Phase == nil {
+		o.Phase = func(any) string { return "reliable" }
 	}
 	return o
 }
@@ -243,6 +255,9 @@ func (p *proc) Tick(ctx *simnet.Context) bool {
 			continue
 		}
 		p.retransmits++
+		if p.opt.Observer != nil {
+			p.opt.Observer.Event(p.opt.Phase(o.payload), obs.Retransmit, -1)
+		}
 		if o.to == simnet.ToAll {
 			ctx.BroadcastDirect(Data{Seq: o.seq, Payload: o.payload})
 		} else {

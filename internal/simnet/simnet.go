@@ -32,6 +32,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -39,6 +40,7 @@ import (
 	"sync"
 
 	"wcdsnet/internal/graph"
+	"wcdsnet/internal/obs"
 )
 
 // Proc is the per-node protocol state machine. The kernel guarantees that
@@ -111,6 +113,16 @@ var (
 	ErrMaxDeliveries = errors.New("simnet: protocol exceeded the delivery budget")
 )
 
+// cancelErr wraps a context expiry so callers can dispatch on the cause
+// with errors.Is(err, context.Canceled/DeadlineExceeded). round is -1 when
+// the engine has no round clock (RunAsync).
+func cancelErr(round int, err error) error {
+	if round < 0 {
+		return fmt.Errorf("simnet: run cancelled: %w", err)
+	}
+	return fmt.Errorf("simnet: run cancelled at round %d: %w", round, err)
+}
+
 // EventKind classifies trace events.
 type EventKind int
 
@@ -139,6 +151,9 @@ type config struct {
 	scramble      *rand.Rand
 	plan          *FaultPlan
 	faults        *faultState
+	ctx           context.Context
+	rec           obs.Recorder     // nil when no observer is installed
+	classify      func(any) string // payload -> phase name for rec
 }
 
 // WithMaxRounds sets the quiescence budget: the maximum number of
@@ -172,13 +187,42 @@ func WithScramble(rng *rand.Rand) Option {
 	return func(c *config) { c.scramble = rng }
 }
 
+// WithContext makes the run cancellable: the synchronous engine checks ctx
+// before every round and every quiescence tick pass, and the asynchronous
+// engine aborts on ctx expiry within one handler. A cancelled run returns
+// the stats accumulated so far and an error wrapping ctx.Err()
+// (context.Canceled or context.DeadlineExceeded), so callers can
+// errors.Is-dispatch on the cause.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// WithObserver installs a phase-scoped recorder: every send and delivery is
+// attributed to classify(payload) and reported to rec. classify must be
+// pure; under RunAsync both classify and rec are called from every node
+// goroutine, so rec must be goroutine-safe (obs.Spans is). A nil classify
+// attributes everything to "all".
+func WithObserver(rec obs.Recorder, classify func(payload any) string) Option {
+	return func(c *config) {
+		c.rec = rec
+		c.classify = classify
+	}
+}
+
 func buildConfig(n int, opts []Option) (*config, error) {
 	c := &config{
 		maxRounds:     20*n + 1000,
 		maxDeliveries: 50_000_000,
+		ctx:           context.Background(),
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.ctx == nil {
+		c.ctx = context.Background()
+	}
+	if c.rec != nil && c.classify == nil {
+		c.classify = func(any) string { return "all" }
 	}
 	if c.plan != nil {
 		f, err := compileFaults(c.plan, n)
@@ -354,6 +398,11 @@ func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	}
 
 	for {
+		// One cancellation check per round (and per tick pass): a cancelled
+		// run returns within the round it was cancelled in.
+		if err := cfg.ctx.Err(); err != nil {
+			return eng.stats(), cancelErr(eng.round, err)
+		}
 		next, ok := eng.nextRound()
 		if !ok {
 			// Quiescent: run a tick pass, or finish if there is nothing
@@ -396,6 +445,9 @@ func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 			}
 			if cfg.trace != nil {
 				cfg.trace(Event{Kind: EventDeliver, From: env.from, To: env.to, Round: eng.round, Payload: env.payload})
+			}
+			if cfg.rec != nil {
+				cfg.rec.Event(cfg.classify(env.payload), obs.Deliver, eng.round)
 			}
 			procs[env.to].Recv(&ctxs[env.to], env.from, env.payload)
 		}
@@ -477,6 +529,9 @@ func (e *syncEngine) unicast(from, to int, payload any) {
 	if e.cfg.trace != nil {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: to, Round: -1, Payload: payload})
 	}
+	if e.cfg.rec != nil {
+		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, e.round)
+	}
 	e.enqueueCopy(from, to, payload, e.seq)
 }
 
@@ -485,6 +540,9 @@ func (e *syncEngine) broadcast(from int, payload any) {
 	e.seq++
 	if e.cfg.trace != nil {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: -1, Round: -1, Payload: payload})
+	}
+	if e.cfg.rec != nil {
+		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, e.round)
 	}
 	// All copies of one broadcast share a sequence number so receivers at
 	// equal index see a stable order.

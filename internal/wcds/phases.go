@@ -1,0 +1,57 @@
+package wcds
+
+import (
+	"wcdsnet/internal/discovery"
+	"wcdsnet/internal/election"
+	"wcdsnet/internal/obs"
+	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
+)
+
+// Phase names for the obs spine. They follow the paper's structure:
+// Algorithm I is election → tree levels → ranked-MIS colour marking;
+// Algorithm II is ID-ranked MIS → 3-hop recruitment; the zero-knowledge
+// pipeline prepends HELLO discovery; the reliable layer's acks (and any
+// unclassifiable payload) get their own buckets.
+const (
+	PhaseDiscovery = "discovery"
+	PhaseElection  = "election"
+	PhaseLevels    = "levels"
+	PhaseMIS       = "mis"
+	PhaseRecruit   = "recruit"
+	PhaseReliable  = "reliable"
+	PhaseOther     = "other"
+)
+
+// PhaseOf attributes one wire payload to its protocol phase. Reliable-layer
+// Data frames are unwrapped so the inner protocol message is attributed to
+// its own phase (the frame overhead follows the payload it carries); bare
+// acks are reliability overhead and land in PhaseReliable. PhaseOf is pure
+// and goroutine-safe, so it can serve as the classifier for
+// simnet.WithObserver under either engine.
+func PhaseOf(payload any) string {
+	switch m := payload.(type) {
+	case reliable.Data:
+		return PhaseOf(m.Payload)
+	case reliable.Ack:
+		return PhaseReliable
+	case discovery.HelloMsg, discovery.NeighborListMsg:
+		return PhaseDiscovery
+	case election.ElectMsg, election.AckMsg:
+		return PhaseElection
+	case election.LevelMsg, election.CompleteMsg:
+		return PhaseLevels
+	case MISDominatorMsg, GrayMsg, BlackMsg:
+		return PhaseMIS
+	case OneHopDomsMsg, TwoHopDomsMsg, SelectionMsg, AdditionalDomMsg:
+		return PhaseRecruit
+	default:
+		return PhaseOther
+	}
+}
+
+// ObserveOption returns the simnet option that attributes every send and
+// delivery of a run to its paper phase on rec.
+func ObserveOption(rec obs.Recorder) simnet.Option {
+	return simnet.WithObserver(rec, PhaseOf)
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"wcdsnet/internal/batch"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/wcds"
@@ -48,6 +49,22 @@ var (
 	ErrBudgetExceeded = api.ErrBudgetExceeded
 )
 
+// PhaseSpan is one protocol phase's cost breakdown: messages, per-link
+// deliveries, synchronous-round extent, reliable-layer retransmits and wall
+// time. Produced by Run under WithPhases; also carried by the service's
+// wire schema and the batch engine's reports.
+type PhaseSpan = obs.Span
+
+// RunStats reports a distributed run's cost: the kernel counters plus,
+// when WithPhases was given, the per-phase breakdown in first-seen order
+// (election → levels → mis for Algorithm I; mis → recruit for Algorithm
+// II; discovery first under ZeroKnowledge; reliable for ack overhead).
+type RunStats struct {
+	simnet.Stats
+	// Phases is the per-phase breakdown; nil unless WithPhases was given.
+	Phases []PhaseSpan
+}
+
 // runOptions is assembled by the Option list; the zero value is the
 // centralized reference construction.
 type runOptions struct {
@@ -59,7 +76,10 @@ type runOptions struct {
 	reliable      bool
 	relOpts       ReliableOptions
 	maxRounds     int
+	maxDeliveries int
 	zeroKnowledge bool
+	phases        bool
+	ctx           context.Context
 }
 
 // Option configures Run. Options compose; each documents whether it
@@ -103,10 +123,34 @@ func WithMaxRounds(n int) Option {
 	return func(o *runOptions) { o.distributed, o.maxRounds = true, n }
 }
 
+// WithMaxDeliveries bounds the run's total per-link deliveries (0 = engine
+// default of 50M) — the budget that catches non-quiescent protocols on the
+// asynchronous engine, where plain runs have no round clock. Implies
+// Distributed.
+func WithMaxDeliveries(n int) Option {
+	return func(o *runOptions) { o.distributed, o.maxDeliveries = true, n }
+}
+
 // ZeroKnowledge prepends in-protocol HELLO neighbour discovery: every node
 // starts knowing only its own ID. Implies Distributed.
 func ZeroKnowledge() Option {
 	return func(o *runOptions) { o.distributed, o.zeroKnowledge = true, true }
+}
+
+// WithContext makes the run cancellable: a distributed run observes ctx
+// per synchronous round / per quiescence tick and returns promptly with an
+// error wrapping context.Canceled or context.DeadlineExceeded (test with
+// errors.Is). Implies Distributed — the centralized references complete in
+// microseconds and have nothing to interrupt.
+func WithContext(ctx context.Context) Option {
+	return func(o *runOptions) { o.distributed, o.ctx = true, ctx }
+}
+
+// WithPhases collects the per-phase cost breakdown (RunStats.Phases):
+// every transmission, delivery and retransmission is attributed to its
+// paper phase, with round extents and wall time. Implies Distributed.
+func WithPhases() Option {
+	return func(o *runOptions) { o.distributed, o.phases = true, true }
 }
 
 // Run is the single entry point for WCDS construction: pick the algorithm,
@@ -137,6 +181,9 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 	if o.maxRounds < 0 {
 		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: maxRounds %d must be non-negative: %w", o.maxRounds, ErrInvalidInput)
 	}
+	if o.maxDeliveries < 0 {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: maxDeliveries %d must be non-negative: %w", o.maxDeliveries, ErrInvalidInput)
+	}
 	if o.faults != nil {
 		if err := o.faults.Validate(nw.N()); err != nil {
 			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: %v: %w", err, ErrInvalidInput)
@@ -153,7 +200,11 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 		return wcds.Algo2Centralized(nw.G, nw.ID), RunStats{}, nil
 	}
 
-	run := o.compileRunner()
+	var rec *obs.Spans
+	if o.phases {
+		rec = obs.NewSpans()
+	}
+	run := o.compileRunner(rec)
 	var (
 		res Result
 		st  RunStats
@@ -161,15 +212,21 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 	)
 	switch {
 	case algo == AlgoI && o.zeroKnowledge:
-		res, st, err = wcds.Algo1ZeroKnowledge(nw.G, nw.ID, run)
+		res, st.Stats, err = wcds.Algo1ZeroKnowledge(nw.G, nw.ID, run)
 	case algo == AlgoI:
-		res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, run)
+		res, st.Stats, err = wcds.Algo1Distributed(nw.G, nw.ID, run)
 	case o.zeroKnowledge:
-		res, st, err = wcds.Algo2ZeroKnowledge(nw.G, nw.ID, o.selection, run)
+		res, st.Stats, err = wcds.Algo2ZeroKnowledge(nw.G, nw.ID, o.selection, run)
 	default:
-		res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, o.selection, run)
+		res, st.Stats, err = wcds.Algo2Distributed(nw.G, nw.ID, o.selection, run)
+	}
+	if rec != nil {
+		st.Phases = rec.Snapshot()
 	}
 	if err != nil {
+		// One error taxonomy across every engine and layer: budget blow-outs
+		// wrap ErrBudgetExceeded; cancellations keep their context cause
+		// (context.Canceled / context.DeadlineExceeded) visible to errors.Is.
 		if errors.Is(err, simnet.ErrMaxRounds) || errors.Is(err, simnet.ErrMaxDeliveries) {
 			err = fmt.Errorf("wcdsnet: %w (%w)", err, ErrBudgetExceeded)
 		} else {
@@ -179,7 +236,7 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 	return res, st, err
 }
 
-func (o *runOptions) compileRunner() wcds.Runner {
+func (o *runOptions) compileRunner(rec *obs.Spans) wcds.Runner {
 	var opts []simnet.Option
 	if o.async {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(o.scheduleSeed))))
@@ -190,8 +247,21 @@ func (o *runOptions) compileRunner() wcds.Runner {
 	if o.maxRounds > 0 {
 		opts = append(opts, simnet.WithMaxRounds(o.maxRounds))
 	}
+	if o.maxDeliveries > 0 {
+		opts = append(opts, simnet.WithMaxDeliveries(o.maxDeliveries))
+	}
+	if o.ctx != nil {
+		opts = append(opts, simnet.WithContext(o.ctx))
+	}
+	if rec != nil {
+		opts = append(opts, wcds.ObserveOption(rec))
+	}
 	if o.reliable {
-		return wcds.ReliableRunner(o.async, o.relOpts, opts...)
+		ropt := o.relOpts
+		if rec != nil {
+			ropt.Observer, ropt.Phase = rec, wcds.PhaseOf
+		}
+		return wcds.ReliableRunner(o.async, ropt, opts...)
 	}
 	if o.async {
 		return wcds.AsyncRunner(opts...)

@@ -63,8 +63,6 @@ type (
 	Tables = wcds.Tables
 	// SelectionMode picks Algorithm II's connector-selection semantics.
 	SelectionMode = wcds.SelectionMode
-	// RunStats reports a distributed run's message/round cost.
-	RunStats = simnet.Stats
 	// DilationReport aggregates spanner dilation measurements.
 	DilationReport = spanner.Report
 	// Router performs clusterhead unicast over the spanner.
@@ -207,7 +205,8 @@ func AlgorithmIIDistributed(nw *Network, mode SelectionMode, async bool, seed in
 // It stays a separate entry point: tables are a protocol byproduct the
 // unified Run API deliberately does not expose.
 func AlgorithmIIWithTables(nw *Network) (Result, []Tables, RunStats, error) {
-	return wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+	res, tabs, st, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
+	return res, tabs, RunStats{Stats: st}, err
 }
 
 // AlgorithmIIZeroKnowledge runs Algorithm II with in-protocol HELLO
@@ -355,5 +354,6 @@ func ClusterBy(nw *Network, res Result) (Partition, error) {
 // DiscoverNeighbors runs the HELLO-beacon discovery protocol with knowledge
 // radius k (1 or 2) and returns each node's discovered neighbourhood table.
 func DiscoverNeighbors(nw *Network, k int, async bool) ([]NeighborTable, RunStats, error) {
-	return discovery.Run(nw.G, nw.ID, k, async)
+	tabs, st, err := discovery.Run(nw.G, nw.ID, k, async)
+	return tabs, RunStats{Stats: st}, err
 }

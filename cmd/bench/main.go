@@ -15,10 +15,16 @@
 // schedule-independent — async message counts vary with goroutine timing
 // and would make the digest check meaningless.
 //
+// Two further executions isolate the dilation measurement core
+// (measure.go): measureSerial runs the pre-pool allocating implementation,
+// measure runs the pooled parallel one, and their reports must match
+// exactly.
+//
 // If a prior BENCH_*.json exists in the output directory, bench compares
 // against the newest one and fails on a >20% regression: throughput is
 // gated only when GOMAXPROCS matches the baseline (ops/s on a different
-// core count is not comparable), allocations per scenario are gated
+// core count is not comparable); allocations per scenario, measurement-core
+// allocations and per-phase protocol message/delivery counts are gated
 // always.
 //
 // Usage:
@@ -35,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"time"
@@ -46,8 +53,10 @@ import (
 
 // Schema identifies the report layout; bump on breaking changes. v2 added
 // protocol_phases (the merged per-phase cost breakdown of the suite's
-// distributed workloads) and retention pruning via -keep.
-const Schema = "wcdsnet-bench/v2"
+// distributed workloads) and retention pruning via -keep. v3 added the
+// measurement-core phases (measure/measureSerial, see measure.go) and
+// extended the gate to per-phase protocol message/delivery counts.
+const Schema = "wcdsnet-bench/v3"
 
 // regressionTolerance is the fractional slack before the gate trips.
 const regressionTolerance = 0.20
@@ -139,6 +148,22 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) er
 		return fmt.Errorf("%d scenarios failed", serialRep.Failed)
 	}
 
+	cases, err := measureCases(quick)
+	if err != nil {
+		return err
+	}
+	measureSerialPh, serialReports, err := measurePhase("measureSerial", cases, reps, 1, true)
+	if err != nil {
+		return err
+	}
+	measurePh, pooledReports, err := measurePhase("measure      ", cases, reps, workers, false)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(serialReports, pooledReports) {
+		return fmt.Errorf("determinism violation: pooled dilation reports differ from the allocating baseline")
+	}
+
 	rep := &Report{
 		Schema:     Schema,
 		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
@@ -149,9 +174,11 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) er
 		Networks:   serialRep.Networks,
 		Digest:     digest,
 		Phases: map[string]Phase{
-			"serial":  phase(serialRep),
-			"engine1": phase(engine1Rep),
-			"engineN": phase(engineNRep),
+			"serial":        phase(serialRep),
+			"engine1":       phase(engine1Rep),
+			"engineN":       phase(engineNRep),
+			"measureSerial": measureSerialPh,
+			"measure":       measurePh,
 		},
 		Speedup1W:      float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
 		SpeedupNW:      float64(serialRep.WallNS) / float64(engineNRep.WallNS),
@@ -159,6 +186,11 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) er
 	}
 	fmt.Printf("digest : %s (identical across serial, 1 worker, %d workers)\n", digest[:16], workers)
 	fmt.Printf("speedup: %.2fx (1 worker)  %.2fx (%d workers)\n", rep.Speedup1W, rep.SpeedupNW, workers)
+	if measurePh.MallocPerOp > 0 {
+		fmt.Printf("measure: %.0f → %.0f mallocs/op (%.1fx fewer than the allocating baseline)\n",
+			measureSerialPh.MallocPerOp, measurePh.MallocPerOp,
+			measureSerialPh.MallocPerOp/measurePh.MallocPerOp)
+	}
 
 	var gateErr error
 	if !noGate {
@@ -335,10 +367,12 @@ func newestBaseline(dir string) (*Report, string, error) {
 	return &base, filepath.Base(path), nil
 }
 
-// gate compares the engineN phase against the baseline and returns an
-// error on a >20% regression. Throughput across different suite shapes or
-// core counts is not comparable and is skipped with a note; the
-// allocations-per-scenario gate holds whenever the suite shape matches.
+// gate compares the report against the baseline and returns an error on a
+// >20% regression. Throughput across different suite shapes or core counts
+// is not comparable and is skipped with a note; the allocations-per-
+// scenario gates (engineN and measure) and the per-phase protocol message
+// and delivery counts are gated whenever the suite shape matches — the
+// counters are deterministic, so any core count compares.
 func gate(rep, base *Report, name string) error {
 	cur, curOK := rep.Phases["engineN"]
 	old, oldOK := base.Phases["engineN"]
@@ -352,26 +386,93 @@ func gate(rep, base *Report, name string) error {
 		return nil
 	}
 
-	if old.MallocPerOp > 0 {
-		limit := old.MallocPerOp * (1 + regressionTolerance)
-		if cur.MallocPerOp > limit {
-			return fmt.Errorf("regression vs %s: %.0f mallocs/op > %.0f (baseline %.0f +%d%%)",
-				name, cur.MallocPerOp, limit, old.MallocPerOp, int(regressionTolerance*100))
+	if err := gateMallocs("engineN", cur, old, name); err != nil {
+		return err
+	}
+	mcur, mcurOK := rep.Phases["measure"]
+	mold, moldOK := base.Phases["measure"]
+	if mcurOK && moldOK {
+		if err := gateMallocs("measure", mcur, mold, name); err != nil {
+			return err
 		}
 	}
+	if err := gateProtocolPhases(rep, base, name); err != nil {
+		return err
+	}
 	if base.GOMAXPROCS != rep.GOMAXPROCS {
-		fmt.Printf("gate   : baseline %s ran at GOMAXPROCS=%d (now %d), allocs gate only\n",
+		fmt.Printf("gate   : baseline %s ran at GOMAXPROCS=%d (now %d), allocs and phase gates only\n",
 			name, base.GOMAXPROCS, rep.GOMAXPROCS)
 		return nil
 	}
-	if old.OpsPerSec > 0 {
-		floor := old.OpsPerSec * (1 - regressionTolerance)
-		if cur.OpsPerSec < floor {
-			return fmt.Errorf("regression vs %s: %.1f scenarios/s < %.1f (baseline %.1f -%d%%)",
-				name, cur.OpsPerSec, floor, old.OpsPerSec, int(regressionTolerance*100))
+	if err := gateOps("engineN", "scenarios/s", cur, old, name); err != nil {
+		return err
+	}
+	if mcurOK && moldOK {
+		if err := gateOps("measure", "dilations/s", mcur, mold, name); err != nil {
+			return err
 		}
 	}
 	fmt.Printf("gate   : within %.0f%% of %s (%.1f vs %.1f scenarios/s, %.0f vs %.0f allocs/op)\n",
 		regressionTolerance*100, name, cur.OpsPerSec, old.OpsPerSec, cur.MallocPerOp, old.MallocPerOp)
+	return nil
+}
+
+// gateMallocs trips when a phase's allocations per op grew past tolerance.
+func gateMallocs(phase string, cur, old Phase, name string) error {
+	if old.MallocPerOp <= 0 {
+		return nil
+	}
+	limit := old.MallocPerOp * (1 + regressionTolerance)
+	if cur.MallocPerOp > limit {
+		return fmt.Errorf("regression vs %s: %s %.0f mallocs/op > %.0f (baseline %.0f +%d%%)",
+			name, phase, cur.MallocPerOp, limit, old.MallocPerOp, int(regressionTolerance*100))
+	}
+	return nil
+}
+
+// gateOps trips when a phase's throughput fell past tolerance.
+func gateOps(phase, unit string, cur, old Phase, name string) error {
+	if old.OpsPerSec <= 0 {
+		return nil
+	}
+	floor := old.OpsPerSec * (1 - regressionTolerance)
+	if cur.OpsPerSec < floor {
+		return fmt.Errorf("regression vs %s: %s %.1f %s < %.1f (baseline %.1f -%d%%)",
+			name, phase, cur.OpsPerSec, unit, floor, old.OpsPerSec, int(regressionTolerance*100))
+	}
+	return nil
+}
+
+// gateProtocolPhases trips when a protocol phase's message or delivery
+// count grew past tolerance — the per-phase counters are deterministic on
+// the pinned suite, so a protocol change that silently doubles recruit
+// traffic fails here even if total throughput still passes. One-sided:
+// sending fewer messages is an improvement, not a regression.
+func gateProtocolPhases(rep, base *Report, name string) error {
+	curByName := make(map[string]wcdsnet.PhaseSpan, len(rep.ProtocolPhases))
+	for _, sp := range rep.ProtocolPhases {
+		curByName[sp.Name] = sp
+	}
+	for _, old := range base.ProtocolPhases {
+		cur, ok := curByName[old.Name]
+		if !ok {
+			fmt.Printf("gate   : phase %q absent from this run, skipping its counters\n", old.Name)
+			continue
+		}
+		if old.Messages > 0 {
+			limit := float64(old.Messages) * (1 + regressionTolerance)
+			if float64(cur.Messages) > limit {
+				return fmt.Errorf("regression vs %s: phase %s %d messages > %.0f (baseline %d +%d%%)",
+					name, old.Name, cur.Messages, limit, old.Messages, int(regressionTolerance*100))
+			}
+		}
+		if old.Deliveries > 0 {
+			limit := float64(old.Deliveries) * (1 + regressionTolerance)
+			if float64(cur.Deliveries) > limit {
+				return fmt.Errorf("regression vs %s: phase %s %d deliveries > %.0f (baseline %d +%d%%)",
+					name, old.Name, cur.Deliveries, limit, old.Deliveries, int(regressionTolerance*100))
+			}
+		}
+	}
 	return nil
 }

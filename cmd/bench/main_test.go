@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"wcdsnet"
 )
 
 func report(ops, mallocs float64, procs, scenarios int, quick bool) *Report {
@@ -33,6 +35,67 @@ func TestGate(t *testing.T) {
 		{"slow but different cores", report(100, 2000, 4, 108, false), false},
 		{"alloc regression gates on any cores", report(1000, 2500, 4, 108, false), true},
 		{"different suite skipped", report(10, 99999, 1, 27, true), false},
+	}
+	for _, c := range cases {
+		err := gate(c.cur, base, "baseline.json")
+		if (err != nil) != c.fail {
+			t.Errorf("%s: gate error = %v, want failure=%v", c.name, err, c.fail)
+		}
+	}
+}
+
+func withMeasure(rep *Report, ops, mallocs float64) *Report {
+	rep.Phases["measure"] = Phase{OpsPerSec: ops, MallocPerOp: mallocs}
+	return rep
+}
+
+func TestGateMeasurePhase(t *testing.T) {
+	base := withMeasure(report(1000, 2000, 1, 108, false), 50, 40)
+	cases := []struct {
+		name string
+		cur  *Report
+		fail bool
+	}{
+		{"identical", withMeasure(report(1000, 2000, 1, 108, false), 50, 40), false},
+		{"measure alloc regression", withMeasure(report(1000, 2000, 1, 108, false), 50, 60), true},
+		{"measure throughput regression", withMeasure(report(1000, 2000, 1, 108, false), 30, 40), true},
+		{"measure alloc gates on any cores", withMeasure(report(1000, 2000, 4, 108, false), 50, 60), true},
+		{"measure throughput skipped on different cores", withMeasure(report(1000, 2000, 4, 108, false), 30, 40), false},
+		{"no measure phase in current run", report(1000, 2000, 1, 108, false), false},
+	}
+	for _, c := range cases {
+		err := gate(c.cur, base, "baseline.json")
+		if (err != nil) != c.fail {
+			t.Errorf("%s: gate error = %v, want failure=%v (err=%v)", c.name, err, c.fail, err)
+		}
+	}
+}
+
+func withPhases(rep *Report, spans ...wcdsnet.PhaseSpan) *Report {
+	rep.ProtocolPhases = spans
+	return rep
+}
+
+func TestGateProtocolPhases(t *testing.T) {
+	mis := wcdsnet.PhaseSpan{Name: "mis", Messages: 1800, Deliveries: 13000}
+	recruit := wcdsnet.PhaseSpan{Name: "recruit", Messages: 4000, Deliveries: 26000}
+	base := withPhases(report(1000, 2000, 1, 108, false), mis, recruit)
+	cases := []struct {
+		name string
+		cur  *Report
+		fail bool
+	}{
+		{"identical", withPhases(report(1000, 2000, 1, 108, false), mis, recruit), false},
+		{"fewer messages pass", withPhases(report(1000, 2000, 1, 108, false),
+			wcdsnet.PhaseSpan{Name: "mis", Messages: 900, Deliveries: 6500}, recruit), false},
+		{"message regression", withPhases(report(1000, 2000, 1, 108, false),
+			mis, wcdsnet.PhaseSpan{Name: "recruit", Messages: 9000, Deliveries: 26000}), true},
+		{"delivery regression", withPhases(report(1000, 2000, 1, 108, false),
+			wcdsnet.PhaseSpan{Name: "mis", Messages: 1800, Deliveries: 26000}, recruit), true},
+		{"phase counts gate on any cores", withPhases(report(1000, 2000, 4, 108, false),
+			mis, wcdsnet.PhaseSpan{Name: "recruit", Messages: 9000, Deliveries: 26000}), true},
+		{"absent phase skipped", withPhases(report(1000, 2000, 1, 108, false), mis), false},
+		{"no phases in current run", report(1000, 2000, 1, 108, false), false},
 	}
 	for _, c := range cases {
 		err := gate(c.cur, base, "baseline.json")

@@ -16,6 +16,7 @@
 //	-json out.json  write the result as JSON
 //	-load s.json    load a scene instead of generating; -save s.json to save
 //	-timeline       print the per-round message-type timeline (sync engine)
+//	-phases         print the per-phase cost table (distributed engines)
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"wcdsnet"
 	"wcdsnet/internal/baseline"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/render"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
@@ -71,8 +73,18 @@ func run() error {
 		load     = flag.String("load", "", "load a scene JSON instead of generating")
 		save     = flag.String("save", "", "save the scene JSON for reproduction")
 		timeline = flag.Bool("timeline", false, "print the per-round message-type timeline (sync engine, algo I/II)")
+		phases   = flag.Bool("phases", false, "print the per-phase cost table (distributed engines, algo I/II)")
 	)
 	flag.Parse()
+
+	if *phases {
+		if *algo != "I" && *algo != "II" {
+			return fmt.Errorf("-phases requires -algo I or II (got %q)", *algo)
+		}
+		if *engine == "centralized" {
+			return fmt.Errorf("-phases requires a distributed engine (sync or async); centralized runs have no phases")
+		}
+	}
 
 	var (
 		nw  *wcdsnet.Network
@@ -101,18 +113,19 @@ func run() error {
 	}
 
 	var res wcdsnet.Result
+	var phaseSpans []wcdsnet.PhaseSpan
 	switch *algo {
 	case "I", "II":
 		if *timeline && *engine == "sync" {
 			var tl *simnet.Timeline
-			res, tl, out.Messages, out.Rounds, err = runWithTimeline(nw, *algo)
+			res, tl, phaseSpans, out.Messages, out.Rounds, err = runWithTimeline(nw, *algo, *phases)
 			if err != nil {
 				return err
 			}
 			fmt.Println("per-round message-type timeline:")
 			fmt.Print(tl.String())
 		} else {
-			res, out.Messages, out.Rounds, err = runAlgo(nw, *algo, *engine, *seed)
+			res, phaseSpans, out.Messages, out.Rounds, err = runAlgo(nw, *algo, *engine, *seed, *phases)
 			if err != nil {
 				return err
 			}
@@ -163,6 +176,10 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if len(phaseSpans) > 0 {
+		fmt.Println("phases:")
+		fmt.Print(wcdsnet.FormatPhaseTable(phaseSpans))
+	}
 	if out.TopoBoundHolds != nil {
 		fmt.Printf("dilation:  worst topological %.2f (3h+2 holds: %v), worst geometric %.2f (6l+5 holds: %v)\n",
 			out.WorstTopoRatio, *out.TopoBoundHolds, out.WorstGeoRatio, *out.GeoBoundHolds)
@@ -194,10 +211,16 @@ func run() error {
 }
 
 // runWithTimeline executes the chosen algorithm on the synchronous engine
-// with a timeline trace attached.
-func runWithTimeline(nw *wcdsnet.Network, algo string) (wcdsnet.Result, *simnet.Timeline, int, int, error) {
+// with a timeline trace attached, optionally also recording phase spans.
+func runWithTimeline(nw *wcdsnet.Network, algo string, phases bool) (wcdsnet.Result, *simnet.Timeline, []wcdsnet.PhaseSpan, int, int, error) {
 	tl, opt := simnet.NewTimelineTrace()
-	runner := wcds.SyncRunner(opt)
+	opts := []simnet.Option{opt}
+	var rec *obs.Spans
+	if phases {
+		rec = obs.NewSpans()
+		opts = append(opts, wcds.ObserveOption(rec))
+	}
+	runner := wcds.SyncRunner(opts...)
 	var (
 		res   wcdsnet.Result
 		stats simnet.Stats
@@ -208,10 +231,14 @@ func runWithTimeline(nw *wcdsnet.Network, algo string) (wcdsnet.Result, *simnet.
 	} else {
 		res, stats, err = wcds.Algo2Distributed(nw.G, nw.ID, wcds.Deferred, runner)
 	}
-	return res, tl, stats.Messages, stats.Rounds, err
+	var spans []wcdsnet.PhaseSpan
+	if rec != nil {
+		spans = rec.Snapshot()
+	}
+	return res, tl, spans, stats.Messages, stats.Rounds, err
 }
 
-func runAlgo(nw *wcdsnet.Network, algo, engine string, seed int64) (wcdsnet.Result, int, int, error) {
+func runAlgo(nw *wcdsnet.Network, algo, engine string, seed int64, phases bool) (wcdsnet.Result, []wcdsnet.PhaseSpan, int, int, error) {
 	which := wcdsnet.AlgoII
 	if algo == "I" {
 		which = wcdsnet.AlgoI
@@ -224,8 +251,11 @@ func runAlgo(nw *wcdsnet.Network, algo, engine string, seed int64) (wcdsnet.Resu
 	case "async":
 		opts = append(opts, wcdsnet.Async(seed))
 	default:
-		return wcdsnet.Result{}, 0, 0, fmt.Errorf("unknown engine %q", engine)
+		return wcdsnet.Result{}, nil, 0, 0, fmt.Errorf("unknown engine %q", engine)
+	}
+	if phases {
+		opts = append(opts, wcdsnet.WithPhases())
 	}
 	res, stats, err := wcdsnet.Run(nw, which, opts...)
-	return res, stats.Messages, stats.Rounds, err
+	return res, stats.Phases, stats.Messages, stats.Rounds, err
 }

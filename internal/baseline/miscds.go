@@ -34,7 +34,11 @@ func MISTreeCDS(g *graph.Graph, ids []int) ([]int, error) {
 	if !h.Connected() {
 		return nil, errors.New("baseline: dominator graph disconnected (Lemma 3 violated?)")
 	}
-	_, parent := h.BFS(0)
+	// The tree scratch stays held (unreleased) across the loop so parent
+	// survives the per-edge traversals, which draw their own scratch.
+	ts := graph.GetScratch()
+	defer ts.Release()
+	_, parent := h.BFSInto(ts, 0)
 
 	inCDS := make(map[int]bool, 3*len(set))
 	for _, v := range set {
@@ -42,13 +46,15 @@ func MISTreeCDS(g *graph.Graph, ids []int) ([]int, error) {
 	}
 	// For every tree edge, splice in the intermediates of one shortest
 	// path in G between the two dominators.
+	ps := graph.GetScratch()
+	defer ps.Release()
 	for child := 0; child < h.N(); child++ {
 		p := parent[child]
 		if p == -1 {
 			continue
 		}
 		u, w := set[p], set[child]
-		path := shortestPathBounded(g, u, w, 3)
+		path := shortestPathBounded(g, ps, u, w, 3)
 		if path == nil {
 			return nil, errors.New("baseline: tree edge endpoints not within 3 hops (bug)")
 		}
@@ -66,12 +72,13 @@ func MISTreeCDS(g *graph.Graph, ids []int) ([]int, error) {
 }
 
 // shortestPathBounded returns one shortest hop path from u to w of length
-// at most maxHops, or nil. Deterministic for sorted adjacency lists.
-func shortestPathBounded(g *graph.Graph, u, w, maxHops int) []int {
+// at most maxHops, or nil. Deterministic for sorted adjacency lists. The
+// bounded BFS runs in s, keeping the per-tree-edge call allocation-free.
+func shortestPathBounded(g *graph.Graph, s *graph.Scratch, u, w, maxHops int) []int {
 	if u == w {
 		return []int{u}
 	}
-	dist, _ := g.BFSBounded(u, maxHops)
+	dist, _ := g.BFSBoundedInto(s, u, maxHops)
 	if dist[w] == graph.Unreachable {
 		return nil
 	}

@@ -77,14 +77,15 @@ func TestMISTreeCDSDegenerate(t *testing.T) {
 
 func TestShortestPathBounded(t *testing.T) {
 	g := pathGraph(t, 5)
-	path := shortestPathBounded(g, 0, 3, 3)
+	s := graph.NewScratch()
+	path := shortestPathBounded(g, s, 0, 3, 3)
 	if len(path) != 4 || path[0] != 0 || path[3] != 3 {
 		t.Errorf("path = %v", path)
 	}
-	if shortestPathBounded(g, 0, 4, 3) != nil {
+	if shortestPathBounded(g, s, 0, 4, 3) != nil {
 		t.Error("4-hop target should be out of a 3-hop bound")
 	}
-	if p := shortestPathBounded(g, 2, 2, 3); len(p) != 1 {
+	if p := shortestPathBounded(g, s, 2, 2, 3); len(p) != 1 {
 		t.Errorf("self path = %v", p)
 	}
 }

@@ -116,6 +116,30 @@ func TestRunMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestMeasureWorkersDigestStable extends the determinism contract to the
+// dilation measurement parallelism: the sweep digest must be identical for
+// every MeasureWorkers value, for every shard count.
+func TestMeasureWorkersDigestStable(t *testing.T) {
+	ctx := context.Background()
+	base, err := Run(ctx, testSpec(), Options{Workers: 1, MeasureWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Workers: 1, MeasureWorkers: 4},
+		{Workers: 4, MeasureWorkers: 7},
+		{Workers: 4}, // default MeasureWorkers (1)
+	} {
+		rep, err := Run(ctx, testSpec(), opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if rep.Digest() != base.Digest() {
+			t.Errorf("digest differs for %+v:\n%s", opts, firstDiff(base.Canonical(), rep.Canonical()))
+		}
+	}
+}
+
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := range min(len(al), len(bl)) {

@@ -106,6 +106,12 @@ type Options struct {
 	// completes. Calls are serialized but arrive in completion order, not
 	// index order; Report.Results is always index-ordered regardless.
 	OnResult func(Result)
+	// MeasureWorkers is the per-scenario dilation measurement parallelism
+	// (spanner.DilationN). <= 0 means 1: the engine already parallelizes
+	// across scenarios, so nesting source-level workers only helps when the
+	// sweep has fewer scenarios than cores. Reports are byte-identical for
+	// every value.
+	MeasureWorkers int
 }
 
 // Run executes the sweep across opts.Workers goroutines and returns the
@@ -127,6 +133,10 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	workers = min(workers, max(len(scens), 1))
+	measureWorkers := opts.MeasureWorkers
+	if measureWorkers <= 0 {
+		measureWorkers = 1
+	}
 
 	memos := make([]*netMemo, spec.NumNetworks())
 	for _, sc := range scens {
@@ -156,7 +166,7 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
 					return
 				}
 				sc := scens[i]
-				res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memos[sc.Net])
+				res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memos[sc.Net], measureWorkers)
 				if res.cancelled {
 					// Mid-scenario cancellation: the row is neither a result
 					// nor a failure — drop it and stop pulling work.
@@ -217,7 +227,7 @@ func RunSerial(ctx context.Context, spec *Spec) (*Report, error) {
 			break
 		}
 		memo := &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed}
-		res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memo)
+		res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memo, 1)
 		if res.cancelled {
 			break
 		}
@@ -240,7 +250,7 @@ func RunSerial(ctx context.Context, spec *Spec) (*Report, error) {
 
 // runScenario executes one scenario, converting panics in measurement code
 // into failed rows so a single bad cell cannot take down a sweep.
-func runScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo) (res Result) {
+func runScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, measureWorkers int) (res Result) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -249,7 +259,7 @@ func runScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo) (
 		}
 		res.WallNS = time.Since(start).Nanoseconds()
 	}()
-	res = execScenario(ctx, sc, w, memo)
+	res = execScenario(ctx, sc, w, memo, measureWorkers)
 	return res
 }
 
@@ -258,7 +268,7 @@ func isCancel(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo) Result {
+func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, measureWorkers int) Result {
 	r := Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed, Workload: w.label()}
 	switch w.Kind {
 	case Dilation:
@@ -274,7 +284,7 @@ func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo) 
 		} else {
 			pairs = spanner.SamplePairs(rand.New(rand.NewSource(w.SampleSeed)), nw.N(), w.Pairs)
 		}
-		report, err := spanner.Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+		report, err := spanner.DilationN(nw.G, res.Spanner, nw.Weight(), pairs, measureWorkers)
 		if err != nil {
 			r.Err = err.Error()
 			return r

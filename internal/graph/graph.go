@@ -10,7 +10,6 @@ package graph
 
 import (
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -168,32 +167,11 @@ const Unreachable = -1
 // BFS computes hop distances and BFS-tree parents from src. dist[v] is the
 // minimum hop count from src to v, or Unreachable. parent[src] is -1, and
 // parent[v] is v's predecessor on a shortest hop path.
+//
+// The returned slices are freshly allocated and owned by the caller. Hot
+// loops that traverse repeatedly should hold a Scratch and call BFSInto.
 func (g *Graph) BFS(src int) (dist, parent []int) {
-	n := len(g.adj)
-	dist = make([]int, n)
-	parent = make([]int, n)
-	for i := range dist {
-		dist[i] = Unreachable
-		parent[i] = -1
-	}
-	if src < 0 || src >= n {
-		return dist, parent
-	}
-	dist[src] = 0
-	queue := make([]int, 0, n)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] == Unreachable {
-				dist[v] = dist[u] + 1
-				parent[v] = u
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist, parent
+	return g.BFSInto(new(Scratch), src)
 }
 
 // HopDist returns the minimum number of hops between u and v, or
@@ -202,39 +180,19 @@ func (g *Graph) HopDist(u, v int) int {
 	if u == v {
 		return 0
 	}
-	dist, _ := g.BFSBounded(u, len(g.adj))
-	return dist[v]
+	s := GetScratch()
+	dist, _ := g.BFSBoundedInto(s, u, len(g.adj))
+	d := dist[v]
+	s.Release()
+	return d
 }
 
 // BFSBounded is BFS truncated at maxHops: nodes farther than maxHops keep
 // distance Unreachable. It is the workhorse for "within k hops" queries.
+// The returned slices are caller-owned; see BFSBoundedInto for the pooled
+// variant.
 func (g *Graph) BFSBounded(src, maxHops int) (dist []int, visited []int) {
-	n := len(g.adj)
-	dist = make([]int, n)
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	if src < 0 || src >= n || maxHops < 0 {
-		return dist, nil
-	}
-	dist[src] = 0
-	visited = append(visited, src)
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if dist[u] == maxHops {
-			continue
-		}
-		for _, v := range g.adj[u] {
-			if dist[v] == Unreachable {
-				dist[v] = dist[u] + 1
-				visited = append(visited, v)
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist, visited
+	return g.BFSBoundedInto(new(Scratch), src, maxHops)
 }
 
 // NodesWithin returns all nodes at hop distance in [1, k] from src, sorted
@@ -257,7 +215,9 @@ func (g *Graph) Connected() bool {
 	if len(g.adj) <= 1 {
 		return true
 	}
-	dist, _ := g.BFS(0)
+	s := GetScratch()
+	defer s.Release()
+	dist, _ := g.BFSInto(s, 0)
 	for _, d := range dist {
 		if d == Unreachable {
 			return false
@@ -330,42 +290,10 @@ type WeightFunc func(u, v int) float64
 
 // Dijkstra computes single-source weighted shortest-path distances using w.
 // dist[v] is math.Inf(1) for unreachable nodes. parent follows the same
-// convention as BFS.
+// convention as BFS. The returned slices are caller-owned; hot loops should
+// use DijkstraInto with a reusable Scratch.
 func (g *Graph) Dijkstra(src int, w WeightFunc) (dist []float64, parent []int) {
-	n := len(g.adj)
-	dist = make([]float64, n)
-	parent = make([]int, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parent[i] = -1
-	}
-	if src < 0 || src >= n {
-		return dist, parent
-	}
-	dist[src] = 0
-	pq := &heapPQ{}
-	pq.push(pqItem{node: src, dist: 0})
-	done := make([]bool, n)
-	for pq.len() > 0 {
-		it := pq.pop()
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		for _, v := range g.adj[u] {
-			if done[v] {
-				continue
-			}
-			nd := dist[u] + w(u, v)
-			if nd < dist[v] {
-				dist[v] = nd
-				parent[v] = u
-				pq.push(pqItem{node: v, dist: nd})
-			}
-		}
-	}
-	return dist, parent
+	return g.DijkstraInto(new(Scratch), src, w)
 }
 
 // MinHopMinLength computes, for every node v, the minimum hop count from
@@ -373,45 +301,11 @@ func (g *Graph) Dijkstra(src int, w WeightFunc) (dist []float64, parent []int) {
 // under w. It returns hop counts, those path lengths, and a parent array of
 // one such path. This matches the paper's l_{G'}(u,v) notion: the length of
 // a minimum-hop path in the spanner.
+// Process level by level: within each BFS level relaxations cannot
+// improve hop counts, only lengths at the next level, so a standard
+// frontier sweep suffices (see MinHopMinLengthInto for the loop).
 func (g *Graph) MinHopMinLength(src int, w WeightFunc) (hops []int, length []float64, parent []int) {
-	n := len(g.adj)
-	hops = make([]int, n)
-	length = make([]float64, n)
-	parent = make([]int, n)
-	for i := range hops {
-		hops[i] = Unreachable
-		length[i] = math.Inf(1)
-		parent[i] = -1
-	}
-	if src < 0 || src >= n {
-		return hops, length, parent
-	}
-	hops[src] = 0
-	length[src] = 0
-	// Process level by level: within each BFS level relaxations cannot
-	// improve hop counts, only lengths at the next level, so a standard
-	// frontier sweep suffices.
-	frontier := []int{src}
-	for len(frontier) > 0 {
-		var next []int
-		for _, u := range frontier {
-			for _, v := range g.adj[u] {
-				nd := length[u] + w(u, v)
-				switch {
-				case hops[v] == Unreachable:
-					hops[v] = hops[u] + 1
-					length[v] = nd
-					parent[v] = u
-					next = append(next, v)
-				case hops[v] == hops[u]+1 && nd < length[v]:
-					length[v] = nd
-					parent[v] = u
-				}
-			}
-		}
-		frontier = next
-	}
-	return hops, length, parent
+	return g.MinHopMinLengthInto(new(Scratch), src, w)
 }
 
 // MaxHopMinHopPath computes, for every node v, the minimum hop count from
@@ -419,37 +313,7 @@ func (g *Graph) MinHopMinLength(src int, w WeightFunc) (hops []int, length []flo
 // This is the worst-case l_{G'} of the paper's geometric dilation: "the
 // maximum total length of the minimum-hop paths".
 func (g *Graph) MaxHopMinHopPath(src int, w WeightFunc) (hops []int, length []float64) {
-	n := len(g.adj)
-	hops = make([]int, n)
-	length = make([]float64, n)
-	for i := range hops {
-		hops[i] = Unreachable
-		length[i] = math.Inf(-1)
-	}
-	if src < 0 || src >= n {
-		return hops, length
-	}
-	hops[src] = 0
-	length[src] = 0
-	frontier := []int{src}
-	for len(frontier) > 0 {
-		var next []int
-		for _, u := range frontier {
-			for _, v := range g.adj[u] {
-				nd := length[u] + w(u, v)
-				switch {
-				case hops[v] == Unreachable:
-					hops[v] = hops[u] + 1
-					length[v] = nd
-					next = append(next, v)
-				case hops[v] == hops[u]+1 && nd > length[v]:
-					length[v] = nd
-				}
-			}
-		}
-		frontier = next
-	}
-	return hops, length
+	return g.MaxHopMinHopPathInto(new(Scratch), src, w)
 }
 
 // pqItem is a priority-queue entry for Dijkstra.

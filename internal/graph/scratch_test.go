@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dirty fills the scratch with garbage from an unrelated traversal so the
+// equality checks below exercise reuse, not freshness.
+func dirty(s *Scratch, rng *rand.Rand) {
+	g := randomConnectedGraph(rng, 5+rng.Intn(40), 10)
+	w := func(u, v int) float64 { return float64(u+v) + 0.5 }
+	g.BFSInto(s, rng.Intn(g.N()))
+	g.DijkstraInto(s, rng.Intn(g.N()), w)
+	g.MaxHopMinHopPathInto(s, rng.Intn(g.N()), w)
+}
+
+func eqInts(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func eqFloats(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		// Exact equality on purpose: Into variants run the identical
+		// floating-point operations in the identical order.
+		if got[i] != want[i] && !(math.IsInf(got[i], 0) && got[i] == want[i]) {
+			t.Fatalf("%s: [%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestScratchMatchesFresh is the reuse property test: for random graphs, a
+// dirty reused scratch produces exactly what the fresh allocating versions
+// produce, traversal for traversal.
+func TestScratchMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewScratch()
+	for trial := 0; trial < 60; trial++ {
+		dirty(s, rng)
+		n := 2 + rng.Intn(60)
+		g := randomConnectedGraph(rng, n, rng.Intn(2*n))
+		w := func(u, v int) float64 { return 1 + float64((u*31+v*17)%7) }
+		src := rng.Intn(n)
+
+		dist, parent := g.BFS(src)
+		sd, sp := g.BFSInto(s, src)
+		eqInts(t, "BFS dist", sd, dist)
+		eqInts(t, "BFS parent", sp, parent)
+
+		bdist, bvis := g.BFSBounded(src, 3)
+		sbd, sbv := g.BFSBoundedInto(s, src, 3)
+		eqInts(t, "BFSBounded dist", sbd, bdist)
+		eqInts(t, "BFSBounded visited", sbv, bvis)
+
+		ddist, dparent := g.Dijkstra(src, w)
+		sdd, sdp := g.DijkstraInto(s, src, w)
+		eqFloats(t, "Dijkstra dist", sdd, ddist)
+		eqInts(t, "Dijkstra parent", sdp, dparent)
+
+		mh, ml, mp := g.MinHopMinLength(src, w)
+		smh, sml, smp := g.MinHopMinLengthInto(s, src, w)
+		eqInts(t, "MinHopMinLength hops", smh, mh)
+		eqFloats(t, "MinHopMinLength length", sml, ml)
+		eqInts(t, "MinHopMinLength parent", smp, mp)
+
+		xh, xl := g.MaxHopMinHopPath(src, w)
+		sxh, sxl := g.MaxHopMinHopPathInto(s, src, w)
+		eqInts(t, "MaxHopMinHopPath hops", sxh, xh)
+		eqFloats(t, "MaxHopMinHopPath length", sxl, xl)
+	}
+}
+
+// TestScratchShrinkingGraphs reuses one scratch across graphs of shrinking
+// and growing node counts — stale tail data from a larger graph must never
+// leak into a smaller one's results.
+func TestScratchShrinkingGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewScratch()
+	for _, n := range []int{80, 5, 33, 2, 64, 7} {
+		g := randomConnectedGraph(rng, n, n)
+		w := func(u, v int) float64 { return 1 }
+		dist, parent := g.BFS(0)
+		sd, sp := g.BFSInto(s, 0)
+		eqInts(t, "dist", sd, dist)
+		eqInts(t, "parent", sp, parent)
+		dd, _ := g.Dijkstra(0, w)
+		sdd, _ := g.DijkstraInto(s, 0, w)
+		eqFloats(t, "dijkstra", sdd, dd)
+	}
+}
+
+// TestScratchOutOfRangeSource mirrors the wrappers' out-of-range behaviour.
+func TestScratchOutOfRangeSource(t *testing.T) {
+	g := randomConnectedGraph(rand.New(rand.NewSource(3)), 10, 5)
+	s := NewScratch()
+	for _, src := range []int{-1, 10, 99} {
+		dist, parent := g.BFSInto(s, src)
+		for i := range dist {
+			if dist[i] != Unreachable || parent[i] != -1 {
+				t.Fatalf("src=%d: dist[%d]=%d parent=%d, want untouched sentinel", src, i, dist[i], parent[i])
+			}
+		}
+		if d, vis := g.BFSBoundedInto(s, src, 2); vis != nil || d[0] != Unreachable {
+			t.Fatalf("src=%d: bounded visited=%v", src, vis)
+		}
+	}
+}
+
+// TestTraversalZeroAlloc pins the steady state of every Into variant to
+// zero allocations: once a scratch has seen the graph size, repeated
+// traversals must not touch the heap. This is the guard against the pool
+// accidentally re-allocating (e.g. a slice reset written as make).
+func TestTraversalZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomConnectedGraph(rng, 300, 600)
+	w := func(u, v int) float64 { return 1 + float64((u+v)%5) }
+	s := NewScratch()
+	// Warm up: grow every buffer (the Dijkstra heap in particular reaches
+	// its high-water mark on the first full run).
+	g.BFSInto(s, 0)
+	g.BFSBoundedInto(s, 0, 4)
+	g.DijkstraInto(s, 0, w)
+	g.MinHopMinLengthInto(s, 0, w)
+	g.MaxHopMinHopPathInto(s, 0, w)
+
+	steps := []struct {
+		name string
+		run  func(src int)
+	}{
+		{"BFSInto", func(src int) { g.BFSInto(s, src) }},
+		{"BFSBoundedInto", func(src int) { g.BFSBoundedInto(s, src, 4) }},
+		{"DijkstraInto", func(src int) { g.DijkstraInto(s, src, w) }},
+		{"MinHopMinLengthInto", func(src int) { g.MinHopMinLengthInto(s, src, w) }},
+		{"MaxHopMinHopPathInto", func(src int) { g.MaxHopMinHopPathInto(s, src, w) }},
+	}
+	for _, step := range steps {
+		src := 0
+		if allocs := testing.AllocsPerRun(50, func() {
+			step.run(src)
+			src = (src + 17) % g.N()
+		}); allocs != 0 {
+			t.Errorf("%s: %v allocs/run in steady state, want 0", step.name, allocs)
+		}
+	}
+}
+
+func BenchmarkBFSFresh(b *testing.B) {
+	g := randomConnectedGraph(rand.New(rand.NewSource(1)), 500, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}
+
+func BenchmarkBFSScratch(b *testing.B) {
+	g := randomConnectedGraph(rand.New(rand.NewSource(1)), 500, 1500)
+	s := NewScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.BFSInto(s, i%g.N())
+	}
+}
+
+func BenchmarkDijkstraScratch(b *testing.B) {
+	g := randomConnectedGraph(rand.New(rand.NewSource(1)), 500, 1500)
+	w := func(u, v int) float64 { return 1 + float64((u+v)%5) }
+	s := NewScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.DijkstraInto(s, i%g.N(), w)
+	}
+}

@@ -17,6 +17,7 @@ package route
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"wcdsnet/internal/graph"
 	"wcdsnet/internal/wcds"
@@ -263,23 +264,54 @@ func RelaySet(g *graph.Graph, ids []int, res wcds.Result, tables []wcds.Tables) 
 	return relay
 }
 
+// bcastScratch is the reusable working memory of one broadcast sweep.
+// Broadcast runs once per source in the measurement workloads (batch
+// broadcast scenarios sweep several sources per network), so the marks and
+// the queue come from a pool instead of the heap.
+type bcastScratch struct {
+	heard []bool
+	sent  []bool
+	queue []int
+}
+
+var bcastPool = sync.Pool{New: func() any { return new(bcastScratch) }}
+
+func (s *bcastScratch) grow(n int) {
+	if cap(s.heard) < n {
+		s.heard = make([]bool, n)
+		s.sent = make([]bool, n)
+		s.queue = make([]int, n)
+	}
+	s.heard = s.heard[:n]
+	s.sent = s.sent[:n]
+	clear(s.heard)
+	clear(s.sent)
+}
+
 // Broadcast simulates a source flood where only relay[v] nodes (plus the
-// source itself) retransmit.
+// source itself) retransmit. A nil relay means every node relays (blind
+// flooding).
 func Broadcast(g *graph.Graph, relay []bool, src int) BroadcastReport {
 	n := g.N()
 	rep := BroadcastReport{}
-	for _, r := range relay {
-		if r {
-			rep.RelaySetSize++
+	if relay == nil {
+		rep.RelaySetSize = n
+	} else {
+		for _, r := range relay {
+			if r {
+				rep.RelaySetSize++
+			}
 		}
 	}
-	heard := make([]bool, n)
-	sent := make([]bool, n)
+	s := bcastPool.Get().(*bcastScratch)
+	defer bcastPool.Put(s)
+	s.grow(n)
+	heard, sent := s.heard, s.sent
 	heard[src] = true
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	q := s.queue[:0]
+	q = append(q, src)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
 		if sent[u] {
 			continue
 		}
@@ -289,12 +321,13 @@ func Broadcast(g *graph.Graph, relay []bool, src int) BroadcastReport {
 			rep.Receptions++
 			if !heard[w] {
 				heard[w] = true
-				if relay[w] {
-					queue = append(queue, w)
+				if relay == nil || relay[w] {
+					q = append(q, w)
 				}
 			}
 		}
 	}
+	s.queue = q[:cap(q)]
 	rep.Covered = true
 	for _, h := range heard {
 		if !h {
@@ -308,9 +341,5 @@ func Broadcast(g *graph.Graph, relay []bool, src int) BroadcastReport {
 // BlindFlood simulates classic flooding where every node retransmits the
 // first copy it hears.
 func BlindFlood(g *graph.Graph, src int) BroadcastReport {
-	relay := make([]bool, g.N())
-	for i := range relay {
-		relay[i] = true
-	}
-	return Broadcast(g, relay, src)
+	return Broadcast(g, nil, src)
 }

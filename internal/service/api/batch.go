@@ -22,6 +22,10 @@ type BatchRequest struct {
 	// Workers overrides the engine's shard count (0 = GOMAXPROCS). It does
 	// not affect results, only wall time, and is excluded from the cache key.
 	Workers int `json:"workers,omitempty"`
+	// MeasureWorkers overrides the per-scenario dilation measurement
+	// parallelism (0 = engine default of 1). Like Workers it cannot change
+	// results, only wall time, so it too is excluded from the cache key.
+	MeasureWorkers int `json:"measureWorkers,omitempty"`
 }
 
 // Normalize validates the spec in place (workload enums are defaulted and
@@ -29,6 +33,9 @@ type BatchRequest struct {
 func (req *BatchRequest) Normalize(maxNodes, maxScenarios int) error {
 	if req.Workers < 0 {
 		return Errorf("workers %d must be non-negative", req.Workers)
+	}
+	if req.MeasureWorkers < 0 {
+		return Errorf("measureWorkers %d must be non-negative", req.MeasureWorkers)
 	}
 	if err := req.BatchSpec.Validate(); err != nil {
 		return Errorf("%v", err)

@@ -288,6 +288,10 @@ type DilationRequest struct {
 	Pairs int `json:"pairs,omitempty"`
 	// SampleSeed seeds pair sampling (ignored when Pairs <= 0).
 	SampleSeed int64 `json:"sampleSeed,omitempty"`
+	// MeasureWorkers parallelises the measurement across sources
+	// (spanner.DilationN). 0 means GOMAXPROCS. The result is identical for
+	// every value, so it is excluded from the cache key.
+	MeasureWorkers int `json:"measureWorkers,omitempty"`
 }
 
 // DilationResponse flattens spanner.Report plus network context.
@@ -316,11 +320,15 @@ func (req *DilationRequest) Normalize() error {
 	default:
 		return Errorf("unknown algorithm %q (want I or II)", req.Algorithm)
 	}
+	if req.MeasureWorkers < 0 {
+		return Errorf("measureWorkers %d must be non-negative", req.MeasureWorkers)
+	}
 	return nil
 }
 
 // CacheKey returns the content address of the computation this request
-// describes.
+// describes. MeasureWorkers is deliberately absent: it changes how the
+// answer is computed, not what it is.
 func (req *DilationRequest) CacheKey() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dilation|algo=%s|pairs=%d|pseed=%d|", req.Algorithm, req.Pairs, req.SampleSeed)

@@ -235,7 +235,7 @@ func computeDilation(req *DilationRequest) (*DilationResponse, error) {
 	} else {
 		pairs = spanner.SamplePairs(rand.New(rand.NewSource(req.SampleSeed)), nw.N(), req.Pairs)
 	}
-	report, err := spanner.Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+	report, err := spanner.DilationN(nw.G, res.Spanner, nw.Weight(), pairs, req.MeasureWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("service: dilation failed: %w", err)
 	}
@@ -348,7 +348,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func computeBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
 	spec := req.BatchSpec
-	rep, err := batch.Run(ctx, &spec, batch.Options{Workers: req.Workers})
+	rep, err := batch.Run(ctx, &spec, batch.Options{Workers: req.Workers, MeasureWorkers: req.MeasureWorkers})
 	if err != nil {
 		// Cancellation/deadline surfaces through the pool's error mapping
 		// (504/503); the engine has no other failure mode after Normalize.

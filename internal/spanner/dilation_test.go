@@ -1,0 +1,141 @@
+package spanner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/udg"
+	"wcdsnet/internal/wcds"
+)
+
+// dilationFixture builds a random UDG network, its Algorithm II spanner
+// and a sampled pair set — the measurement workload the worker-count and
+// baseline equivalence tests run against.
+func dilationFixture(t testing.TB, seed int64, n int, pairCount int) (*udg.Network, wcds.Result, [][2]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nw, err := udg.GenConnectedAvgDegree(rng, n, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wcds.Algo2Centralized(nw.G, nw.ID)
+	pairs := SamplePairs(rng, n, pairCount)
+	return nw, res, pairs
+}
+
+// TestDilationWorkerCountsIdentical is the parallel determinism property
+// test: 1, 4 and 7 workers must produce bit-identical Reports on random
+// UDGs. Run under -race in CI, it also exercises the worker pool for data
+// races.
+func TestDilationWorkerCountsIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		nw, res, pairs := dilationFixture(t, seed, 90, 200)
+		base, err := DilationN(nw.G, res.Spanner, nw.Weight(), pairs, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, workers := range []int{4, 7} {
+			rep, err := DilationN(nw.G, res.Spanner, nw.Weight(), pairs, workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(rep, base) {
+				t.Errorf("seed %d: workers=%d report differs from workers=1:\n%+v\nvs\n%+v",
+					seed, workers, rep, base)
+			}
+		}
+		// The default entry point (workers=0 → GOMAXPROCS) must agree too.
+		rep, err := Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(rep, base) {
+			t.Errorf("seed %d: Dilation default differs from workers=1", seed)
+		}
+	}
+}
+
+// TestDilationMatchesBaseline pins the pooled/parallel implementation to
+// the pre-pool sequential reference, field for field.
+func TestDilationMatchesBaseline(t *testing.T) {
+	for _, seed := range []int64{10, 11, 12} {
+		nw, res, pairs := dilationFixture(t, seed, 70, 150)
+		want, err := DilationBaseline(nw.G, res.Spanner, nw.Weight(), pairs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, workers := range []int{1, 3} {
+			got, err := DilationN(nw.G, res.Spanner, nw.Weight(), pairs, workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d workers %d: pooled report differs from baseline:\n%+v\nvs\n%+v",
+					seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestDilationErrorDeterministic checks the first-error-in-source-order
+// rule: a disconnected spanner reports the same error for every worker
+// count.
+func TestDilationErrorDeterministic(t *testing.T) {
+	nw, res, pairs := dilationFixture(t, 5, 60, 120)
+	// Cripple the spanner: drop it to a single edge so most pairs are
+	// disconnected in it.
+	sp := res.Spanner
+	broken := spMinusMostEdges(sp.N())
+	_, errBase := DilationN(nw.G, broken, nw.Weight(), pairs, 1)
+	if errBase == nil {
+		t.Fatal("expected an error from the broken spanner")
+	}
+	for _, workers := range []int{4, 7} {
+		_, err := DilationN(nw.G, broken, nw.Weight(), pairs, workers)
+		if err == nil || err.Error() != errBase.Error() {
+			t.Errorf("workers=%d: error %v, want %v", workers, err, errBase)
+		}
+	}
+}
+
+// spMinusMostEdges builds an n-node graph with only the edge {0,1}.
+func spMinusMostEdges(n int) *graph.Graph {
+	g := graph.New(n)
+	_ = g.AddEdge(0, 1)
+	return g
+}
+
+func BenchmarkDilationSerial(b *testing.B) {
+	nw, res, pairs := dilationFixture(b, 1, 200, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DilationBaseline(nw.G, res.Spanner, nw.Weight(), pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDilationPooled(b *testing.B) {
+	nw, res, pairs := dilationFixture(b, 1, 200, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DilationN(nw.G, res.Spanner, nw.Weight(), pairs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDilationParallel(b *testing.B) {
+	nw, res, pairs := dilationFixture(b, 1, 200, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DilationN(nw.G, res.Spanner, nw.Weight(), pairs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

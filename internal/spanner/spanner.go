@@ -20,7 +20,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"wcdsnet/internal/graph"
 )
@@ -97,7 +100,84 @@ type Report struct {
 // (same node set, connected), and w gives Euclidean edge lengths (used for
 // both graphs — a spanner's edges are a subset of G's). Pairs with
 // identical or adjacent endpoints are skipped per the paper's definitions.
+//
+// Dilation runs DilationN with the default worker count (GOMAXPROCS).
+// The result is byte-identical for every worker count; see DilationN.
 func Dilation(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) (Report, error) {
+	return DilationN(g, sp, w, pairs, 0)
+}
+
+// srcPartial is one source's contribution to a dilation Report. Partials
+// are computed independently (possibly on different workers) and merged in
+// source order, which is what makes the parallel result deterministic: the
+// running sums, the worst-pair tie-breaks and the first-error choice all
+// see pairs in exactly the order the sequential loop did.
+type srcPartial struct {
+	pairs               int
+	sumTopo, sumGeo     float64
+	worstTopo, worstGeo PairStat
+	topoViol, geoViol   int
+	err                 error
+}
+
+// measureSource computes the partial for source u against its targets.
+// The three scratches back the three simultaneous per-source trees (hop
+// tree and weighted tree in g, max-length min-hop tree in sp), whose
+// output buffers would otherwise alias.
+func measureSource(g, sp *graph.Graph, w graph.WeightFunc, u int, targets []int, sg, sd, ss *graph.Scratch) srcPartial {
+	hopsG, _ := g.BFSInto(sg, u)
+	lenG, _ := g.DijkstraInto(sd, u, w)
+	hopsSp, lenSp := sp.MaxHopMinHopPathInto(ss, u, w)
+	var p srcPartial
+	for _, v := range targets {
+		if hopsG[v] == graph.Unreachable {
+			p.err = fmt.Errorf("spanner: pair (%d,%d) disconnected in G", u, v)
+			return p
+		}
+		if hopsSp[v] == graph.Unreachable {
+			p.err = fmt.Errorf("spanner: pair (%d,%d) disconnected in spanner", u, v)
+			return p
+		}
+		ps := PairStat{
+			U: u, V: v,
+			HopsG: hopsG[v], HopsSpanner: hopsSp[v],
+			LenG: lenG[v], LenSpanner: lenSp[v],
+		}
+		p.pairs++
+		p.sumTopo += ps.TopoRatio()
+		p.sumGeo += ps.GeoRatio()
+		if ps.TopoRatio() > p.worstTopo.TopoRatio() {
+			p.worstTopo = ps
+		}
+		if ps.GeoRatio() > p.worstGeo.GeoRatio() {
+			p.worstGeo = ps
+		}
+		if ps.HopsSpanner > 3*ps.HopsG+2 {
+			p.topoViol++
+		}
+		if ps.LenSpanner > 6*ps.LenG+5+1e-9 {
+			p.geoViol++
+		}
+	}
+	return p
+}
+
+// DilationN is Dilation with an explicit measurement worker count.
+// workers <= 0 selects GOMAXPROCS. Sources are grouped as in Dilation,
+// then fanned over a bounded pool of workers pulling source indices from a
+// shared atomic counter; each worker owns one pooled scratch set, so the
+// steady state allocates nothing per traversal.
+//
+// Determinism: every partial is stored at its source's index and the merge
+// walks partials in ascending source order, accumulating sums, worst pairs
+// (strict > comparisons, so the first pair attaining a maximum wins exactly
+// as in a sequential scan) and violation counts. Within a source, pairs
+// are processed in input order. Floating-point additions therefore
+// associate identically for every worker count, and the Report — and any
+// digest derived from it — is byte-identical whether workers is 1 or 100.
+// Errors follow the same rule: the reported error is the first one in
+// source order, matching the sequential implementation.
+func DilationN(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int, workers int) (Report, error) {
 	if g.N() != sp.N() {
 		return Report{}, fmt.Errorf("spanner: node count mismatch %d vs %d", g.N(), sp.N())
 	}
@@ -117,12 +197,105 @@ func Dilation(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) (Report, e
 	}
 	sort.Ints(srcs)
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+
+	partials := make([]srcPartial, len(srcs))
+	if workers <= 1 {
+		sg, sd, ss := graph.GetScratch(), graph.GetScratch(), graph.GetScratch()
+		for i, u := range srcs {
+			partials[i] = measureSource(g, sp, w, u, bySrc[u], sg, sd, ss)
+		}
+		sg.Release()
+		sd.Release()
+		ss.Release()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			go func() {
+				defer wg.Done()
+				sg, sd, ss := graph.GetScratch(), graph.GetScratch(), graph.GetScratch()
+				defer sg.Release()
+				defer sd.Release()
+				defer ss.Release()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(srcs) {
+						return
+					}
+					partials[i] = measureSource(g, sp, w, srcs[i], bySrc[srcs[i]], sg, sd, ss)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	rep := Report{TopoBoundHolds: true, GeoBoundHolds: true}
+	var sumTopo, sumGeo float64
+	for i := range partials {
+		p := &partials[i]
+		if p.err != nil {
+			return Report{}, p.err
+		}
+		rep.Pairs += p.pairs
+		sumTopo += p.sumTopo
+		sumGeo += p.sumGeo
+		if p.worstTopo.TopoRatio() > rep.WorstTopo.TopoRatio() {
+			rep.WorstTopo = p.worstTopo
+		}
+		if p.worstGeo.GeoRatio() > rep.WorstGeo.GeoRatio() {
+			rep.WorstGeo = p.worstGeo
+		}
+		rep.TopoViolations += p.topoViol
+		rep.GeoViolations += p.geoViol
+	}
+	rep.TopoBoundHolds = rep.TopoViolations == 0
+	rep.GeoBoundHolds = rep.GeoViolations == 0
+	if rep.Pairs > 0 {
+		rep.AvgTopoRatio = sumTopo / float64(rep.Pairs)
+		rep.AvgGeoRatio = sumGeo / float64(rep.Pairs)
+	}
+	return rep, nil
+}
+
+// DilationBaseline is the pre-pool sequential implementation: one fresh
+// allocation set per source, no scratch reuse, no parallelism. It is kept
+// as the reference the property tests and cmd/bench's measureSerial phase
+// compare against (the same role batch.RunSerial plays for the engine).
+func DilationBaseline(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) (Report, error) {
+	if g.N() != sp.N() {
+		return Report{}, fmt.Errorf("spanner: node count mismatch %d vs %d", g.N(), sp.N())
+	}
+	bySrc := make(map[int][]int)
+	for _, pr := range pairs {
+		u, v := pr[0], pr[1]
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		bySrc[u] = append(bySrc[u], v)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for u := range bySrc {
+		srcs = append(srcs, u)
+	}
+	sort.Ints(srcs)
+
+	rep := Report{TopoBoundHolds: true, GeoBoundHolds: true}
+	// Sum per source, then fold the per-source sums, so the float
+	// association matches DilationN's merge exactly and both entry points
+	// stay byte-identical.
 	var sumTopo, sumGeo float64
 	for _, u := range srcs {
 		hopsG, _ := g.BFS(u)
 		lenG, _ := g.Dijkstra(u, w)
 		hopsSp, lenSp := sp.MaxHopMinHopPath(u, w)
+		var srcTopo, srcGeo float64
 		for _, v := range bySrc[u] {
 			if hopsG[v] == graph.Unreachable {
 				return Report{}, fmt.Errorf("spanner: pair (%d,%d) disconnected in G", u, v)
@@ -136,8 +309,8 @@ func Dilation(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) (Report, e
 				LenG: lenG[v], LenSpanner: lenSp[v],
 			}
 			rep.Pairs++
-			sumTopo += ps.TopoRatio()
-			sumGeo += ps.GeoRatio()
+			srcTopo += ps.TopoRatio()
+			srcGeo += ps.GeoRatio()
 			if ps.TopoRatio() > rep.WorstTopo.TopoRatio() {
 				rep.WorstTopo = ps
 			}
@@ -153,6 +326,8 @@ func Dilation(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) (Report, e
 				rep.GeoViolations++
 			}
 		}
+		sumTopo += srcTopo
+		sumGeo += srcGeo
 	}
 	if rep.Pairs > 0 {
 		rep.AvgTopoRatio = sumTopo / float64(rep.Pairs)
@@ -196,9 +371,12 @@ func SamplePairs(rng *rand.Rand, n, count int) [][2]int {
 // used in the experiment summaries.
 func Stretch(g, sp *graph.Graph) float64 {
 	worst := 0.0
+	sg, ss := graph.GetScratch(), graph.GetScratch()
+	defer sg.Release()
+	defer ss.Release()
 	for u := 0; u < g.N(); u++ {
-		dg, _ := g.BFS(u)
-		ds, _ := sp.BFS(u)
+		dg, _ := g.BFSInto(sg, u)
+		ds, _ := sp.BFSInto(ss, u)
 		eg, es := 0, 0
 		for v := range dg {
 			if dg[v] > eg {
@@ -252,10 +430,14 @@ func CollectPairStats(g, sp *graph.Graph, w graph.WeightFunc, pairs [][2]int) ([
 	}
 	sort.Ints(srcs)
 	var out []PairStat
+	sg, sd, ss := graph.GetScratch(), graph.GetScratch(), graph.GetScratch()
+	defer sg.Release()
+	defer sd.Release()
+	defer ss.Release()
 	for _, u := range srcs {
-		hopsG, _ := g.BFS(u)
-		lenG, _ := g.Dijkstra(u, w)
-		hopsSp, lenSp := sp.MaxHopMinHopPath(u, w)
+		hopsG, _ := g.BFSInto(sg, u)
+		lenG, _ := g.DijkstraInto(sd, u, w)
+		hopsSp, lenSp := sp.MaxHopMinHopPathInto(ss, u, w)
 		for _, v := range bySrc[u] {
 			if hopsG[v] == graph.Unreachable || hopsSp[v] == graph.Unreachable {
 				return nil, fmt.Errorf("spanner: pair (%d,%d) disconnected", u, v)

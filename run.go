@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"wcdsnet/internal/batch"
 	"wcdsnet/internal/obs"
@@ -54,6 +55,22 @@ var (
 // time. Produced by Run under WithPhases; also carried by the service's
 // wire schema and the batch engine's reports.
 type PhaseSpan = obs.Span
+
+// FormatPhaseTable renders a per-phase cost table, one indented line per
+// phase, in the span order given (first-seen protocol order under
+// WithPhases). It is the shared formatter behind the README walkthrough
+// and cmd/wcds -phases, so the two can never drift.
+func FormatPhaseTable(spans []PhaseSpan) string {
+	var b strings.Builder
+	for _, sp := range spans {
+		fmt.Fprintf(&b, "  %-8s msgs=%-6d deliveries=%-6d rounds=%d", sp.Name, sp.Messages, sp.Deliveries, sp.Rounds)
+		if sp.Retransmits > 0 {
+			fmt.Fprintf(&b, " retransmits=%d", sp.Retransmits)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
 
 // RunStats reports a distributed run's cost: the kernel counters plus,
 // when WithPhases was given, the per-phase breakdown in first-seen order
@@ -279,13 +296,23 @@ type (
 	BatchSpec = batch.Spec
 	// BatchWorkload is one measurement applied to every network cell.
 	BatchWorkload = batch.Workload
-	// BatchOptions tunes RunBatch (worker count, streaming callback).
+	// BatchOptions tunes RunBatch (worker count, measurement parallelism,
+	// streaming callback).
 	BatchOptions = batch.Options
 	// BatchResult is one finished scenario row.
 	BatchResult = batch.Result
 	// BatchReport is the full sweep outcome with aggregate statistics.
 	BatchReport = batch.Report
 )
+
+// WithMeasureWorkers returns BatchOptions with the per-scenario dilation
+// measurement parallelism set (spanner.DilationN workers; 0 = engine
+// default of 1). Like the shard count it cannot change results, only wall
+// time. Convenience for callers that otherwise pass a zero BatchOptions.
+func WithMeasureWorkers(opts BatchOptions, workers int) BatchOptions {
+	opts.MeasureWorkers = workers
+	return opts
+}
 
 // RunBatch executes the sweep on the sharded batch engine: deterministic
 // scenario sharding across workers, shared per-network subcomputations and

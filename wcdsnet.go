@@ -311,13 +311,20 @@ func WeaklyInduced(nw *Network, set []int) *Graph {
 // pairCount ≤ 0 measures every non-adjacent pair — quadratic, for moderate
 // n only.
 func MeasureDilation(nw *Network, res Result, pairCount int, seed int64) (DilationReport, error) {
+	return MeasureDilationWorkers(nw, res, pairCount, seed, 0)
+}
+
+// MeasureDilationWorkers is MeasureDilation with an explicit measurement
+// worker count (0 = GOMAXPROCS). The report is byte-identical for every
+// worker count; see spanner.DilationN for the determinism argument.
+func MeasureDilationWorkers(nw *Network, res Result, pairCount int, seed int64, workers int) (DilationReport, error) {
 	var pairs [][2]int
 	if pairCount <= 0 {
 		pairs = spanner.AllPairs(nw.G)
 	} else {
 		pairs = spanner.SamplePairs(rand.New(rand.NewSource(seed)), nw.N(), pairCount)
 	}
-	return spanner.Dilation(nw.G, res.Spanner, nw.Weight(), pairs)
+	return spanner.DilationN(nw.G, res.Spanner, nw.Weight(), pairs, workers)
 }
 
 // NewRouter builds the clusterhead unicast router from a distributed

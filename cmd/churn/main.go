@@ -1,0 +1,280 @@
+// Command churn replays seeded random churn traces against streaming
+// topology sessions and prints a locality/latency report: the measurement
+// harness for the paper's Section 4.2 claim that backbone maintenance stays
+// local to the event site.
+//
+// Per trace: a connected random network, a session over it
+// (wcdsnet.OpenSession), then a sequence of epochs of random deltas —
+// moves, leaves, rejoins and brand-new joins — applied through the same
+// incremental-repair path the service's NDJSON endpoint drives. The report
+// aggregates epoch apply latency and repair locality (nodes whose role
+// changed, hop radius from the event sites). Maintained invariants are
+// re-verified every -validate epochs; any violation fails the run.
+//
+// Usage:
+//
+//	churn [flags]
+//
+//	-n 200       nodes per trace
+//	-deg 8       target average degree
+//	-seeds 5     number of traces (seeds seed, seed+1, ...)
+//	-seed 1      base seed
+//	-epochs 200  epochs per trace
+//	-validate 25 verify WCDS invariants every this many epochs (0 = final only)
+//	-smoke       quick CI mode: small traces, validate every epoch
+//	-v           per-trace progress
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"wcdsnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 200, "nodes per trace")
+		deg      = flag.Float64("deg", 8, "target average degree")
+		seeds    = flag.Int("seeds", 5, "number of traces")
+		seed     = flag.Int64("seed", 1, "base seed")
+		epochs   = flag.Int("epochs", 200, "epochs per trace")
+		validate = flag.Int("validate", 25, "verify invariants every this many epochs (0 = final only)")
+		smoke    = flag.Bool("smoke", false, "quick CI mode: small traces, validate every epoch")
+		verbose  = flag.Bool("v", false, "per-trace progress")
+	)
+	flag.Parse()
+	if *smoke {
+		*n, *deg, *seeds, *epochs, *validate = 40, 8, 2, 25, 1
+	}
+
+	var agg stats
+	start := time.Now()
+	for s := 0; s < *seeds; s++ {
+		traceSeed := *seed + int64(s)
+		st, err := replay(traceSeed, *n, *deg, *epochs, *validate)
+		if err != nil {
+			return fmt.Errorf("trace seed=%d: %w", traceSeed, err)
+		}
+		if *verbose {
+			fmt.Printf("trace seed=%-3d n=%3d: %d epochs, %d deltas, p95=%v touched mean=%.1f\n",
+				traceSeed, *n, st.epochs, st.deltas, st.latencyP(95), st.touchedMean())
+		}
+		agg.merge(st)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("churn: %d traces (n=%d deg=%.0f): %d epochs, %d deltas in %v\n",
+		*seeds, *n, *deg, agg.epochs, agg.deltas, elapsed.Round(time.Millisecond))
+	fmt.Printf("churn: latency   p50=%v p95=%v max=%v\n",
+		agg.latencyP(50), agg.latencyP(95), agg.latencyP(100))
+	fmt.Printf("churn: locality  role changes mean=%.2f/epoch max=%d | quiet epochs %.1f%%\n",
+		agg.touchedMean(), agg.touchedMax, agg.pct(agg.quiet))
+	fmt.Printf("churn: radius    ≤1 %.1f%%  ≤2 %.1f%%  >2 %.1f%% (max %d) of repairing epochs\n",
+		agg.rpct(agg.radius1), agg.rpct(agg.radius1+agg.radius2), agg.rpct(agg.radiusFar), agg.radiusMax)
+	fmt.Printf("churn: backbone  connector changes mean=%.2f/epoch | connected %.1f%% of epochs\n",
+		float64(agg.connectors)/float64(max(agg.epochs, 1)), agg.pct(agg.connected))
+	fmt.Printf("churn: verified  %d invariant checks, 0 violations\n", agg.validations)
+	if *smoke {
+		fmt.Println("churn: smoke PASS")
+	}
+	return nil
+}
+
+// replay drives one seeded trace through a session and collects its stats.
+func replay(seed int64, n int, deg float64, epochs, validate int) (stats, error) {
+	nw, err := wcdsnet.GenerateNetwork(seed, n, deg)
+	if err != nil {
+		return stats{}, err
+	}
+	sess, err := wcdsnet.OpenSession(nw, wcdsnet.SessionConfig{})
+	if err != nil {
+		return stats{}, err
+	}
+	defer sess.Close(nil)
+
+	rng := rand.New(rand.NewSource(seed * 7919))
+	ctx := context.Background()
+	var st stats
+	for e := 0; e < epochs; e++ {
+		deltas := randomEpoch(rng, sess)
+		ev, err := sess.Apply(ctx, deltas)
+		if err != nil {
+			return st, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		st.record(ev)
+		if validate > 0 && (e+1)%validate == 0 {
+			if err := sess.Maintainer().Validate(); err != nil {
+				return st, fmt.Errorf("epoch %d: invariants violated: %w", e, err)
+			}
+			st.validations++
+		}
+	}
+	if err := sess.Maintainer().Validate(); err != nil {
+		return st, fmt.Errorf("final state: invariants violated: %w", err)
+	}
+	st.validations++
+	return st, nil
+}
+
+// randomEpoch builds one epoch of 1..4 valid deltas against the session's
+// current state: mostly moves, some leaves, rejoins and brand-new joins
+// near existing nodes, each delta touching a distinct node.
+func randomEpoch(rng *rand.Rand, sess *wcdsnet.TopologySession) []wcdsnet.SessionDelta {
+	m := sess.Maintainer()
+	nw := m.Network()
+	var on, off []int
+	for v, a := range m.ActiveMask() {
+		if a {
+			on = append(on, v)
+		} else {
+			off = append(off, v)
+		}
+	}
+	count := 1 + rng.Intn(4)
+	used := map[int]bool{}
+	var out []wcdsnet.SessionDelta
+	for len(out) < count {
+		switch k := rng.Intn(10); {
+		case k < 6 && len(on) > 0: // move
+			v := on[rng.Intn(len(on))]
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			p := nw.Pos[v]
+			out = append(out, wcdsnet.SessionDelta{Op: wcdsnet.DeltaMove, Node: &v,
+				X: p.X + rng.NormFloat64()*0.4, Y: p.Y + rng.NormFloat64()*0.4})
+		case k < 8 && len(on) > 1: // leave
+			v := on[rng.Intn(len(on))]
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			out = append(out, wcdsnet.SessionDelta{Op: wcdsnet.DeltaLeave, Node: &v})
+		case k < 9 && len(off) > 0: // rejoin
+			v := off[rng.Intn(len(off))]
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			out = append(out, wcdsnet.SessionDelta{Op: wcdsnet.DeltaJoin, Node: &v})
+		default: // brand-new node near an existing one
+			anchor := nw.Pos[rng.Intn(nw.N())]
+			out = append(out, wcdsnet.SessionDelta{Op: wcdsnet.DeltaJoin,
+				X: anchor.X + rng.NormFloat64()*0.3, Y: anchor.Y + rng.NormFloat64()*0.3})
+		}
+	}
+	return out
+}
+
+// stats accumulates per-epoch measurements across one or more traces.
+type stats struct {
+	epochs, deltas int
+	latencies      []int64 // microseconds, one per epoch
+	touched        int
+	touchedMax     int
+	quiet          int // epochs with no role change
+	radius1        int // repairing epochs with radius ≤ 1
+	radius2        int // radius == 2
+	radiusFar      int // radius > 2 or unreachable
+	radiusMax      int
+	connectors     int
+	connected      int
+	validations    int
+}
+
+func (st *stats) record(ev wcdsnet.SessionEvent) {
+	st.epochs++
+	st.deltas += ev.Deltas
+	st.latencies = append(st.latencies, ev.ElapsedMicros)
+	st.touched += ev.NodesTouched
+	if ev.NodesTouched > st.touchedMax {
+		st.touchedMax = ev.NodesTouched
+	}
+	st.connectors += ev.ConnectorChanges
+	if ev.Connected {
+		st.connected++
+	}
+	if ev.NodesTouched == 0 {
+		st.quiet++
+		return
+	}
+	switch r := ev.RepairRadius; {
+	case r >= 0 && r <= 1:
+		st.radius1++
+	case r == 2:
+		st.radius2++
+	default: // r > 2, or -1 = a changed node became unreachable
+		st.radiusFar++
+	}
+	if ev.RepairRadius > st.radiusMax {
+		st.radiusMax = ev.RepairRadius
+	}
+}
+
+func (st *stats) merge(o stats) {
+	st.epochs += o.epochs
+	st.deltas += o.deltas
+	st.latencies = append(st.latencies, o.latencies...)
+	st.touched += o.touched
+	st.touchedMax = max(st.touchedMax, o.touchedMax)
+	st.quiet += o.quiet
+	st.radius1 += o.radius1
+	st.radius2 += o.radius2
+	st.radiusFar += o.radiusFar
+	st.radiusMax = max(st.radiusMax, o.radiusMax)
+	st.connectors += o.connectors
+	st.connected += o.connected
+	st.validations += o.validations
+}
+
+// latencyP returns the p-th percentile epoch latency (p=100 → max).
+func (st *stats) latencyP(p int) time.Duration {
+	if len(st.latencies) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), st.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := len(s) * p / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return time.Duration(s[idx]) * time.Microsecond
+}
+
+func (st *stats) touchedMean() float64 {
+	if st.epochs == 0 {
+		return 0
+	}
+	return float64(st.touched) / float64(st.epochs)
+}
+
+// pct expresses k as a percentage of all epochs.
+func (st *stats) pct(k int) float64 {
+	if st.epochs == 0 {
+		return 0
+	}
+	return 100 * float64(k) / float64(st.epochs)
+}
+
+// rpct expresses k as a percentage of the epochs that repaired anything.
+func (st *stats) rpct(k int) float64 {
+	repairing := st.epochs - st.quiet
+	if repairing == 0 {
+		return 0
+	}
+	return 100 * float64(k) / float64(repairing)
+}

@@ -13,11 +13,14 @@
 //	-cache 1024      result-cache entries
 //	-timeout 30s     per-request deadline (queue wait + compute)
 //	-maxnodes 20000  largest accepted network
+//	-grace 30s       graceful-drain window before in-flight work is cancelled
 //	-selfcheck 0     load-test mode: fire N concurrent mixed requests
 //	                 through the real HTTP stack, report, and exit
 //
 // The server drains gracefully on SIGINT/SIGTERM: the listener closes, the
-// pool finishes accepted jobs, then the process exits.
+// pool finishes accepted jobs, then the process exits. Past the -grace
+// window, still-running jobs and open sessions are cancelled through their
+// run contexts instead of being waited out.
 //
 // Endpoints:
 //
@@ -32,6 +35,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +67,7 @@ func run() error {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		maxNodes  = flag.Int("maxnodes", 20000, "largest accepted network")
 		maxBatch  = flag.Int("maxbatch", 0, "largest accepted batch sweep in scenarios (0 = default, -1 = unbounded)")
+		grace     = flag.Duration("grace", 30*time.Second, "graceful-drain window; past it, in-flight jobs and open sessions are cancelled")
 		selfcheck = flag.Int("selfcheck", 0, "fire N concurrent mixed requests and exit")
 	)
 	flag.Parse()
@@ -98,10 +103,23 @@ func run() error {
 	case sig := <-sigc:
 		fmt.Printf("serve: %v, draining\n", sig)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		// Grace period expired with work still running (long jobs, open
+		// session streams). Cancel it all through the run contexts, then
+		// give the unwound handlers a moment before closing the listener
+		// hard.
+		fmt.Println("serve: grace period expired, cancelling in-flight work")
+		svc.CancelInFlight()
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := server.Shutdown(ctx2); err != nil {
+			_ = server.Close()
+		}
 	}
 	svc.Close() // drain the pool after the listener stops accepting
 	fmt.Println("serve: drained, bye")

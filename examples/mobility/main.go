@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,14 +40,14 @@ func main() {
 		v := rng.Intn(n)
 		old := m.Network().Pos[v]
 		step := geom.Point{X: rng.NormFloat64() * 0.5, Y: rng.NormFloat64() * 0.5}
-		rep, err := m.MoveNode(v, box.Clamp(old.Add(step)))
+		rep, err := m.MoveNode(context.Background(), v, box.Clamp(old.Add(step)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		if !rep.Connected {
 			// The WCDS guarantee needs a connected network; undo moves
 			// that partition it (a real deployment would track components).
-			if _, err := m.MoveNode(v, old); err != nil {
+			if _, err := m.MoveNode(context.Background(), v, old); err != nil {
 				log.Fatal(err)
 			}
 			skipped++

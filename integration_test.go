@@ -1,6 +1,7 @@
 package wcdsnet
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -95,12 +96,12 @@ func TestFullStack(t *testing.T) {
 	for ev := 0; ev < 60; ev++ {
 		v := rng.Intn(nw.N())
 		old := m.Network().Pos[v]
-		rep, err := m.MoveNode(v, Point{X: old.X + rng.NormFloat64()*0.3, Y: old.Y + rng.NormFloat64()*0.3})
+		rep, err := m.MoveNode(context.Background(), v, Point{X: old.X + rng.NormFloat64()*0.3, Y: old.Y + rng.NormFloat64()*0.3})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rep.Connected {
-			if _, err := m.MoveNode(v, old); err != nil {
+			if _, err := m.MoveNode(context.Background(), v, old); err != nil {
 				t.Fatal(err)
 			}
 			continue

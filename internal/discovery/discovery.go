@@ -17,6 +17,7 @@ import (
 
 	"wcdsnet/internal/graph"
 	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
 )
 
 // Messages exchanged by the discovery protocol.
@@ -107,6 +108,21 @@ func (p *proc) table() Table {
 // goroutine-per-node engine. Extra simnet options (scrambling, loss
 // injection) may be supplied.
 func Run(g *graph.Graph, ids []int, k int, async bool, opts ...simnet.Option) ([]Table, simnet.Stats, error) {
+	return run(g, ids, k, async, nil, opts...)
+}
+
+// RunReliable is Run with the ack/retransmit reliability layer wrapped
+// around every node, restoring exactly-once HELLO delivery over a faulty
+// network (drop/dup injection via simnet.WithFaults). This matters doubly
+// for k = 2: a node only shares its neighbour list once every neighbour's
+// HELLO is in, so a single lost HELLO silently truncates two-hop tables
+// across the whole vicinity. The layer's own counters (retransmits, acks,
+// suppressed duplicates) are merged into the returned Stats.
+func RunReliable(g *graph.Graph, ids []int, k int, async bool, ropt reliable.Options, opts ...simnet.Option) ([]Table, simnet.Stats, error) {
+	return run(g, ids, k, async, &ropt, opts...)
+}
+
+func run(g *graph.Graph, ids []int, k int, async bool, ropt *reliable.Options, opts ...simnet.Option) ([]Table, simnet.Stats, error) {
 	if k != 1 && k != 2 {
 		return nil, simnet.Stats{}, fmt.Errorf("discovery: unsupported radius k=%d", k)
 	}
@@ -119,6 +135,10 @@ func Run(g *graph.Graph, ids []int, k int, async bool, opts ...simnet.Option) ([
 		dprocs[i] = newProc(ids[i], k)
 		procs[i] = dprocs[i]
 	}
+	var col *reliable.Collector
+	if ropt != nil {
+		procs, col = reliable.Wrap(procs, *ropt)
+	}
 	var (
 		stats simnet.Stats
 		err   error
@@ -127,6 +147,9 @@ func Run(g *graph.Graph, ids []int, k int, async bool, opts ...simnet.Option) ([
 		stats, err = simnet.RunAsync(g, procs, opts...)
 	} else {
 		stats, err = simnet.RunSync(g, procs, opts...)
+	}
+	if col != nil {
+		col.MergeInto(&stats)
 	}
 	if err != nil {
 		return nil, stats, err

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -318,12 +319,12 @@ func RunE10(cfg Config) (Result, error) {
 				X: old.X + rng.NormFloat64()*0.5,
 				Y: old.Y + rng.NormFloat64()*0.5,
 			})
-			rep, err := m.MoveNode(v, target)
+			rep, err := m.MoveNode(context.Background(), v, target)
 			if err != nil {
 				return Result{}, err
 			}
 			if !rep.Connected {
-				if _, err := m.MoveNode(v, old); err != nil {
+				if _, err := m.MoveNode(context.Background(), v, old); err != nil {
 					return Result{}, err
 				}
 				continue

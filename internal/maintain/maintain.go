@@ -7,19 +7,29 @@
 // The paper defers the detailed maintenance protocol to future work; this
 // package implements the sketch as a state-machine over network events:
 //
-//  1. After a node moves (or toggles off/on), the MIS invariants are
-//     repaired with local rules — adjacent dominator pairs demote the
-//     higher-ID member, undominated nodes promote themselves — processed
-//     deterministically until a fixpoint.
+//  1. After an epoch of topology mutations (nodes move, switch off/on, or
+//     join), the MIS invariants are repaired with local rules — adjacent
+//     dominator pairs demote the higher-ID member, undominated nodes
+//     promote themselves — processed deterministically until a fixpoint,
+//     seeded only with the nodes an event could have affected.
 //  2. The additional-dominator (connector) assignments for three-hop
 //     dominator pairs are recomputed with the same canonical selection the
 //     construction uses, and the diff is reported.
+//
+// Repairs are context-aware: a cancelled context aborts the repair and
+// rolls the maintainer back to its pre-epoch state, so a long-lived session
+// (internal/session) can cancel a delta mid-repair without corrupting the
+// maintained invariants. The exported Fixpoint function is the from-scratch
+// reference the dirty-set repair is property-tested against: starting from
+// the same pre-repair membership on the same snapshot, a full sweep over
+// every node reaches the same fixpoint the locality-limited repair does.
 //
 // Experiment E10 measures how far role changes propagate from the event
 // site (the paper's locality claim).
 package maintain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,10 +37,16 @@ import (
 	"wcdsnet/internal/geom"
 	"wcdsnet/internal/graph"
 	"wcdsnet/internal/mis"
+	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
 	"wcdsnet/internal/wcds"
 )
+
+// ErrNotConnected is returned by New when the initial network is not
+// connected (the WCDS guarantee only applies to connected graphs; under
+// churn, later disconnection is reported as data via Report.Connected).
+var ErrNotConnected = errors.New("maintain: initial network must be connected")
 
 // Maintainer tracks a network and its maintained WCDS across events.
 type Maintainer struct {
@@ -47,15 +63,71 @@ type Maintainer struct {
 	distributedRepair bool
 	// RepairMessages accumulates the protocol cost of distributed repairs.
 	RepairMessages int
+
+	// rec receives per-stage spans (rebuild, repair, connectors) so a
+	// session can attribute repair cost like any other phase.
+	rec obs.Recorder
 }
 
 // SetDistributedRepair selects the repair strategy for subsequent events.
 func (m *Maintainer) SetDistributedRepair(on bool) { m.distributedRepair = on }
 
-// Report describes the effect of one maintenance event.
+// SetObserver directs per-stage timing spans ("rebuild", "repair",
+// "connectors") to rec; nil restores the no-op default.
+func (m *Maintainer) SetObserver(rec obs.Recorder) {
+	if rec == nil {
+		rec = obs.Nop
+	}
+	m.rec = rec
+}
+
+// Op is one topology mutation kind.
+type Op uint8
+
+// Mutation operations.
+const (
+	// OpMove relocates node Node to Pos.
+	OpMove Op = iota + 1
+	// OpOff switches node Node off (loses all links, exempt from
+	// domination).
+	OpOff
+	// OpOn switches node Node back on.
+	OpOn
+	// OpJoin adds a brand-new node at Pos with protocol ID ID (must be
+	// unused). The node is assigned the next dense graph index.
+	OpJoin
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpMove:
+		return "move"
+	case OpOff:
+		return "off"
+	case OpOn:
+		return "on"
+	case OpJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Mutation is one topology change inside an epoch.
+type Mutation struct {
+	Op   Op
+	Node int        // OpMove, OpOff, OpOn
+	Pos  geom.Point // OpMove, OpJoin
+	ID   int        // OpJoin: protocol ID, must be unused
+}
+
+// Report describes the effect of one maintenance epoch.
 type Report struct {
 	// Promoted and Demoted list nodes whose MIS role changed.
 	Promoted, Demoted []int
+	// Joined lists the dense indices assigned to OpJoin mutations, in
+	// mutation order.
+	Joined []int
 	// ConnectorChanges counts three-hop pairs whose connector assignment
 	// changed (added, removed, or reassigned).
 	ConnectorChanges int
@@ -63,8 +135,9 @@ type Report struct {
 	// additional) changed.
 	RoleChanged []int
 	// AffectedRadius is the maximum hop distance, in the post-event graph,
-	// from the event node to any role-changed node; 0 when nothing beyond
-	// the event node changed, -1 if a role-changed node became unreachable.
+	// from a role-changed node to its nearest event site; 0 when nothing
+	// beyond the event sites changed, -1 if a role-changed node became
+	// unreachable from every event site.
 	AffectedRadius int
 	// Connected reports whether the post-event active graph is connected
 	// (the WCDS guarantee only applies to connected graphs).
@@ -72,15 +145,17 @@ type Report struct {
 }
 
 // New builds a Maintainer with the canonical Algorithm II state for the
-// network's current topology. The network must be connected.
+// network's current topology. The network must be connected (errors.Is
+// ErrNotConnected otherwise).
 func New(nw *udg.Network) (*Maintainer, error) {
 	if !nw.G.Connected() {
-		return nil, errors.New("maintain: initial network must be connected")
+		return nil, ErrNotConnected
 	}
 	m := &Maintainer{
 		nw:     nw,
 		inMIS:  make([]bool, nw.N()),
 		active: make([]bool, nw.N()),
+		rec:    obs.Nop,
 	}
 	for i := range m.active {
 		m.active[i] = true
@@ -121,6 +196,20 @@ func (m *Maintainer) Dominators() []int {
 	return out
 }
 
+// InMIS returns a copy of the MIS membership mask (inactive nodes false).
+func (m *Maintainer) InMIS() []bool {
+	out := append([]bool(nil), m.inMIS...)
+	for v := range out {
+		if !m.active[v] {
+			out[v] = false
+		}
+	}
+	return out
+}
+
+// ActiveMask returns a copy of the on/off mask.
+func (m *Maintainer) ActiveMask() []bool { return append([]bool(nil), m.active...) }
+
 // Network exposes the maintained network (positions are live).
 func (m *Maintainer) Network() *udg.Network { return m.nw }
 
@@ -140,36 +229,148 @@ func (m *Maintainer) WouldDisconnect(v int) bool {
 	return false
 }
 
-// MoveNode relocates node v and repairs the WCDS.
-func (m *Maintainer) MoveNode(v int, p geom.Point) (Report, error) {
-	if v < 0 || v >= m.nw.N() {
-		return Report{}, fmt.Errorf("maintain: node %d out of range", v)
-	}
-	if !m.active[v] {
-		return Report{}, fmt.Errorf("maintain: node %d is switched off", v)
-	}
-	oldNbrs := append([]int(nil), m.nw.G.Neighbors(v)...)
-	m.nw.Pos[v] = p
-	m.rebuild()
-	return m.repair(v, oldNbrs), nil
+// MoveNode relocates node v and repairs the WCDS. Equivalent to a
+// single-mutation ApplyEpoch.
+func (m *Maintainer) MoveNode(ctx context.Context, v int, p geom.Point) (Report, error) {
+	return m.ApplyEpoch(ctx, []Mutation{{Op: OpMove, Node: v, Pos: p}})
 }
 
 // SetActive switches node v on or off (the paper's "turned off or on").
 // Off nodes lose all their links and are exempt from domination.
-func (m *Maintainer) SetActive(v int, on bool) (Report, error) {
-	if v < 0 || v >= m.nw.N() {
-		return Report{}, fmt.Errorf("maintain: node %d out of range", v)
+func (m *Maintainer) SetActive(ctx context.Context, v int, on bool) (Report, error) {
+	op := OpOff
+	if on {
+		op = OpOn
 	}
-	if m.active[v] == on {
-		return Report{}, fmt.Errorf("maintain: node %d already in requested state", v)
+	return m.ApplyEpoch(ctx, []Mutation{{Op: op, Node: v}})
+}
+
+// AddNode joins a brand-new node at p with protocol ID id and repairs the
+// WCDS, returning the node's assigned dense index.
+func (m *Maintainer) AddNode(ctx context.Context, p geom.Point, id int) (int, Report, error) {
+	rep, err := m.ApplyEpoch(ctx, []Mutation{{Op: OpJoin, Pos: p, ID: id}})
+	if err != nil {
+		return -1, rep, err
 	}
-	oldNbrs := append([]int(nil), m.nw.G.Neighbors(v)...)
-	m.active[v] = on
-	if !on {
-		m.inMIS[v] = false
+	return rep.Joined[0], rep, nil
+}
+
+// snapshot captures the maintainer's full state for rollback. The graph
+// pointer suffices: rebuild always installs a fresh graph, never mutates
+// the old one in place.
+type snapshot struct {
+	pos        []geom.Point
+	id         []int
+	inMIS      []bool
+	active     []bool
+	connectors map[[2]int][2]int
+	g          *graph.Graph
+}
+
+func (m *Maintainer) save() snapshot {
+	return snapshot{
+		pos:        append([]geom.Point(nil), m.nw.Pos...),
+		id:         append([]int(nil), m.nw.ID...),
+		inMIS:      append([]bool(nil), m.inMIS...),
+		active:     append([]bool(nil), m.active...),
+		connectors: m.connectors,
+		g:          m.nw.G,
 	}
+}
+
+func (m *Maintainer) restore(s snapshot) {
+	m.nw.Pos, m.nw.ID, m.nw.G = s.pos, s.id, s.g
+	m.inMIS, m.active, m.connectors = s.inMIS, s.active, s.connectors
+}
+
+// ApplyEpoch applies a batch of topology mutations, rebuilds the unit-disk
+// graph once, and repairs the WCDS with the local rules seeded only at the
+// event sites. A validation failure or a cancelled context rolls the
+// maintainer back to its pre-epoch state and returns the error (context
+// causes stay visible to errors.Is).
+func (m *Maintainer) ApplyEpoch(ctx context.Context, muts []Mutation) (Report, error) {
+	if len(muts) == 0 {
+		return Report{}, fmt.Errorf("maintain: empty epoch")
+	}
+	snap := m.save()
+	preG := m.nw.G
+
+	// Apply the mutations to positions and masks. Event sites and the
+	// pre-epoch neighbourhoods seed the repair worklist after the rebuild.
+	var events []int
+	var joined []int
+	seeds := map[int]bool{}
+	fail := func(err error) (Report, error) {
+		m.restore(snap)
+		return Report{}, err
+	}
+	for _, mu := range muts {
+		switch mu.Op {
+		case OpMove, OpOff, OpOn:
+			v := mu.Node
+			if v < 0 || v >= m.nw.N() {
+				return fail(fmt.Errorf("maintain: node %d out of range", v))
+			}
+			switch mu.Op {
+			case OpMove:
+				if !m.active[v] {
+					return fail(fmt.Errorf("maintain: node %d is switched off", v))
+				}
+				m.nw.Pos[v] = mu.Pos
+			case OpOff:
+				if !m.active[v] {
+					return fail(fmt.Errorf("maintain: node %d already in requested state", v))
+				}
+				m.active[v] = false
+				m.inMIS[v] = false
+			case OpOn:
+				if m.active[v] {
+					return fail(fmt.Errorf("maintain: node %d already in requested state", v))
+				}
+				m.active[v] = true
+			}
+			events = append(events, v)
+			if v < preG.N() {
+				for _, w := range preG.Neighbors(v) {
+					seeds[w] = true
+				}
+			}
+		case OpJoin:
+			for _, id := range m.nw.ID {
+				if id == mu.ID {
+					return fail(fmt.Errorf("maintain: duplicate node ID %d", mu.ID))
+				}
+			}
+			m.nw.Pos = append(m.nw.Pos, mu.Pos)
+			m.nw.ID = append(m.nw.ID, mu.ID)
+			m.inMIS = append(m.inMIS, false)
+			m.active = append(m.active, true)
+			v := m.nw.N() - 1
+			events = append(events, v)
+			joined = append(joined, v)
+		default:
+			return fail(fmt.Errorf("maintain: unknown mutation op %d", int(mu.Op)))
+		}
+	}
+
+	tm := obs.StartTimer("rebuild")
 	m.rebuild()
-	return m.repair(v, oldNbrs), nil
+	tm.Done(m.rec)
+
+	for _, v := range events {
+		seeds[v] = true
+		for _, w := range m.nw.G.Neighbors(v) {
+			seeds[w] = true
+		}
+	}
+
+	rep, err := m.repair(ctx, events, seeds)
+	if err != nil {
+		m.restore(snap)
+		return Report{}, err
+	}
+	rep.Joined = joined
+	return rep, nil
 }
 
 // rebuild recomputes the unit-disk graph over active nodes only.
@@ -200,32 +401,43 @@ func allActive(active []bool) bool {
 
 // repair restores the MIS invariants with deterministic local rules and
 // refreshes the connector assignments, returning the change report.
-func (m *Maintainer) repair(event int, oldNbrs []int) Report {
+func (m *Maintainer) repair(ctx context.Context, events []int, seeds map[int]bool) (Report, error) {
 	oldMIS := append([]bool(nil), m.inMIS...)
 	oldDoms := m.Dominators()
 
-	var promoted, demoted []int
+	tm := obs.StartTimer("repair")
+	var (
+		promoted, demoted []int
+		err               error
+	)
 	if m.distributedRepair {
-		promoted, demoted = m.repairDistributed(oldMIS)
+		promoted, demoted, err = m.repairDistributed(ctx, oldMIS)
 	} else {
-		promoted, demoted = m.repairLocal(event, oldNbrs)
+		promoted, demoted, err = repairWorklist(ctx, m.nw.G, m.nw.ID, m.inMIS, m.active, seeds)
 	}
-	return m.finishRepair(event, oldMIS, oldDoms, promoted, demoted)
+	tm.Done(m.rec)
+	if err != nil {
+		return Report{}, err
+	}
+	return m.finishRepair(events, oldMIS, oldDoms, promoted, demoted), nil
 }
 
 // repairDistributed delegates the MIS repair to the message-passing
 // protocol on the synchronous engine. Inactive nodes (isolated in the
 // filtered graph) self-promote as their own components; they are stripped
 // afterwards because the maintenance semantics exempt them. On an engine
-// error (budget exhaustion) it falls back to the local rules.
-func (m *Maintainer) repairDistributed(oldMIS []bool) (promoted, demoted []int) {
+// budget error it falls back to the local rules; a cancellation propagates.
+func (m *Maintainer) repairDistributed(ctx context.Context, oldMIS []bool) (promoted, demoted []int, err error) {
 	g := m.nw.G
 	set, _, stats, err := RepairMISDistributed(g, m.nw.ID, append([]bool(nil), m.inMIS...),
 		func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
-			return simnet.RunSync(g, procs)
+			return simnet.RunSync(g, procs, simnet.WithContext(ctx))
 		})
 	if err != nil {
-		return m.repairLocal(-1, nil)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, nil, fmt.Errorf("maintain: distributed repair interrupted: %w", err)
+		}
+		return repairWorklist(ctx, g, m.nw.ID, m.inMIS, m.active, nil)
 	}
 	m.RepairMessages += stats.Messages
 	for i := range m.inMIS {
@@ -244,34 +456,34 @@ func (m *Maintainer) repairDistributed(oldMIS []bool) (promoted, demoted []int) 
 			demoted = append(demoted, v)
 		}
 	}
-	return promoted, demoted
+	return promoted, demoted, nil
 }
 
-// repairLocal restores the MIS invariants with the deterministic local
-// worklist rules. An event of -1 seeds the worklist with every active node
-// (full sweep).
-func (m *Maintainer) repairLocal(event int, oldNbrs []int) (promoted, demoted []int) {
-	g := m.nw.G
-	ids := m.nw.ID
+// repairWorklist restores the MIS invariants with the deterministic local
+// worklist rules, mutating inMIS in place. A nil seed set sweeps every
+// active node (the from-scratch reference); otherwise only the given dirty
+// set (plus anything a state change touches) is processed. The context is
+// observed between rule applications so a repair can be cancelled
+// mid-worklist; on cancellation inMIS may be partially repaired and the
+// caller must roll back.
+func repairWorklist(ctx context.Context, g *graph.Graph, ids []int, inMIS, active []bool,
+	seeds map[int]bool) (promoted, demoted []int, err error) {
 
-	// Dirty set: the event node plus its old and new neighbourhoods.
 	work := map[int]bool{}
 	addDirty := func(v int) {
-		if m.active[v] {
+		if active[v] {
 			work[v] = true
 		}
 	}
-	if event < 0 {
+	if seeds == nil {
 		for v := 0; v < g.N(); v++ {
 			addDirty(v)
 		}
 	} else {
-		addDirty(event)
-		for _, w := range oldNbrs {
-			addDirty(w)
-		}
-		for _, w := range g.Neighbors(event) {
-			addDirty(w)
+		for v := range seeds {
+			if v >= 0 && v < g.N() {
+				addDirty(v)
+			}
 		}
 	}
 
@@ -286,32 +498,39 @@ func (m *Maintainer) repairLocal(event int, oldNbrs []int) (promoted, demoted []
 		return best
 	}
 	dominated := func(v int) bool {
-		if m.inMIS[v] {
+		if inMIS[v] {
 			return true
 		}
 		for _, w := range g.Neighbors(v) {
-			if m.inMIS[w] {
+			if inMIS[w] {
 				return true
 			}
 		}
 		return false
 	}
+	steps := 0
 	for len(work) > 0 {
+		if steps&31 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, fmt.Errorf("maintain: repair interrupted: %w", cerr)
+			}
+		}
+		steps++
 		a := popMin()
-		if !m.active[a] {
+		if !active[a] {
 			continue
 		}
-		if m.inMIS[a] {
+		if inMIS[a] {
 			// Independence: on a conflict the higher-ID dominator demotes.
 			for _, b := range g.Neighbors(a) {
-				if !m.inMIS[b] {
+				if !inMIS[b] {
 					continue
 				}
 				loser := a
 				if ids[b] > ids[a] {
 					loser = b
 				}
-				m.inMIS[loser] = false
+				inMIS[loser] = false
 				demoted = append(demoted, loser)
 				addDirty(loser)
 				for _, w := range g.Neighbors(loser) {
@@ -322,28 +541,51 @@ func (m *Maintainer) repairLocal(event int, oldNbrs []int) (promoted, demoted []
 				}
 			}
 		}
-		if !m.inMIS[a] && !dominated(a) {
+		if !inMIS[a] && !dominated(a) {
 			// Domination: an undominated node promotes itself. Processing
 			// in ID order makes adjacent undominated nodes resolve to the
 			// lower-ID one.
-			m.inMIS[a] = true
+			inMIS[a] = true
 			promoted = append(promoted, a)
 			for _, w := range g.Neighbors(a) {
 				addDirty(w)
 			}
 		}
 	}
-	return promoted, demoted
+	return promoted, demoted, nil
+}
+
+// Fixpoint runs the documented repair rules over every active node of g to
+// a fixpoint, starting from the given MIS membership, and returns the
+// repaired mask. It is the from-scratch reference for the dirty-set repair:
+// seeding the worklist with the whole graph instead of the event
+// neighbourhood must reach the same fixpoint, which the session property
+// tests assert after every churn epoch.
+func Fixpoint(ctx context.Context, g *graph.Graph, ids []int, inMIS, active []bool) ([]bool, error) {
+	if len(ids) != g.N() || len(inMIS) != g.N() || len(active) != g.N() {
+		return nil, fmt.Errorf("maintain: ids/inMIS/active length mismatch with %d nodes", g.N())
+	}
+	out := append([]bool(nil), inMIS...)
+	for v := range out {
+		if !active[v] {
+			out[v] = false
+		}
+	}
+	if _, _, err := repairWorklist(ctx, g, ids, out, active, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // finishRepair refreshes the connector assignments and assembles the
 // change report shared by both repair strategies.
-func (m *Maintainer) finishRepair(event int, oldMIS []bool, oldDoms, promoted, demoted []int) Report {
+func (m *Maintainer) finishRepair(events []int, oldMIS []bool, oldDoms, promoted, demoted []int) Report {
 	g := m.nw.G
 	ids := m.nw.ID
 
 	// Refresh connectors with the canonical selection over the repaired
 	// MIS; diff against the previous assignment.
+	tm := obs.StartTimer("connectors")
 	newConns := wcds.ConnectorSelection(g, ids, m.MISDominators())
 	changes := 0
 	for key, val := range newConns {
@@ -357,6 +599,7 @@ func (m *Maintainer) finishRepair(event int, oldMIS []bool, oldDoms, promoted, d
 		}
 	}
 	m.connectors = newConns
+	tm.Done(m.rec)
 
 	rep := Report{
 		Promoted:         dedupSorted(promoted),
@@ -365,7 +608,8 @@ func (m *Maintainer) finishRepair(event int, oldMIS []bool, oldDoms, promoted, d
 		Connected:        m.activeConnected(),
 	}
 	// A node both demoted and re-promoted during repair ends with its old
-	// role; count net changes only.
+	// role; count net changes only. Pre-epoch indices beyond the old mask
+	// are new joiners: any role they end with is a change.
 	newDoms := m.Dominators()
 	rep.RoleChanged = symmetricDiff(oldDoms, newDoms)
 	for v := range oldMIS {
@@ -374,7 +618,7 @@ func (m *Maintainer) finishRepair(event int, oldMIS []bool, oldDoms, promoted, d
 		}
 	}
 	rep.RoleChanged = dedupSorted(rep.RoleChanged)
-	rep.AffectedRadius = m.radiusFrom(event, rep.RoleChanged)
+	rep.AffectedRadius = m.radiusFrom(events, rep.RoleChanged)
 	return rep
 }
 
@@ -403,19 +647,36 @@ func (m *Maintainer) activeConnected() bool {
 	return true
 }
 
-// radiusFrom returns the maximum hop distance from the event node to any
-// changed node in the current graph.
-func (m *Maintainer) radiusFrom(event int, changed []int) int {
-	if len(changed) == 0 {
+// radiusFrom returns the maximum hop distance, in the current graph, from
+// any changed node to its nearest event site (multi-source BFS).
+func (m *Maintainer) radiusFrom(events, changed []int) int {
+	if len(changed) == 0 || len(events) == 0 {
 		return 0
 	}
-	dist, _ := m.nw.G.BFS(event)
+	g := m.nw.G
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(events))
+	for _, v := range events {
+		if v >= 0 && v < g.N() && dist[v] == -1 {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
 	radius := 0
 	for _, v := range changed {
-		if v == event {
-			continue
-		}
-		if dist[v] == graph.Unreachable {
+		if dist[v] == -1 {
 			return -1
 		}
 		if dist[v] > radius {

@@ -1,6 +1,7 @@
 package maintain
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestSmallMoveNoRoleChange(t *testing.T) {
 	before := m.Dominators()
 	v := 7
 	p := m.Network().Pos[v]
-	rep, err := m.MoveNode(v, geom.Point{X: p.X + 1e-9, Y: p.Y})
+	rep, err := m.MoveNode(context.Background(), v, geom.Point{X: p.X + 1e-9, Y: p.Y})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +87,14 @@ func TestRandomWaypointChurnKeepsInvariants(t *testing.T) {
 			Y: old.Y + rng.NormFloat64()*0.4,
 		}
 		target = geom.Square(side).Clamp(target)
-		rep, err := m.MoveNode(v, target)
+		rep, err := m.MoveNode(context.Background(), v, target)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rep.Connected {
 			// Roll back disconnecting moves; the WCDS guarantee needs a
 			// connected graph.
-			if _, err := m.MoveNode(v, old); err != nil {
+			if _, err := m.MoveNode(context.Background(), v, old); err != nil {
 				t.Fatal(err)
 			}
 			continue
@@ -119,14 +120,14 @@ func TestToggleOffOn(t *testing.T) {
 	toggled := 0
 	for trial := 0; trial < 40 && toggled < 15; trial++ {
 		v := rng.Intn(nw.N())
-		rep, err := m.SetActive(v, false)
+		rep, err := m.SetActive(context.Background(), v, false)
 		if err != nil {
 			continue
 		}
 		if !rep.Connected {
 			// Switching this node off disconnects the graph: turn it back
 			// on and move on.
-			if _, err := m.SetActive(v, true); err != nil {
+			if _, err := m.SetActive(context.Background(), v, true); err != nil {
 				t.Fatal(err)
 			}
 			continue
@@ -135,7 +136,7 @@ func TestToggleOffOn(t *testing.T) {
 		if err := m.Validate(); err != nil {
 			t.Fatalf("after switching off %d: %v", v, err)
 		}
-		if _, err := m.SetActive(v, true); err != nil {
+		if _, err := m.SetActive(context.Background(), v, true); err != nil {
 			t.Fatal(err)
 		}
 		if err := m.Validate(); err != nil {
@@ -158,7 +159,7 @@ func TestWouldDisconnectPredictsToggles(t *testing.T) {
 	// switching it off and observing connectivity.
 	for v := 0; v < nw.N(); v++ {
 		predicted := m.WouldDisconnect(v)
-		rep, err := m.SetActive(v, false)
+		rep, err := m.SetActive(context.Background(), v, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func TestWouldDisconnectPredictsToggles(t *testing.T) {
 			t.Errorf("node %d: predicted disconnect=%v but post-toggle connected=%v",
 				v, predicted, rep.Connected)
 		}
-		if _, err := m.SetActive(v, true); err != nil {
+		if _, err := m.SetActive(context.Background(), v, true); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -181,13 +182,13 @@ func TestSetActiveErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.SetActive(99, false); err == nil {
+	if _, err := m.SetActive(context.Background(), 99, false); err == nil {
 		t.Error("expected range error")
 	}
-	if _, err := m.SetActive(0, true); err == nil {
+	if _, err := m.SetActive(context.Background(), 0, true); err == nil {
 		t.Error("expected already-active error")
 	}
-	if _, err := m.MoveNode(-1, geom.Point{}); err == nil {
+	if _, err := m.MoveNode(context.Background(), -1, geom.Point{}); err == nil {
 		t.Error("expected range error on move")
 	}
 }
@@ -212,12 +213,12 @@ func TestLocalityStatistics(t *testing.T) {
 			X: old.X + rng.NormFloat64()*0.5,
 			Y: old.Y + rng.NormFloat64()*0.5,
 		})
-		rep, err := m.MoveNode(v, target)
+		rep, err := m.MoveNode(context.Background(), v, target)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rep.Connected {
-			if _, err := m.MoveNode(v, old); err != nil {
+			if _, err := m.MoveNode(context.Background(), v, old); err != nil {
 				t.Fatal(err)
 			}
 			continue

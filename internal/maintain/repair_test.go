@@ -1,6 +1,7 @@
 package maintain
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -163,12 +164,12 @@ func TestMaintainerDistributedRepairStrategy(t *testing.T) {
 			X: old.X + rng.NormFloat64()*0.4,
 			Y: old.Y + rng.NormFloat64()*0.4,
 		})
-		rep, err := m.MoveNode(v, target)
+		rep, err := m.MoveNode(context.Background(), v, target)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rep.Connected {
-			if _, err := m.MoveNode(v, old); err != nil {
+			if _, err := m.MoveNode(context.Background(), v, old); err != nil {
 				t.Fatal(err)
 			}
 			continue

@@ -25,10 +25,12 @@ import (
 const Version = "v1"
 
 // SchemaVersion is the additive revision of the response schema within the
-// Version contract, echoed in the "schema" field of backbone and batch
-// responses. Revision 2 added the per-phase cost breakdown (phases) and
-// this field itself; revision 1 responses carried neither.
-const SchemaVersion = 2
+// Version contract, echoed in the "schema" field of backbone, batch and
+// session responses. Revision 2 added the per-phase cost breakdown (phases)
+// and this field itself; revision 1 responses carried neither. Revision 3
+// added streaming topology sessions (POST /v1/session and its NDJSON delta
+// stream) and NDJSON row streaming on POST /v1/batch.
+const SchemaVersion = 3
 
 // Sentinel errors shared by the facade, the batch engine and the service
 // handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works

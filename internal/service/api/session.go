@@ -1,0 +1,97 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wcdsnet/internal/session"
+)
+
+// SessionDelta and SessionEvent are the session subsystem's wire types,
+// exposed verbatim (the same pattern BatchSpec uses for the batch engine):
+// one delta per NDJSON line in (or a JSON array of deltas for a batched
+// epoch), one event per epoch out. See session.Delta and session.Event for
+// field semantics.
+type (
+	SessionDelta = session.Delta
+	SessionEvent = session.Event
+)
+
+// SessionRequest creates a streaming topology session over the given
+// network (POST /v1/session). The network must be connected; the session
+// then maintains its WCDS backbone under the delta stream.
+type SessionRequest struct {
+	NetworkSpec
+	// TTLSeconds bounds the session's total lifetime (0 = server default).
+	TTLSeconds float64 `json:"ttlSeconds,omitempty"`
+	// IdleSeconds evicts the session after this long without a delta or
+	// lookup (0 = server default).
+	IdleSeconds float64 `json:"idleSeconds,omitempty"`
+	// MaxEpoch bounds the number of deltas in one epoch (0 = server
+	// default).
+	MaxEpoch int `json:"maxEpoch,omitempty"`
+}
+
+// Normalize validates the request against the service limits.
+func (req *SessionRequest) Normalize(maxNodes int) error {
+	if err := req.NetworkSpec.Validate(maxNodes); err != nil {
+		return err
+	}
+	if req.TTLSeconds < 0 {
+		return Errorf("ttlSeconds %v must be non-negative", req.TTLSeconds)
+	}
+	if req.IdleSeconds < 0 {
+		return Errorf("idleSeconds %v must be non-negative", req.IdleSeconds)
+	}
+	if req.MaxEpoch < 0 {
+		return Errorf("maxEpoch %d must be non-negative", req.MaxEpoch)
+	}
+	return nil
+}
+
+// TTL and Idle convert the second-valued knobs to durations (0 = unset).
+func (req *SessionRequest) TTL() time.Duration {
+	return time.Duration(req.TTLSeconds * float64(time.Second))
+}
+
+// Idle returns the idle-eviction timeout (0 = unset).
+func (req *SessionRequest) Idle() time.Duration {
+	return time.Duration(req.IdleSeconds * float64(time.Second))
+}
+
+// SessionResponse acknowledges session creation with the initial backbone.
+type SessionResponse struct {
+	// Session is the identifier for the stream and delete endpoints.
+	Session string `json:"session"`
+	N       int    `json:"n"`
+	Edges   int    `json:"edges"`
+	// Dominators is the initial maintained WCDS (MIS plus connectors).
+	Dominators   []int `json:"dominators"`
+	MISSize      int   `json:"misSize"`
+	BackboneSize int   `json:"backboneSize"`
+	// TTLSeconds and IdleSeconds echo the effective (possibly defaulted)
+	// limits.
+	TTLSeconds  float64 `json:"ttlSeconds"`
+	IdleSeconds float64 `json:"idleSeconds"`
+	Schema      int     `json:"schema"`
+}
+
+// SessionStreamError is an NDJSON line the stream endpoint emits when an
+// epoch fails. Fatal=false means the epoch rolled back and the stream
+// continues (bad delta); Fatal=true means the stream is about to close
+// (session expired, drained, or cancelled).
+type SessionStreamError struct {
+	Error string `json:"error"`
+	Fatal bool   `json:"fatal,omitempty"`
+}
+
+// Canonical renders the request for logging/debugging (sessions are
+// stateful, so there is deliberately no cache key).
+func (req *SessionRequest) Canonical() string {
+	var b strings.Builder
+	b.WriteString("session|")
+	req.NetworkSpec.Canonical(&b)
+	fmt.Fprintf(&b, "|ttl=%g,idle=%g,epoch=%d", req.TTLSeconds, req.IdleSeconds, req.MaxEpoch)
+	return b.String()
+}

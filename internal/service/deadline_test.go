@@ -1,9 +1,13 @@
 package service
 
 import (
+	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
+
+	"wcdsnet/internal/service/api"
 )
 
 // nonConvergingBackbone is a request that can never quiesce on its own: a
@@ -80,8 +84,8 @@ func TestBackboneResponseCarriesPhases(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %v", resp.StatusCode, body)
 	}
-	if body["schema"] != float64(2) {
-		t.Fatalf("schema = %v; want 2", body["schema"])
+	if body["schema"] != float64(api.SchemaVersion) {
+		t.Fatalf("schema = %v; want %d", body["schema"], api.SchemaVersion)
 	}
 	phases, ok := body["phases"].([]any)
 	if !ok || len(phases) == 0 {
@@ -114,13 +118,13 @@ func TestBackboneResponseCarriesPhases(t *testing.T) {
 	if body2["phases"] != nil {
 		t.Fatalf("centralized response carries phases: %v", body2["phases"])
 	}
-	if body2["schema"] != float64(2) {
-		t.Fatalf("centralized schema = %v; want 2", body2["schema"])
+	if body2["schema"] != float64(api.SchemaVersion) {
+		t.Fatalf("centralized schema = %v; want %d", body2["schema"], api.SchemaVersion)
 	}
 }
 
-// Per-phase counters reach the Prometheus exposition with name-suffixed
-// metrics (the registry has no label support).
+// Per-phase counters reach the Prometheus exposition as one labeled
+// family with a {phase="..."} child per phase.
 func TestPhaseMetricsExposed(t *testing.T) {
 	svc, ts := newTestService(t, Options{})
 	resp, body := postJSON(t, ts.URL+"/v1/backbone", map[string]any{
@@ -129,8 +133,16 @@ func TestPhaseMetricsExposed(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %v", resp.StatusCode, body)
 	}
-	c := svc.reg.Counter("wcds_service_phase_mis_messages_total", "")
-	if c.Value() <= 0 {
-		t.Fatalf("wcds_service_phase_mis_messages_total = %d after a distributed run", c.Value())
+	if v := svc.phaseMessages.With("mis").Value(); v <= 0 {
+		t.Fatalf(`wcds_service_phase_messages_total{phase="mis"} = %d after a distributed run`, v)
+	}
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	text, _ := io.ReadAll(metricsResp.Body)
+	if !strings.Contains(string(text), `wcds_service_phase_messages_total{phase="mis"} `) {
+		t.Fatalf("labeled phase family missing from exposition:\n%s", text)
 	}
 }

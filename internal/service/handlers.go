@@ -25,6 +25,7 @@ const (
 	endpointDilation  = "dilation"
 	endpointBroadcast = "broadcast"
 	endpointBatch     = "batch"
+	endpointSession   = "session"
 )
 
 // maxBodyBytes bounds request bodies; an explicit 20k-node topology with
@@ -33,18 +34,25 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the service's HTTP handler:
 //
-//	POST /v1/backbone   compute a WCDS backbone (Algorithm I or II)
-//	POST /v1/dilation   measure spanner dilation over sampled pairs
-//	POST /v1/broadcast  backbone broadcast vs. blind flood
-//	POST /v1/batch      run a declarative sweep on the batch engine
-//	GET  /healthz       liveness + pool snapshot
-//	GET  /metrics       Prometheus text exposition
+//	POST   /v1/backbone            compute a WCDS backbone (Algorithm I or II)
+//	POST   /v1/dilation            measure spanner dilation over sampled pairs
+//	POST   /v1/broadcast           backbone broadcast vs. blind flood
+//	POST   /v1/batch               run a declarative sweep on the batch engine
+//	                               (?stream=ndjson streams rows as they finish)
+//	POST   /v1/session             create a streaming topology session
+//	POST   /v1/session/{id}/stream NDJSON: deltas in, repair events out
+//	DELETE /v1/session/{id}        close a session
+//	GET    /healthz                liveness + pool snapshot
+//	GET    /metrics                Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/backbone", s.handleBackbone)
 	mux.HandleFunc("POST /v1/dilation", s.handleDilation)
 	mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/session/{id}/stream", s.handleSessionStream)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.recoverPanics(mux)
@@ -341,9 +349,68 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.replyError(w, endpointBatch, start, err)
 		return
 	}
+	if r.URL.Query().Get("stream") == "ndjson" || r.Header.Get("Accept") == "application/x-ndjson" {
+		s.streamBatch(w, r, &req, start)
+		return
+	}
 	s.serve(w, r, endpointBatch, start, req.CacheKey(),
 		func(ctx context.Context) (any, error) { return computeBatch(ctx, &req) },
 		func(v any) any { resp := *(v.(*BatchResponse)); return &resp })
+}
+
+// streamBatch runs the sweep with per-row NDJSON delivery: each scenario
+// result is written and flushed as it completes (the same plumbing the
+// session stream uses), followed by one summary line — the BatchResponse
+// with the per-row results stripped, since they already streamed. Streamed
+// sweeps bypass the result cache: the value of streaming is progress,
+// which a cache hit has none of.
+func (s *Service) streamBatch(w http.ResponseWriter, r *http.Request, req *BatchRequest, start time.Time) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	streamed := false
+	// The pool worker writes rows while this goroutine blocks in Submit,
+	// so writes never interleave; the engine serializes OnResult itself.
+	v, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+		spec := req.BatchSpec
+		return batch.Run(ctx, &spec, batch.Options{
+			Workers:        req.Workers,
+			MeasureWorkers: req.MeasureWorkers,
+			OnResult: func(res batch.Result) {
+				if !streamed {
+					streamed = true
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					w.WriteHeader(http.StatusOK)
+				}
+				_ = enc.Encode(res)
+				_ = rc.Flush()
+			},
+		})
+	})
+	if err != nil {
+		if !streamed {
+			s.replySubmitError(w, endpointBatch, start, err)
+			return
+		}
+		_ = enc.Encode(api.SessionStreamError{Error: err.Error(), Fatal: true})
+		_ = rc.Flush()
+		s.observe(endpointBatch, start)
+		return
+	}
+	rep := v.(*batch.Report)
+	summary := &BatchResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}
+	summary.Results = nil
+	if !streamed {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	_ = enc.Encode(summary)
+	_ = rc.Flush()
+	s.observe(endpointBatch, start)
 }
 
 func computeBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
@@ -396,6 +463,10 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint string,
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
+	// Fast drain: CancelInFlight cancels s.baseCtx, which cancels every
+	// request context mid-compute instead of waiting jobs out.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
 	v, err := s.pool.Submit(ctx, fn)
 	if err != nil {
 		s.replySubmitError(w, endpoint, start, err)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -98,24 +99,95 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return stats.Quantile(h.samples, q)
 }
 
+// CounterVec is a family of counters sharing one metric name and label
+// keys, each child addressed by its label values — the first-class label
+// support per-phase and per-session metrics need (one
+// wcds_service_phase_messages_total family with {phase="mis"} children
+// instead of a name-suffixed counter per phase).
+type CounterVec struct {
+	name   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter // canonical label rendering -> child
+}
+
+// With returns the child counter for the given label values (one per label
+// key, in registration order), creating it on first use. Cardinality is the
+// caller's responsibility; the families in this repository all have small
+// closed label sets (phase names, delta kinds, close reasons).
+func (v *CounterVec) With(values ...string) *Counter {
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	c := &Counter{}
+	v.children[key] = c
+	return c
+}
+
+// snapshot returns the children as (sorted label rendering, value) pairs.
+func (v *CounterVec) snapshot() []labeledValue {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]labeledValue, 0, len(v.children))
+	for key, c := range v.children {
+		out = append(out, labeledValue{labels: key, value: float64(c.Value()), integral: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+type labeledValue struct {
+	labels   string
+	value    float64
+	integral bool
+}
+
+// renderLabels produces the canonical {k="v",...} fragment. Values are
+// %q-quoted, which escapes quotes and backslashes the way the Prometheus
+// text format requires. A mismatched value count is a programming error;
+// missing values render as "".
+func renderLabels(keys, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		fmt.Fprintf(&b, "%s=%q", k, val)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // Registry names and renders a set of metrics. All methods are safe for
-// concurrent use; Counter/Histogram/GaugeFunc return an existing metric when
-// the name is already registered (help text of the first registration wins).
+// concurrent use; Counter/Histogram/GaugeFunc/CounterVec return an existing
+// metric when the name is already registered (help text and label keys of
+// the first registration win).
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	histograms map[string]*Histogram
-	gauges     map[string]func() float64
-	help       map[string]string
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	counterVecs map[string]*CounterVec
+	histograms  map[string]*Histogram
+	gauges      map[string]func() float64
+	help        map[string]string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		histograms: make(map[string]*Histogram),
-		gauges:     make(map[string]func() float64),
-		help:       make(map[string]string),
+		counters:    make(map[string]*Counter),
+		counterVecs: make(map[string]*CounterVec),
+		histograms:  make(map[string]*Histogram),
+		gauges:      make(map[string]func() float64),
+		help:        make(map[string]string),
 	}
 }
 
@@ -130,6 +202,26 @@ func (r *Registry) Counter(name, help string) *Counter {
 	r.counters[name] = c
 	r.setHelp(name, help)
 	return c
+}
+
+// CounterVec returns the labeled counter family registered under name,
+// creating it if needed with the given label keys. The name must not
+// collide with a plain Counter (families and scalars render differently);
+// a collision returns the existing family when one exists.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[name]; ok {
+		return v
+	}
+	v := &CounterVec{
+		name:     name,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*Counter),
+	}
+	r.counterVecs[name] = v
+	r.setHelp(name, help)
+	return v
 }
 
 // Histogram returns the histogram registered under name, creating it if
@@ -166,14 +258,19 @@ func (r *Registry) setHelp(name, help string) {
 // stable for tests and for scrapers that diff.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.histograms)+len(r.gauges))
+	names := make([]string, 0, len(r.counters)+len(r.counterVecs)+len(r.histograms)+len(r.gauges))
 	counters := make(map[string]*Counter, len(r.counters))
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
 	histograms := make(map[string]*Histogram, len(r.histograms))
 	gauges := make(map[string]func() float64, len(r.gauges))
 	help := make(map[string]string, len(r.help))
 	for n, c := range r.counters {
 		names = append(names, n)
 		counters[n] = c
+	}
+	for n, v := range r.counterVecs {
+		names = append(names, n)
+		counterVecs[n] = v
 	}
 	for n, h := range r.histograms {
 		names = append(names, n)
@@ -199,6 +296,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case counters[n] != nil:
 			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n].Value()); err != nil {
 				return err
+			}
+		case counterVecs[n] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", n); err != nil {
+				return err
+			}
+			for _, lv := range counterVecs[n].snapshot() {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", n, lv.labels, int64(lv.value)); err != nil {
+					return err
+				}
 			}
 		case histograms[n] != nil:
 			count, sum, q := histograms[n].snapshot()

@@ -117,3 +117,75 @@ func TestRegistryReturnsSameMetric(t *testing.T) {
 		t.Fatal("counter instances diverged")
 	}
 }
+
+func TestCounterVecChildrenAndRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("phase_messages_total", "Messages by phase.", "phase")
+	v.With("mis").Add(5)
+	v.With("recruit").Add(3)
+	v.With("mis").Inc()
+
+	if got := v.With("mis").Value(); got != 6 {
+		t.Fatalf("mis child = %d, want 6", got)
+	}
+	if a, b := v.With("recruit"), v.With("recruit"); a != b {
+		t.Fatal("same label values returned distinct children")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP phase_messages_total Messages by phase.",
+		"# TYPE phase_messages_total counter",
+		`phase_messages_total{phase="mis"} 6`,
+		`phase_messages_total{phase="recruit"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, children sorted by label rendering.
+	if strings.Count(out, "# TYPE phase_messages_total counter") != 1 {
+		t.Errorf("family TYPE line not emitted exactly once:\n%s", out)
+	}
+	if strings.Index(out, `{phase="mis"}`) > strings.Index(out, `{phase="recruit"}`) {
+		t.Errorf("children not sorted by labels:\n%s", out)
+	}
+}
+
+func TestCounterVecMultiLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("deltas_total", "Deltas by kind and outcome.", "kind", "outcome")
+	v.With("move", `ok"quoted`).Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `deltas_total{kind="move",outcome="ok\"quoted"} 2`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("rendering missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hits_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := v.With("a").Value() + v.With("b").Value(); got != 8000 {
+		t.Fatalf("concurrent labeled increments lost: %d != 8000", got)
+	}
+}

@@ -22,6 +22,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"time"
 
@@ -29,6 +31,7 @@ import (
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/service/metrics"
+	"wcdsnet/internal/session"
 )
 
 // Options configures a Service. The zero value is usable: every field has
@@ -51,6 +54,18 @@ type Options struct {
 	// may request (default: 5000). Negative disables the batch endpoint's
 	// bound entirely.
 	MaxBatchScenarios int
+
+	// MaxSessions caps concurrently open topology sessions (default: 64).
+	MaxSessions int
+	// SessionTTL is the default session lifetime when the create request
+	// does not set one (default: 10m).
+	SessionTTL time.Duration
+	// SessionIdle is the default idle-eviction timeout (default: 2m).
+	SessionIdle time.Duration
+	// SessionQueue bounds the per-stream delta and event queues — the
+	// backpressure depth between the NDJSON reader, the repair loop and
+	// the NDJSON writer (default: 16 epochs).
+	SessionQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,17 +93,36 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatchScenarios < 0 {
 		o.MaxBatchScenarios = 0 // unbounded
 	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 10 * time.Minute
+	}
+	if o.SessionIdle <= 0 {
+		o.SessionIdle = 2 * time.Minute
+	}
+	if o.SessionQueue <= 0 {
+		o.SessionQueue = 16
+	}
 	return o
 }
 
 // Service owns the pool, cache and metrics of one backbone daemon. Create
 // with New, expose via Handler, stop with Close.
 type Service struct {
-	opts  Options
-	pool  *Pool
-	cache *Cache
-	reg   *metrics.Registry
-	start time.Time
+	opts     Options
+	pool     *Pool
+	cache    *Cache
+	reg      *metrics.Registry
+	sessions *session.Manager
+	start    time.Time
+
+	// baseCtx is the service's lifetime context: CancelInFlight cancels it
+	// to abort every in-flight request and open session at once (the
+	// fast-drain path past cmd/serve's grace period).
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
 
 	requests *metrics.Counter
 	errors   *metrics.Counter
@@ -97,6 +131,13 @@ type Service struct {
 	cacheHit *metrics.Counter
 	panics   *metrics.Counter
 	latency  map[string]*metrics.Histogram
+
+	phaseMessages    *metrics.CounterVec
+	phaseRetransmits *metrics.CounterVec
+	sessionDeltas    *metrics.CounterVec
+	sessionCloses    *metrics.CounterVec
+	sessionsOpened   *metrics.Counter
+	epochLatency     *metrics.Histogram
 }
 
 // New builds a Service with opts (zero value = defaults) and starts its
@@ -110,6 +151,13 @@ func New(opts Options) *Service {
 		reg:   metrics.NewRegistry(),
 		start: time.Now(),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.sessions = session.NewManager(session.ManagerOptions{
+		MaxSessions: opts.MaxSessions,
+		OnClose: func(_ string, cause error) {
+			s.sessionCloses.With(closeReason(cause)).Inc()
+		},
+	})
 	s.requests = s.reg.Counter("wcds_service_requests_total", "Compute requests received across all endpoints.")
 	s.errors = s.reg.Counter("wcds_service_errors_total", "Requests answered with a 4xx/5xx status (excluding 429).")
 	s.rejected = s.reg.Counter("wcds_service_rejected_total", "Requests shed with 429 because the job queue was full.")
@@ -121,7 +169,22 @@ func New(opts Options) *Service {
 		endpointDilation:  s.reg.Histogram("wcds_service_dilation_latency_seconds", "End-to-end latency of POST /v1/dilation."),
 		endpointBroadcast: s.reg.Histogram("wcds_service_broadcast_latency_seconds", "End-to-end latency of POST /v1/broadcast."),
 		endpointBatch:     s.reg.Histogram("wcds_service_batch_latency_seconds", "End-to-end latency of POST /v1/batch."),
+		endpointSession:   s.reg.Histogram("wcds_service_session_latency_seconds", "End-to-end latency of POST /v1/session (create)."),
 	}
+	s.phaseMessages = s.reg.CounterVec("wcds_service_phase_messages_total",
+		"Protocol messages sent, by protocol phase, across all runs.", "phase")
+	s.phaseRetransmits = s.reg.CounterVec("wcds_service_phase_retransmits_total",
+		"Reliable-layer retransmissions, by protocol phase, across all runs.", "phase")
+	s.sessionDeltas = s.reg.CounterVec("wcds_service_session_deltas_total",
+		"Topology deltas received on streaming sessions, by delta kind.", "kind")
+	s.sessionCloses = s.reg.CounterVec("wcds_service_session_closes_total",
+		"Streaming sessions closed, by reason.", "reason")
+	s.sessionsOpened = s.reg.Counter("wcds_service_sessions_opened_total",
+		"Streaming sessions created over the service lifetime.")
+	s.epochLatency = s.reg.Histogram("wcds_service_session_epoch_latency_seconds",
+		"Apply latency of one session epoch (mutations + incremental repair).")
+	s.reg.GaugeFunc("wcds_service_sessions_active", "Streaming sessions currently open.",
+		func() float64 { return float64(s.sessions.Active()) })
 	s.reg.GaugeFunc("wcds_service_queue_depth", "Jobs waiting in the pool queue.",
 		func() float64 { return float64(s.pool.QueueDepth()) })
 	s.reg.GaugeFunc("wcds_service_in_flight", "Jobs executing right now.",
@@ -137,25 +200,48 @@ func New(opts Options) *Service {
 	return s
 }
 
-// recordPhases folds one run's per-phase breakdown into the registry. The
-// metrics package has no label support, so each phase gets name-suffixed
-// counters; phase names are a small closed set (see wcds.PhaseOf) and
-// Registry.Counter is idempotent, so lazy registration here is cheap.
+// recordPhases folds one run's per-phase breakdown into the labeled
+// counter families: one wcds_service_phase_messages_total family with a
+// {phase="..."} child per phase (wcds.PhaseOf names a small closed set).
 func (s *Service) recordPhases(spans []obs.Span) {
 	for _, sp := range spans {
 		if sp.Messages > 0 {
-			s.reg.Counter("wcds_service_phase_"+sp.Name+"_messages_total",
-				"Protocol messages sent in the "+sp.Name+" phase across all runs.").Add(int64(sp.Messages))
+			s.phaseMessages.With(sp.Name).Add(int64(sp.Messages))
 		}
 		if sp.Retransmits > 0 {
-			s.reg.Counter("wcds_service_phase_"+sp.Name+"_retransmits_total",
-				"Reliable-layer retransmissions attributed to the "+sp.Name+" phase.").Add(int64(sp.Retransmits))
+			s.phaseRetransmits.With(sp.Name).Add(int64(sp.Retransmits))
 		}
 	}
 }
 
-// Close drains the worker pool: accepted jobs finish, new Submits fail.
-func (s *Service) Close() { s.pool.Close() }
+// Close drains the service: open sessions close with a drain cause, then
+// the worker pool finishes accepted jobs; new Submits fail.
+func (s *Service) Close() {
+	s.sessions.Shutdown(nil)
+	s.pool.Close()
+}
+
+// CancelInFlight aborts every in-flight request and open session by
+// cancelling the service's lifetime context. This is the fast-drain path:
+// cmd/serve calls it when graceful shutdown outlives the grace period, so
+// still-running jobs and long-lived session streams unwind through their
+// run contexts instead of being waited out.
+func (s *Service) CancelInFlight() {
+	s.baseCancel(session.ErrDrained)
+	s.sessions.Shutdown(session.ErrDrained)
+}
+
+// closeReason maps a session close cause onto its metrics label.
+func closeReason(cause error) string {
+	switch {
+	case errors.Is(cause, session.ErrExpired):
+		return "expired"
+	case errors.Is(cause, session.ErrDrained):
+		return "drained"
+	default:
+		return "client"
+	}
+}
 
 // CacheStats exposes the result cache counters (used by -selfcheck).
 func (s *Service) CacheStats() (hits, misses, evictions int64) { return s.cache.Stats() }

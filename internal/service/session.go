@@ -1,0 +1,207 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"wcdsnet/internal/maintain"
+	"wcdsnet/internal/service/api"
+	"wcdsnet/internal/session"
+)
+
+// maxStreamLineBytes bounds one NDJSON line on the delta stream. Streams
+// are long-lived, so the whole-body cap used by the JSON endpoints does not
+// apply; instead each line (one delta, or one batched epoch array) is
+// bounded on its own.
+const maxStreamLineBytes = 1 << 20
+
+// handleSessionCreate builds the network, constructs the initial backbone,
+// registers the session and answers with its ID plus the starting
+// dominator set. Construction runs on the worker pool like any other
+// compute request.
+func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req api.SessionRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.replyError(w, endpointSession, time.Now(), err)
+		return
+	}
+	start := time.Now()
+	if err := req.Normalize(s.opts.MaxNodes); err != nil {
+		s.replyError(w, endpointSession, start, err)
+		return
+	}
+	ttl, idle := req.TTL(), req.Idle()
+	if ttl == 0 {
+		ttl = s.opts.SessionTTL
+	}
+	if idle == 0 {
+		idle = s.opts.SessionIdle
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	v, err := s.pool.Submit(ctx, func(context.Context) (any, error) {
+		nw, err := req.NetworkSpec.Build()
+		if err != nil {
+			return nil, err
+		}
+		sess, err := s.sessions.Open(nw, session.Config{
+			MaxEpoch:    req.MaxEpoch,
+			TTL:         ttl,
+			IdleTimeout: idle,
+		})
+		if errors.Is(err, maintain.ErrNotConnected) {
+			return nil, fmt.Errorf("session requires a connected network: %w", api.ErrUnreachable)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m := sess.Maintainer()
+		return &api.SessionResponse{
+			Session:      sess.ID(),
+			N:            m.Network().N(),
+			Edges:        m.Network().G.M(),
+			Dominators:   m.Dominators(),
+			MISSize:      len(m.MISDominators()),
+			BackboneSize: len(m.Dominators()),
+			TTLSeconds:   ttl.Seconds(),
+			IdleSeconds:  idle.Seconds(),
+			Schema:       api.SchemaVersion,
+		}, nil
+	})
+	if err != nil {
+		if errors.Is(err, session.ErrLimit) {
+			s.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+			s.observe(endpointSession, start)
+			return
+		}
+		s.replySubmitError(w, endpointSession, start, err)
+		return
+	}
+	s.sessionsOpened.Inc()
+	s.observe(endpointSession, start)
+	writeJSON(w, http.StatusCreated, v)
+}
+
+// handleSessionStream is the NDJSON duplex endpoint: the request body
+// carries topology deltas (one JSON object per line, or a JSON array per
+// line for a batched epoch), the response streams one repair event per
+// epoch, flushed as it completes. Backpressure is end to end: the repair
+// loop reads from a bounded queue the body reader fills, and the event
+// writer blocks the repair loop through a bounded queue, so a slow
+// consumer slows the producer via TCP instead of growing server memory.
+func (s *Service) handleSessionStream(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.errors.Inc()
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session"})
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	rc := http.NewResponseController(w)
+	// Full duplex lets us stream the response while still reading deltas
+	// from the request body (Go 1.21+; errors mean the transport cannot do
+	// it, in which case small exchanges still work request-then-response).
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	in := make(chan []session.Delta, s.opts.SessionQueue)
+	out := sess.Stream(ctx, in, s.opts.SessionQueue)
+
+	// Body reader: one goroutine parsing NDJSON lines into epochs. It
+	// stops on EOF, on a parse error, or when ctx ends (the handler
+	// returning cancels r.Context(), so this goroutine cannot leak).
+	go func() {
+		defer close(in)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64<<10), maxStreamLineBytes)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			epoch, err := parseDeltaLine(line)
+			if err != nil {
+				select {
+				case in <- nil: // delivered as an empty epoch → bad-delta event
+				case <-ctx.Done():
+				}
+				return
+			}
+			for _, d := range epoch {
+				s.sessionDeltas.With(d.Op).Inc()
+			}
+			select {
+			case in <- epoch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	for res := range out {
+		if res.Err != nil {
+			fatal := !errors.Is(res.Err, session.ErrBadDelta)
+			_ = enc.Encode(api.SessionStreamError{Error: res.Err.Error(), Fatal: fatal})
+			_ = rc.Flush()
+			continue
+		}
+		s.epochLatency.Observe(float64(res.Event.ElapsedMicros) / 1e6)
+		_ = enc.Encode(res.Event)
+		_ = rc.Flush()
+	}
+	// The pump closed. If the session itself ended (expiry, drain) while
+	// the client is still connected, say why before hanging up.
+	if cause := sess.Err(); cause != nil && ctx.Err() == nil {
+		_ = enc.Encode(api.SessionStreamError{Error: cause.Error(), Fatal: true})
+		_ = rc.Flush()
+	}
+}
+
+// parseDeltaLine decodes one NDJSON line: a single delta object or an
+// array of deltas forming one batched epoch.
+func parseDeltaLine(line []byte) ([]session.Delta, error) {
+	if line[0] == '[' {
+		var epoch []session.Delta
+		if err := json.Unmarshal(line, &epoch); err != nil {
+			return nil, err
+		}
+		return epoch, nil
+	}
+	var d session.Delta
+	if err := json.Unmarshal(line, &d); err != nil {
+		return nil, err
+	}
+	return []session.Delta{d}, nil
+}
+
+// handleSessionDelete closes a session explicitly.
+func (s *Service) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	id := r.PathValue("id")
+	if !s.sessions.Close(id, nil) {
+		s.errors.Inc()
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "closed": true})
+}

@@ -1,0 +1,185 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wcdsnet/internal/udg"
+)
+
+// ErrLimit reports that the manager's MaxSessions cap is reached.
+var ErrLimit = errors.New("session: too many open sessions")
+
+// ManagerOptions tunes the session registry.
+type ManagerOptions struct {
+	// MaxSessions caps concurrently open sessions (0 = unlimited).
+	MaxSessions int
+	// SweepInterval is how often the janitor scans for expired sessions
+	// (0 = DefaultSweepInterval). Sweeping only runs while at least one
+	// session has a TTL or idle timeout.
+	SweepInterval time.Duration
+	// OnClose, when non-nil, observes every close the manager performs
+	// (eviction, explicit Close, Shutdown) with its cause. Called outside
+	// the manager lock.
+	OnClose func(id string, cause error)
+}
+
+// DefaultSweepInterval is the janitor cadence when unset.
+const DefaultSweepInterval = time.Second
+
+// Manager owns the live sessions of one server: it allocates IDs, enforces
+// the session cap, evicts sessions past their TTL or idle timeout, and
+// closes everything on shutdown. All methods are safe for concurrent use.
+type Manager struct {
+	opts ManagerOptions
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewManager builds a manager and starts its janitor.
+func NewManager(opts ManagerOptions) *Manager {
+	if opts.SweepInterval <= 0 {
+		opts.SweepInterval = DefaultSweepInterval
+	}
+	m := &Manager{
+		opts:     opts,
+		sessions: make(map[string]*Session),
+		done:     make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.sweep()
+	return m
+}
+
+func (m *Manager) sweep() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.opts.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case now := <-tick.C:
+			m.mu.Lock()
+			var expired []*Session
+			for id, s := range m.sessions {
+				if s.Expired(now) {
+					expired = append(expired, s)
+					delete(m.sessions, id)
+				}
+			}
+			m.mu.Unlock()
+			for _, s := range expired {
+				m.closeOne(s, ErrExpired)
+			}
+		}
+	}
+}
+
+// Open creates and registers a session over nw (ownership transfers; pass
+// a clone to keep the original). Fails with ErrLimit at the session cap
+// and with maintain.ErrNotConnected for a disconnected network.
+func (m *Manager) Open(nw *udg.Network, cfg Config) (*Session, error) {
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(id, nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	switch {
+	case m.closed:
+		err = ErrClosed
+	case m.opts.MaxSessions > 0 && len(m.sessions) >= m.opts.MaxSessions:
+		err = fmt.Errorf("%w (limit %d)", ErrLimit, m.opts.MaxSessions)
+	default:
+		m.sessions[id] = s
+	}
+	m.mu.Unlock()
+	if err != nil {
+		s.Close(err)
+		return nil, err
+	}
+	return s, nil
+}
+
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("session: id generation: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Get returns the session with the given ID, refreshing its idle clock.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if ok {
+		s.Touch()
+	}
+	return s, ok
+}
+
+// closeOne closes a deregistered session and fires the OnClose hook.
+func (m *Manager) closeOne(s *Session, cause error) {
+	s.Close(cause)
+	if m.opts.OnClose != nil {
+		m.opts.OnClose(s.ID(), s.Err())
+	}
+}
+
+// Close closes and deregisters one session; reports whether it existed.
+func (m *Manager) Close(id string, cause error) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if ok {
+		m.closeOne(s, cause)
+	}
+	return ok
+}
+
+// Active returns the number of open sessions.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Shutdown closes every session with the given cause (nil = ErrDrained),
+// stops the janitor, and waits for both. Idempotent.
+func (m *Manager) Shutdown(cause error) {
+	if cause == nil {
+		cause = ErrDrained
+	}
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	all := make([]*Session, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		all = append(all, s)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	for _, s := range all {
+		m.closeOne(s, cause)
+	}
+	if !already {
+		close(m.done)
+	}
+	m.wg.Wait()
+}

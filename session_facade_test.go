@@ -1,0 +1,33 @@
+package wcdsnet
+
+import (
+	"context"
+	"testing"
+)
+
+func TestOpenSessionFacade(t *testing.T) {
+	nw, err := GenerateNetwork(11, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := OpenSession(nw, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(nil)
+
+	node := 3
+	ev, err := sess.Apply(context.Background(), []SessionDelta{
+		{Op: DeltaMove, Node: &node, X: 0.5, Y: 0.5},
+		{Op: DeltaJoin, X: 0.6, Y: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 1 || ev.Deltas != 2 || len(ev.Joined) != 1 {
+		t.Fatalf("implausible event: %+v", ev)
+	}
+	if err := sess.Maintainer().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

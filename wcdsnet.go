@@ -30,6 +30,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"sync/atomic"
 
 	"wcdsnet/internal/cluster"
 	"wcdsnet/internal/discovery"
@@ -38,6 +39,7 @@ import (
 	"wcdsnet/internal/maintain"
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/service"
+	"wcdsnet/internal/session"
 	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/simnet/reliable"
 	"wcdsnet/internal/spanner"
@@ -93,6 +95,25 @@ type (
 	// ReliableOptions tunes the ack/retransmit layer (zero value =
 	// defaults: 25 retries, capped-exponential backoff).
 	ReliableOptions = reliable.Options
+	// TopologySession is a long-lived streaming churn session: it owns a
+	// live Network plus a Maintainer, applies epochs of SessionDeltas and
+	// emits one SessionEvent per epoch. See OpenSession and cmd/churn.
+	TopologySession = session.Session
+	// SessionDelta is one topology change: {"op":"move"|"leave"|"join", ...}.
+	SessionDelta = session.Delta
+	// SessionEvent is the per-epoch repair result: changed roles, connector
+	// diff and locality stats (nodes touched, repair radius).
+	SessionEvent = session.Event
+	// SessionConfig tunes one TopologySession (zero value = defaults).
+	SessionConfig = session.Config
+)
+
+// Delta operation names accepted by TopologySession.Apply and the service's
+// NDJSON session stream.
+const (
+	DeltaJoin  = session.OpJoin
+	DeltaLeave = session.OpLeave
+	DeltaMove  = session.OpMove
 )
 
 // Algorithm II selection modes.
@@ -349,6 +370,29 @@ func BlindFlood(nw *Network, src int) BroadcastReport {
 // network's positions are owned by the maintainer from then on.
 func NewMaintainer(nw *Network) (*Maintainer, error) {
 	return maintain.New(nw)
+}
+
+// sessionSeq numbers locally opened sessions (their Event.Session field).
+var sessionSeq atomic.Int64
+
+// OpenSession starts a streaming churn session over the (connected)
+// network, which the session takes ownership of. Apply epochs of deltas
+// with (*TopologySession).Apply or Stream, and release it with Close:
+//
+//	sess, err := wcdsnet.OpenSession(nw, wcdsnet.SessionConfig{})
+//	if err != nil { ... }
+//	defer sess.Close(nil)
+//	node := 3
+//	ev, err := sess.Apply(ctx, []wcdsnet.SessionDelta{
+//		{Op: wcdsnet.DeltaMove, Node: &node, X: 0.5, Y: 0.5},
+//	})
+//
+// The service layer exposes the same machinery over HTTP (POST /v1/session
+// plus its NDJSON delta stream) with TTL and idle eviction managed server
+// side; OpenSession is the embedded, single-process form.
+func OpenSession(nw *Network, cfg SessionConfig) (*TopologySession, error) {
+	id := fmt.Sprintf("local-%d", sessionSeq.Add(1))
+	return session.New(id, nw, cfg)
 }
 
 // ClusterBy partitions the network into radius-1 clusters around the

@@ -1,6 +1,7 @@
 package wcdsnet
 
 import (
+	"context"
 	"testing"
 )
 
@@ -121,7 +122,7 @@ func TestMaintainerFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := nw.Pos[0]
-	rep, err := m.MoveNode(0, Point{X: p.X + 0.2, Y: p.Y})
+	rep, err := m.MoveNode(context.Background(), 0, Point{X: p.X + 0.2, Y: p.Y})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -364,6 +364,13 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 // with the per-row results stripped, since they already streamed. Streamed
 // sweeps bypass the result cache: the value of streaming is progress,
 // which a cache hit has none of.
+//
+// Only this goroutine touches the ResponseWriter. Rows cross from the
+// pool worker over an unbuffered channel: when the request context dies
+// (deadline, client gone, fast drain), Submit returns while the worker
+// may still be finishing batch.Run, and a worker that wrote directly
+// would race the handler — or write after it returned. Instead the
+// worker's sends fall through to ctx.Done and the rows are dropped.
 func (s *Service) streamBatch(w http.ResponseWriter, r *http.Request, req *BatchRequest, start time.Time) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
@@ -373,44 +380,65 @@ func (s *Service) streamBatch(w http.ResponseWriter, r *http.Request, req *Batch
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	streamed := false
-	// The pool worker writes rows while this goroutine blocks in Submit,
-	// so writes never interleave; the engine serializes OnResult itself.
-	v, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
-		spec := req.BatchSpec
-		return batch.Run(ctx, &spec, batch.Options{
-			Workers:        req.Workers,
-			MeasureWorkers: req.MeasureWorkers,
-			OnResult: func(res batch.Result) {
-				if !streamed {
-					streamed = true
-					w.Header().Set("Content-Type", "application/x-ndjson")
-					w.WriteHeader(http.StatusOK)
-				}
-				_ = enc.Encode(res)
-				_ = rc.Flush()
-			},
-		})
-	})
-	if err != nil {
+	writeLine := func(v any) {
 		if !streamed {
-			s.replySubmitError(w, endpointBatch, start, err)
+			streamed = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		_ = enc.Encode(v)
+		_ = rc.Flush()
+	}
+
+	rows := make(chan batch.Result)
+	type outcome struct {
+		v   any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+			spec := req.BatchSpec
+			return batch.Run(ctx, &spec, batch.Options{
+				Workers:        req.Workers,
+				MeasureWorkers: req.MeasureWorkers,
+				OnResult: func(res batch.Result) {
+					select {
+					case rows <- res:
+					case <-ctx.Done():
+					}
+				},
+			})
+		})
+		done <- outcome{v, err}
+	}()
+
+	for {
+		select {
+		case res := <-rows:
+			writeLine(res)
+		case oc := <-done:
+			// Submit returned: on success every row send already completed
+			// (rows is unbuffered and OnResult is synchronous), and on a
+			// context error any still-running sends drain via ctx.Done.
+			if oc.err != nil {
+				if !streamed {
+					s.replySubmitError(w, endpointBatch, start, oc.err)
+					return
+				}
+				_ = enc.Encode(api.SessionStreamError{Error: oc.err.Error(), Fatal: true})
+				_ = rc.Flush()
+				s.observe(endpointBatch, start)
+				return
+			}
+			rep := oc.v.(*batch.Report)
+			summary := &BatchResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}
+			summary.Results = nil
+			writeLine(summary)
+			s.observe(endpointBatch, start)
 			return
 		}
-		_ = enc.Encode(api.SessionStreamError{Error: err.Error(), Fatal: true})
-		_ = rc.Flush()
-		s.observe(endpointBatch, start)
-		return
 	}
-	rep := v.(*batch.Report)
-	summary := &BatchResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}
-	summary.Results = nil
-	if !streamed {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-	}
-	_ = enc.Encode(summary)
-	_ = rc.Flush()
-	s.observe(endpointBatch, start)
 }
 
 func computeBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {

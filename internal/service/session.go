@@ -49,9 +49,17 @@ func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
-	v, err := s.pool.Submit(ctx, func(context.Context) (any, error) {
+	v, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
 		nw, err := req.NetworkSpec.Build()
 		if err != nil {
+			return nil, err
+		}
+		// The deadline can pass (or the client vanish) while the job sat in
+		// the queue or built the network; registering then would strand a
+		// session nobody knows the ID of. Check before and after Open — the
+		// caller may also give up mid-registration, in which case the slot
+		// is released immediately instead of waiting out idle eviction.
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		sess, err := s.sessions.Open(nw, session.Config{
@@ -63,6 +71,10 @@ func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return nil, fmt.Errorf("session requires a connected network: %w", api.ErrUnreachable)
 		}
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			s.sessions.Close(sess.ID(), err)
 			return nil, err
 		}
 		m := sess.Maintainer()
@@ -127,8 +139,11 @@ func (s *Service) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 	out := sess.Stream(ctx, in, s.opts.SessionQueue)
 
 	// Body reader: one goroutine parsing NDJSON lines into epochs. It
-	// stops on EOF, on a parse error, or when ctx ends (the handler
-	// returning cancels r.Context(), so this goroutine cannot leak).
+	// stops on EOF, on an unreadable line (the error crosses to the writer
+	// below and is reported fatal once the queued epochs drain), or when
+	// ctx ends (the handler returning cancels r.Context(), so this
+	// goroutine cannot leak).
+	readErr := make(chan error, 1)
 	go func() {
 		defer close(in)
 		sc := bufio.NewScanner(r.Body)
@@ -140,20 +155,20 @@ func (s *Service) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 			}
 			epoch, err := parseDeltaLine(line)
 			if err != nil {
-				select {
-				case in <- nil: // delivered as an empty epoch → bad-delta event
-				case <-ctx.Done():
-				}
+				readErr <- fmt.Errorf("session: unparseable delta line: %w", err)
 				return
 			}
 			for _, d := range epoch {
-				s.sessionDeltas.With(d.Op).Inc()
+				s.sessionDeltas.With(deltaKind(d.Op)).Inc()
 			}
 			select {
 			case in <- epoch:
 			case <-ctx.Done():
 				return
 			}
+		}
+		if err := sc.Err(); err != nil {
+			readErr <- fmt.Errorf("session: reading delta stream: %w", err)
 		}
 	}()
 
@@ -169,12 +184,33 @@ func (s *Service) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(res.Event)
 		_ = rc.Flush()
 	}
-	// The pump closed. If the session itself ended (expiry, drain) while
-	// the client is still connected, say why before hanging up.
-	if cause := sess.Err(); cause != nil && ctx.Err() == nil {
-		_ = enc.Encode(api.SessionStreamError{Error: cause.Error(), Fatal: true})
-		_ = rc.Flush()
+	// The pump closed: the body ended, the client vanished, or the session
+	// died under us. Say why before hanging up — an unreadable line (which
+	// ends the stream, unlike a semantically-bad delta) reports the actual
+	// parse error, and a session teardown (expiry, drain) its cause.
+	if ctx.Err() == nil {
+		select {
+		case err := <-readErr:
+			_ = enc.Encode(api.SessionStreamError{Error: err.Error(), Fatal: true})
+			_ = rc.Flush()
+		default:
+		}
+		if cause := sess.Err(); cause != nil {
+			_ = enc.Encode(api.SessionStreamError{Error: cause.Error(), Fatal: true})
+			_ = rc.Flush()
+		}
 	}
+}
+
+// deltaKind maps a wire op onto its metrics label: the known kinds pass
+// through, anything else collapses to "invalid" so untrusted input cannot
+// mint unbounded label values on the counter family.
+func deltaKind(op string) string {
+	switch op {
+	case session.OpJoin, session.OpLeave, session.OpMove:
+		return op
+	}
+	return "invalid"
 }
 
 // parseDeltaLine decodes one NDJSON line: a single delta object or an

@@ -134,6 +134,75 @@ func TestSessionStreamBadDeltaContinues(t *testing.T) {
 	}
 }
 
+// A line that is not valid JSON ends the stream: epochs queued before it
+// still apply, and the final line is a fatal error carrying the actual
+// parse failure (not a smuggled "empty epoch" with fatal:false).
+func TestSessionStreamParseErrorFatal(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	created := createSession(t, ts.URL, map[string]any{"seed": 24, "n": 40, "avgDegree": 8})
+	var deltas bytes.Buffer
+	fmt.Fprintln(&deltas, `{"op":"move","node":1,"x":0.2,"y":0.2}`)
+	fmt.Fprintln(&deltas, `{"op":"move","node":`) // truncated JSON
+	resp, err := http.Post(ts.URL+"/v1/session/"+created.Session+"/stream",
+		"application/x-ndjson", &deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want event + fatal error: %v", len(lines), lines)
+	}
+	if lines[0]["seq"] != float64(1) {
+		t.Fatalf("epoch before the bad line did not apply: %v", lines[0])
+	}
+	msg, _ := lines[1]["error"].(string)
+	if msg == "" || lines[1]["fatal"] != true {
+		t.Fatalf("last line should be a fatal error: %v", lines[1])
+	}
+	if !strings.Contains(msg, "unparseable") {
+		t.Fatalf("fatal line does not carry the parse error: %q", msg)
+	}
+}
+
+// Client-supplied op strings must not mint metric label values: unknown
+// ops collapse to kind="invalid" instead of growing the counter family
+// unboundedly.
+func TestSessionDeltaMetricBoundsCardinality(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	created := createSession(t, ts.URL, map[string]any{"seed": 25, "n": 40, "avgDegree": 8})
+	body := strings.NewReader(`{"op":"hijacklabel","node":1}` + "\n" +
+		`{"op":"move","node":1,"x":0.1,"y":0.1}` + "\n")
+	resp, err := http.Post(ts.URL+"/v1/session/"+created.Session+"/stream",
+		"application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(text), `wcds_service_session_deltas_total{kind="invalid"} 1`) {
+		t.Fatalf("unknown op not counted as invalid:\n%s", text)
+	}
+	if strings.Contains(string(text), "hijacklabel") {
+		t.Fatalf("client-chosen op leaked into a metric label:\n%s", text)
+	}
+}
+
 func TestSessionCreateRejectsDisconnectedAndUnknownStream(t *testing.T) {
 	_, ts := newTestService(t, Options{})
 	buf, _ := json.Marshal(map[string]any{
@@ -230,6 +299,51 @@ func TestBatchStreamNDJSON(t *testing.T) {
 	}
 	if rows != 3 || summaries != 1 {
 		t.Fatalf("rows = %d, summaries = %d; want 3 rows then 1 summary", rows, summaries)
+	}
+}
+
+// A deadline that fires mid-sweep must not let the pool worker race the
+// handler on the ResponseWriter (the worker used to write rows directly
+// while Submit could return early; now rows cross a channel and only the
+// handler writes). The race detector is the real assertion — the stream
+// just has to terminate sanely: the sweep beat the deadline (summary
+// line), the deadline won mid-stream (final fatal error line), or it won
+// before any row (504/503).
+func TestBatchStreamDeadlineMidSweep(t *testing.T) {
+	_, ts := newTestService(t, Options{RequestTimeout: 30 * time.Millisecond})
+	seeds := make([]int64, 64)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	buf, _ := json.Marshal(map[string]any{
+		"sizes": []int{300}, "degrees": []float64{10}, "seeds": seeds,
+		"workloads": []map[string]any{{"kind": "backbone", "algorithm": "II", "mode": "sync"}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/batch?stream=ndjson", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		return
+	}
+	var last map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		last = m
+	}
+	if last == nil {
+		t.Fatal("empty stream body")
+	}
+	if last["digest"] == nil && (last["error"] == nil || last["fatal"] != true) {
+		t.Fatalf("stream ended without summary or fatal error: %v", last)
 	}
 }
 

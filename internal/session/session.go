@@ -340,13 +340,25 @@ type Result struct {
 // producer feeding in). The pump stops — closing the returned channel —
 // when in closes, ctx is cancelled, the session closes, or an epoch fails
 // with a cancellation; bad-delta errors are delivered and streaming
-// continues, since the epoch rolled back cleanly.
+// continues, since the epoch rolled back cleanly. Stream on an
+// already-closed session returns an already-closed channel.
 func (s *Session) Stream(ctx context.Context, in <-chan []Delta, queue int) <-chan Result {
 	if queue < 1 {
 		queue = 1
 	}
 	out := make(chan Result, queue)
+	// Register under the same lock Close uses to set closed: the manager's
+	// janitor can close the session between a Get and this Stream, and a
+	// bare Add racing a Wait whose counter is at zero is documented
+	// WaitGroup misuse. A closed session streams nothing.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(out)
+		return out
+	}
 	s.streams.Add(1)
+	s.mu.Unlock()
 	go func() {
 		defer s.streams.Done()
 		defer close(out)

@@ -340,3 +340,25 @@ func TestApplyCancelledMidEpochKeepsSessionUsable(t *testing.T) {
 		t.Fatalf("retry failed: ev=%+v err=%v", ev, err)
 	}
 }
+
+// The manager's janitor can close a session between a Get and a Stream.
+// Stream on a closed session must not touch the WaitGroup Close waits on
+// (Add racing Wait-at-zero is documented misuse); the caller just sees an
+// empty, already-closed result channel.
+func TestStreamAfterCloseReturnsClosedChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s, err := New("t", newNet(t, rng, 20, 8), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close(nil)
+	out := s.Stream(context.Background(), make(chan []Delta), 1)
+	select {
+	case _, ok := <-out:
+		if ok {
+			t.Fatal("stream on a closed session delivered a result")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stream on a closed session did not close its channel")
+	}
+}

@@ -20,6 +20,21 @@
 //	-http            additionally drive one sweep through the in-process
 //	                 service HTTP layer (fault plan as JSON over the wire)
 //	-v               per-scenario detail
+//
+// Churn-under-faults mode (-churn) replays seeded delta streams through
+// streaming topology sessions whose per-epoch repair runs the distributed
+// protocol over the lossy simnet, across a grid of drop rates. Every epoch
+// is audited independently of the session's own labels (invariants, plus
+// converged ⇒ equal to the lossless fixpoint); any violation exits nonzero.
+//
+//	-churn           run the churn-under-faults sweep instead
+//	-churn-epochs 12 epochs per replayed delta stream
+//	-drops 0.1,0.3   comma-separated drop rates for the fault grid
+//	-reliable        wrap the repair protocol in the ack/retransmit layer
+//	                 (default true; -reliable=false shows rung-3 rebuilds)
+//
+// -seeds, -seed, -n, -deg, -engines, -retries and -rounds apply to both
+// modes.
 package main
 
 import (
@@ -53,8 +68,17 @@ func run() error {
 		rounds      = flag.Int("rounds", 0, "quiescence budget (0 = chaos default)")
 		httpSweep   = flag.Bool("http", false, "also sweep through the service HTTP layer")
 		verbose     = flag.Bool("v", false, "per-scenario detail")
+
+		churn       = flag.Bool("churn", false, "run the churn-under-faults session sweep instead")
+		churnEpochs = flag.Int("churn-epochs", 12, "epochs per replayed delta stream")
+		drops       = flag.String("drops", "0.1,0.3", "comma-separated drop rates for the churn fault grid")
+		reliableRep = flag.Bool("reliable", true, "wrap the churn repair protocol in the ack/retransmit layer")
 	)
 	flag.Parse()
+
+	if *churn {
+		return runChurn(*seeds, *seed, *n, *deg, *churnEpochs, *drops, *engines, *reliableRep, *retries, *rounds, *verbose)
+	}
 
 	levels, err := parseIntensities(*intensities)
 	if err != nil {
@@ -120,6 +144,63 @@ func run() error {
 		return fmt.Errorf("%d invariant violations", violations)
 	}
 	fmt.Println("chaos: all sweeps clean — every run converged exactly or failed detectably")
+	return nil
+}
+
+// runChurn executes the churn-under-faults sweep across (engine × drop
+// rate × seed) cells and exits nonzero on any audited violation.
+func runChurn(seeds int, seed int64, n int, deg float64, epochs int, drops, engines string, reliable bool, retries, rounds int, verbose bool) error {
+	rates, err := parseIntensities(drops)
+	if err != nil {
+		return err
+	}
+	var asyncs []bool
+	switch engines {
+	case "sync":
+		asyncs = []bool{false}
+	case "async":
+		asyncs = []bool{true}
+	case "both":
+		asyncs = []bool{false, true}
+	default:
+		return fmt.Errorf("unknown -engines %q (want sync, async or both)", engines)
+	}
+
+	violations := 0
+	for _, async := range asyncs {
+		cfg := chaos.ChurnConfig{
+			Seeds:      seeds,
+			BaseSeed:   seed,
+			N:          n,
+			AvgDegree:  deg,
+			Epochs:     epochs,
+			DropRates:  rates,
+			Reliable:   reliable,
+			MaxRetries: retries,
+			MaxRounds:  rounds,
+			Async:      async,
+		}
+		rep, err := chaos.RunChurn(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %s\n", fmt.Sprintf("churn async=%v:", async), rep.Summary())
+		for _, c := range rep.Cells {
+			switch {
+			case c.Violated > 0:
+				fmt.Printf("  drop=%.2f seed %-6d VIOLATION (%d/%d epochs): %s\n",
+					c.DropRate, c.Seed, c.Violated, c.Epochs, c.Detail)
+			case verbose:
+				fmt.Printf("  drop=%.2f seed %-6d %d epochs: %d converged, %d degraded, retries=%d escalations=%d msgs=%d\n",
+					c.DropRate, c.Seed, c.Epochs, c.Converged, c.Degraded, c.Retries, c.Escalations, c.Messages)
+			}
+		}
+		violations += rep.Violations
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d churn epoch violations", violations)
+	}
+	fmt.Println("chaos: churn sweep clean — every epoch converged exactly or degraded detectably")
 	return nil
 }
 

@@ -21,8 +21,18 @@
 //	-seed 1      base seed
 //	-epochs 200  epochs per trace
 //	-validate 25 verify WCDS invariants every this many epochs (0 = final only)
+//	-drop 0      message drop rate for fault-bearing repair (0 = in-process
+//	             local repair, the default; >0 runs every epoch's repair as
+//	             the distributed protocol over a lossy simnet)
+//	-reliable    wrap fault-bearing repair in the ack/retransmit layer
+//	             (default true; only meaningful with -drop > 0)
+//	-retries 0   reliable-layer retry budget (0 = default)
 //	-smoke       quick CI mode: small traces, validate every epoch
 //	-v           per-trace progress
+//
+// With -drop > 0 the report gains a repair line: how many epochs converged
+// to the exact lossless fixpoint, how many were served degraded through the
+// escalation ladder's fallback, and the retry/escalation cost.
 package main
 
 import (
@@ -52,6 +62,9 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "base seed")
 		epochs   = flag.Int("epochs", 200, "epochs per trace")
 		validate = flag.Int("validate", 25, "verify invariants every this many epochs (0 = final only)")
+		drop     = flag.Float64("drop", 0, "repair-message drop rate (>0 = distributed repair over a lossy simnet)")
+		reliable = flag.Bool("reliable", true, "wrap fault-bearing repair in the ack/retransmit layer")
+		retries  = flag.Int("retries", 0, "reliable retry budget (0 = default)")
 		smoke    = flag.Bool("smoke", false, "quick CI mode: small traces, validate every epoch")
 		verbose  = flag.Bool("v", false, "per-trace progress")
 	)
@@ -59,12 +72,15 @@ func run() error {
 	if *smoke {
 		*n, *deg, *seeds, *epochs, *validate = 40, 8, 2, 25, 1
 	}
+	if *drop < 0 || *drop > 1 {
+		return fmt.Errorf("-drop %g must be in [0,1]", *drop)
+	}
 
 	var agg stats
 	start := time.Now()
 	for s := 0; s < *seeds; s++ {
 		traceSeed := *seed + int64(s)
-		st, err := replay(traceSeed, *n, *deg, *epochs, *validate)
+		st, err := replay(traceSeed, *n, *deg, *epochs, *validate, *drop, *reliable, *retries)
 		if err != nil {
 			return fmt.Errorf("trace seed=%d: %w", traceSeed, err)
 		}
@@ -86,6 +102,10 @@ func run() error {
 		agg.rpct(agg.radius1), agg.rpct(agg.radius1+agg.radius2), agg.rpct(agg.radiusFar), agg.radiusMax)
 	fmt.Printf("churn: backbone  connector changes mean=%.2f/epoch | connected %.1f%% of epochs\n",
 		float64(agg.connectors)/float64(max(agg.epochs, 1)), agg.pct(agg.connected))
+	if *drop > 0 {
+		fmt.Printf("churn: repair    drop=%.0f%% reliable=%v: %d converged, %d degraded, %d violated | retries=%d escalations=%d\n",
+			*drop*100, *reliable, agg.repConverged, agg.repDegraded, agg.repViolated, agg.repRetries, agg.repEscalations)
+	}
 	fmt.Printf("churn: verified  %d invariant checks, 0 violations\n", agg.validations)
 	if *smoke {
 		fmt.Println("churn: smoke PASS")
@@ -94,12 +114,21 @@ func run() error {
 }
 
 // replay drives one seeded trace through a session and collects its stats.
-func replay(seed int64, n int, deg float64, epochs, validate int) (stats, error) {
+func replay(seed int64, n int, deg float64, epochs, validate int, drop float64, reliable bool, retries int) (stats, error) {
 	nw, err := wcdsnet.GenerateNetwork(seed, n, deg)
 	if err != nil {
 		return stats{}, err
 	}
-	sess, err := wcdsnet.OpenSession(nw, wcdsnet.SessionConfig{})
+	var cfg wcdsnet.SessionConfig
+	if drop > 0 {
+		cfg.Repair = wcdsnet.RepairPolicy{
+			Distributed: true,
+			Faults:      &wcdsnet.FaultPlan{Seed: seed, DropRate: drop},
+			Reliable:    reliable,
+			MaxRetries:  retries,
+		}
+	}
+	sess, err := wcdsnet.OpenSession(nw, cfg)
 	if err != nil {
 		return stats{}, err
 	}
@@ -194,6 +223,14 @@ type stats struct {
 	connectors     int
 	connected      int
 	validations    int
+	// Repair-outcome tallies from the per-epoch repair field (all zero for
+	// plain in-process sessions except repConverged, which counts every
+	// epoch: local repair is always exact).
+	repConverged   int
+	repDegraded    int
+	repViolated    int
+	repRetries     int
+	repEscalations int
 }
 
 func (st *stats) record(ev wcdsnet.SessionEvent) {
@@ -207,6 +244,18 @@ func (st *stats) record(ev wcdsnet.SessionEvent) {
 	st.connectors += ev.ConnectorChanges
 	if ev.Connected {
 		st.connected++
+	}
+	if r := ev.Repair; r != nil {
+		switch r.Outcome {
+		case "converged":
+			st.repConverged++
+		case "degraded":
+			st.repDegraded++
+		case "violated":
+			st.repViolated++
+		}
+		st.repRetries += r.Retries
+		st.repEscalations += r.Escalations
 	}
 	if ev.NodesTouched == 0 {
 		st.quiet++
@@ -239,6 +288,11 @@ func (st *stats) merge(o stats) {
 	st.connectors += o.connectors
 	st.connected += o.connected
 	st.validations += o.validations
+	st.repConverged += o.repConverged
+	st.repDegraded += o.repDegraded
+	st.repViolated += o.repViolated
+	st.repRetries += o.repRetries
+	st.repEscalations += o.repEscalations
 }
 
 // latencyP returns the p-th percentile epoch latency (p=100 → max).

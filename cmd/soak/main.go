@@ -5,7 +5,8 @@
 // annulus), random density and size; both algorithms (centralized,
 // distributed sync, distributed async-scrambled, zero-knowledge); all
 // structural invariants; sampled dilation bounds; routing bound; backbone
-// broadcast coverage; a distributed repair round.
+// broadcast coverage; a distributed repair round, both lossless and over a
+// lossy simnet (seeded 10% drop) through the reliable retransmit layer.
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"wcdsnet/internal/mis"
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/simnet/reliable"
 	"wcdsnet/internal/spanner"
 	"wcdsnet/internal/udg"
 )
@@ -191,6 +193,28 @@ func verifyInstance(rng *rand.Rand, nw *udg.Network) error {
 	}
 	if !mis.IsMaximalIndependent(nw.G, set) {
 		return fmt.Errorf("distributed repair produced an invalid MIS")
+	}
+
+	// The same repair round over a lossy simnet (seeded 10% drop) with the
+	// reliable ack/retransmit layer: loss must not cost correctness.
+	plan := simnet.FaultPlan{Seed: rng.Int63(), DropRate: 0.1}
+	lossySet, _, _, err := maintain.RepairMISDistributed(nw.G, nw.ID, mask,
+		func(g *wcdsnet.Graph, procs []simnet.Proc) (simnet.Stats, error) {
+			wrapped, col := reliable.Wrap(procs, reliable.Options{})
+			st, err := simnet.RunSync(g, wrapped,
+				simnet.WithFaults(plan),
+				simnet.WithMaxRounds(200*g.N()+4000))
+			col.MergeInto(&st)
+			if err == nil && st.Abandoned > 0 {
+				err = fmt.Errorf("reliable layer abandoned %d frames", st.Abandoned)
+			}
+			return st, err
+		})
+	if err != nil {
+		return fmt.Errorf("lossy distributed repair: %w", err)
+	}
+	if !mis.IsMaximalIndependent(nw.G, lossySet) {
+		return fmt.Errorf("lossy distributed repair produced an invalid MIS")
 	}
 
 	// Geometric comparators stay subsets and connected.

@@ -38,7 +38,6 @@ import (
 	"wcdsnet/internal/graph"
 	"wcdsnet/internal/mis"
 	"wcdsnet/internal/obs"
-	"wcdsnet/internal/simnet"
 	"wcdsnet/internal/udg"
 	"wcdsnet/internal/wcds"
 )
@@ -55,12 +54,14 @@ type Maintainer struct {
 	active     []bool // off nodes keep their slot but have no edges
 	connectors map[[2]int][2]int
 
-	// distributedRepair switches the MIS repair step from the local
-	// worklist rules to the message-passing protocol of
-	// RepairMISDistributed (run on the synchronous engine). Both
-	// strategies restore the same invariants; the resulting MIS may
-	// differ on ties.
-	distributedRepair bool
+	// policy selects the repair strategy and, for the distributed
+	// protocol, the fault environment it runs under (see RepairPolicy in
+	// policy.go). Both strategies restore the same invariants; the
+	// resulting MIS may differ on ties.
+	policy RepairPolicy
+	// repairEpochs counts distributed repair epochs, remixed into the
+	// fault plan seed so successive epochs see independent fault streams.
+	repairEpochs int
 	// RepairMessages accumulates the protocol cost of distributed repairs.
 	RepairMessages int
 
@@ -69,8 +70,11 @@ type Maintainer struct {
 	rec obs.Recorder
 }
 
-// SetDistributedRepair selects the repair strategy for subsequent events.
-func (m *Maintainer) SetDistributedRepair(on bool) { m.distributedRepair = on }
+// SetDistributedRepair selects the repair strategy for subsequent events:
+// a lossless distributed protocol run on the synchronous engine. It is the
+// compatibility switch for RepairPolicy — use SetRepairPolicy to configure
+// faults, the reliable layer and the escalation ladder.
+func (m *Maintainer) SetDistributedRepair(on bool) { m.policy = RepairPolicy{Distributed: on} }
 
 // SetObserver directs per-stage timing spans ("rebuild", "repair",
 // "connectors") to rec; nil restores the no-op default.
@@ -142,6 +146,11 @@ type Report struct {
 	// Connected reports whether the post-event active graph is connected
 	// (the WCDS guarantee only applies to connected graphs).
 	Connected bool
+	// Repair describes how the epoch's MIS repair ran: the strategy that
+	// produced the served backbone, its outcome under the
+	// Converged/Degraded/Violated taxonomy, and the fault-tolerance cost
+	// (attempts, escalations, retransmissions). See RepairInfo.
+	Repair RepairInfo
 }
 
 // New builds a Maintainer with the canonical Algorithm II state for the
@@ -408,55 +417,29 @@ func (m *Maintainer) repair(ctx context.Context, events []int, seeds map[int]boo
 	tm := obs.StartTimer("repair")
 	var (
 		promoted, demoted []int
+		info              RepairInfo
 		err               error
 	)
-	if m.distributedRepair {
-		promoted, demoted, err = m.repairDistributed(ctx, oldMIS)
+	if m.policy.Distributed {
+		// The escalation ladder (policy.go): distributed protocol under
+		// the fault plan, local-rule fallback, fixpoint rebuild. Inactive
+		// nodes (isolated in the filtered graph) self-promote as their own
+		// components during the protocol; they are stripped on install
+		// because the maintenance semantics exempt them.
+		promoted, demoted, info, err = m.repairLadder(ctx, oldMIS, seeds)
 	} else {
 		promoted, demoted, err = repairWorklist(ctx, m.nw.G, m.nw.ID, m.inMIS, m.active, seeds)
+		// The local worklist IS the reference repair (property-tested
+		// equal to Fixpoint), so the plain path always converges.
+		info = RepairInfo{Mode: RepairModeLocal, Outcome: Converged}
 	}
 	tm.Done(m.rec)
 	if err != nil {
 		return Report{}, err
 	}
-	return m.finishRepair(events, oldMIS, oldDoms, promoted, demoted), nil
-}
-
-// repairDistributed delegates the MIS repair to the message-passing
-// protocol on the synchronous engine. Inactive nodes (isolated in the
-// filtered graph) self-promote as their own components; they are stripped
-// afterwards because the maintenance semantics exempt them. On an engine
-// budget error it falls back to the local rules; a cancellation propagates.
-func (m *Maintainer) repairDistributed(ctx context.Context, oldMIS []bool) (promoted, demoted []int, err error) {
-	g := m.nw.G
-	set, _, stats, err := RepairMISDistributed(g, m.nw.ID, append([]bool(nil), m.inMIS...),
-		func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
-			return simnet.RunSync(g, procs, simnet.WithContext(ctx))
-		})
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, nil, fmt.Errorf("maintain: distributed repair interrupted: %w", err)
-		}
-		return repairWorklist(ctx, g, m.nw.ID, m.inMIS, m.active, nil)
-	}
-	m.RepairMessages += stats.Messages
-	for i := range m.inMIS {
-		m.inMIS[i] = false
-	}
-	for _, v := range set {
-		if m.active[v] {
-			m.inMIS[v] = true
-		}
-	}
-	for v := range m.inMIS {
-		switch {
-		case m.inMIS[v] && !oldMIS[v]:
-			promoted = append(promoted, v)
-		case !m.inMIS[v] && oldMIS[v]:
-			demoted = append(demoted, v)
-		}
-	}
-	return promoted, demoted, nil
+	rep := m.finishRepair(events, oldMIS, oldDoms, promoted, demoted)
+	rep.Repair = info
+	return rep, nil
 }
 
 // repairWorklist restores the MIS invariants with the deterministic local

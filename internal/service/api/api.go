@@ -29,8 +29,12 @@ const Version = "v1"
 // session responses. Revision 2 added the per-phase cost breakdown (phases)
 // and this field itself; revision 1 responses carried neither. Revision 3
 // added streaming topology sessions (POST /v1/session and its NDJSON delta
-// stream) and NDJSON row streaming on POST /v1/batch.
-const SchemaVersion = 3
+// stream) and NDJSON row streaming on POST /v1/batch. Revision 4 added
+// fault-tolerant session repair: POST /v1/session accepts faults, reliable,
+// maxRetries, maxRounds and async, and every per-epoch event on the delta
+// stream carries a repair field with the Converged/Degraded/Violated
+// outcome taxonomy plus retry and escalation counts.
+const SchemaVersion = 4
 
 // Sentinel errors shared by the facade, the batch engine and the service
 // handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works

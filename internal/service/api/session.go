@@ -1,11 +1,13 @@
 package api
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
 
 	"wcdsnet/internal/session"
+	"wcdsnet/internal/simnet"
 )
 
 // SessionDelta and SessionEvent are the session subsystem's wire types,
@@ -31,6 +33,29 @@ type SessionRequest struct {
 	// MaxEpoch bounds the number of deltas in one epoch (0 = server
 	// default).
 	MaxEpoch int `json:"maxEpoch,omitempty"`
+
+	// Faults, when present (or when Reliable/MaxRetries is set), switches
+	// every epoch's repair to the distributed protocol run over a lossy
+	// simnet under this plan, with the escalation ladder behind it (local
+	// fallback, fixpoint rebuild). See simnet.FaultPlan for the schema.
+	Faults *simnet.FaultPlan `json:"faults,omitempty"`
+	// Reliable wraps the repair protocol in the ack/retransmit layer so
+	// it converges under loss.
+	Reliable bool `json:"reliable,omitempty"`
+	// MaxRetries overrides the reliable layer's per-frame retry budget
+	// (0 = default).
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// MaxRounds overrides the per-attempt engine quiescence budget
+	// (0 = a fault-tolerant default).
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// Async runs the repair protocol on the asynchronous engine.
+	Async bool `json:"async,omitempty"`
+}
+
+// FaultBearing reports whether the request asks for distributed repair
+// under the fault model (any of the schema-v4 repair fields set).
+func (req *SessionRequest) FaultBearing() bool {
+	return req.Faults != nil || req.Reliable || req.MaxRetries != 0 || req.MaxRounds != 0 || req.Async
 }
 
 // Normalize validates the request against the service limits.
@@ -46,6 +71,26 @@ func (req *SessionRequest) Normalize(maxNodes int) error {
 	}
 	if req.MaxEpoch < 0 {
 		return Errorf("maxEpoch %d must be non-negative", req.MaxEpoch)
+	}
+	if req.MaxRetries < 0 {
+		return Errorf("maxRetries %d must be non-negative", req.MaxRetries)
+	}
+	if req.MaxRounds < 0 {
+		return Errorf("maxRounds %d must be non-negative", req.MaxRounds)
+	}
+	if req.Faults != nil && req.Faults.Empty() {
+		req.Faults = nil
+	}
+	if req.Faults != nil {
+		// Validate against the spec's node count; joins grow the graph
+		// later, which only loosens the node-indexed windows' bound.
+		n := req.NetworkSpec.N
+		if len(req.NetworkSpec.Positions) > 0 {
+			n = len(req.NetworkSpec.Positions)
+		}
+		if err := req.Faults.Validate(n); err != nil {
+			return Errorf("%v", err)
+		}
 	}
 	return nil
 }
@@ -93,5 +138,13 @@ func (req *SessionRequest) Canonical() string {
 	b.WriteString("session|")
 	req.NetworkSpec.Canonical(&b)
 	fmt.Fprintf(&b, "|ttl=%g,idle=%g,epoch=%d", req.TTLSeconds, req.IdleSeconds, req.MaxEpoch)
+	if req.FaultBearing() {
+		fmt.Fprintf(&b, "|rel=%v,retries=%d,rounds=%d,async=%v", req.Reliable, req.MaxRetries, req.MaxRounds, req.Async)
+		if req.Faults != nil {
+			plan, _ := json.Marshal(req.Faults)
+			b.WriteByte('|')
+			b.Write(plan)
+		}
+	}
 	return b.String()
 }

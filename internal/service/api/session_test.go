@@ -1,0 +1,63 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"wcdsnet/internal/simnet"
+)
+
+func TestSessionRequestFaultBearing(t *testing.T) {
+	plain := SessionRequest{NetworkSpec: NetworkSpec{N: 30, AvgDegree: 8}}
+	if plain.FaultBearing() {
+		t.Error("plain request reported fault-bearing")
+	}
+	cases := []SessionRequest{
+		{Faults: &simnet.FaultPlan{DropRate: 0.1}},
+		{Reliable: true},
+		{MaxRetries: 3},
+		{MaxRounds: 100},
+		{Async: true},
+	}
+	for i, req := range cases {
+		if !req.FaultBearing() {
+			t.Errorf("case %d: repair field set but not fault-bearing", i)
+		}
+	}
+}
+
+func TestSessionRequestNormalizeFaults(t *testing.T) {
+	// An empty plan is dropped so `"faults": {}` behaves like absence.
+	req := SessionRequest{NetworkSpec: NetworkSpec{N: 30, AvgDegree: 8, Seed: 1},
+		Faults: &simnet.FaultPlan{}}
+	if err := req.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	if req.Faults != nil {
+		t.Error("empty fault plan survived Normalize")
+	}
+	// Plans are validated against the spec's node count.
+	req = SessionRequest{NetworkSpec: NetworkSpec{N: 30, AvgDegree: 8, Seed: 1},
+		Faults: &simnet.FaultPlan{Crashes: []simnet.CrashWindow{{Node: 40}}}}
+	if err := req.Normalize(1000); err == nil {
+		t.Error("out-of-range crash window passed Normalize")
+	}
+	req = SessionRequest{NetworkSpec: NetworkSpec{N: 30, AvgDegree: 8, Seed: 1}, MaxRetries: -1}
+	if err := req.Normalize(1000); err == nil {
+		t.Error("negative maxRetries passed Normalize")
+	}
+}
+
+func TestSessionCanonicalIncludesRepairConfig(t *testing.T) {
+	a := SessionRequest{NetworkSpec: NetworkSpec{N: 30, AvgDegree: 8, Seed: 1}}
+	b := a
+	b.Faults = &simnet.FaultPlan{Seed: 9, DropRate: 0.3}
+	b.Reliable = true
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca == cb {
+		t.Error("fault-bearing request canonicalizes identically to plain")
+	}
+	if !strings.Contains(cb, "dropRate") || !strings.Contains(cb, "rel=true") {
+		t.Errorf("canonical form omits repair config: %s", cb)
+	}
+}

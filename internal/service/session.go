@@ -62,11 +62,24 @@ func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sess, err := s.sessions.Open(nw, session.Config{
+		cfg := session.Config{
 			MaxEpoch:    req.MaxEpoch,
 			TTL:         ttl,
 			IdleTimeout: idle,
-		})
+		}
+		if req.FaultBearing() {
+			// Schema v4: any repair field switches the session to
+			// distributed epoch repair through the escalation ladder.
+			cfg.Repair = maintain.RepairPolicy{
+				Distributed: true,
+				Faults:      req.Faults,
+				Reliable:    req.Reliable,
+				MaxRetries:  req.MaxRetries,
+				MaxRounds:   req.MaxRounds,
+				Async:       req.Async,
+			}
+		}
+		sess, err := s.sessions.Open(nw, cfg)
 		if errors.Is(err, maintain.ErrNotConnected) {
 			return nil, fmt.Errorf("session requires a connected network: %w", api.ErrUnreachable)
 		}

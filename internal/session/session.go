@@ -103,6 +103,48 @@ type Event struct {
 	BackboneSize int `json:"backboneSize"`
 	// ElapsedMicros is the wall time the epoch took to apply.
 	ElapsedMicros int64 `json:"elapsedMicros"`
+	// Repair describes how the epoch's backbone repair ran under the
+	// session's RepairPolicy: the strategy that produced the served
+	// backbone, the Converged/Degraded/Violated outcome, and the
+	// fault-tolerance cost. Always present; a plain session reports
+	// {"mode":"local","outcome":"converged"}.
+	Repair *RepairReport `json:"repair,omitempty"`
+}
+
+// RepairReport is the wire form of maintain.RepairInfo on the event stream.
+type RepairReport struct {
+	// Mode is the strategy whose result was installed: "local",
+	// "distributed" or "fixpoint".
+	Mode string `json:"mode"`
+	// Outcome is the epoch's classification under the chaos taxonomy:
+	// "converged" (served backbone equals the lossless fixpoint),
+	// "degraded" (valid backbone via fallback or tie-divergence) or
+	// "violated" (invariant violation repaired by a fixpoint rebuild).
+	Outcome string `json:"outcome"`
+	// Attempts counts distributed protocol runs; Escalations counts
+	// ladder rungs climbed beyond the first.
+	Attempts    int `json:"attempts,omitempty"`
+	Escalations int `json:"escalations,omitempty"`
+	// Retries and Abandoned are the reliable layer's retransmissions and
+	// given-up frames, summed over attempts; Messages is the protocol
+	// message total; Rounds the largest logical round extent reached.
+	Retries   int `json:"retries,omitempty"`
+	Abandoned int `json:"abandoned,omitempty"`
+	Messages  int `json:"messages,omitempty"`
+	Rounds    int `json:"rounds,omitempty"`
+}
+
+func repairReport(info maintain.RepairInfo) *RepairReport {
+	return &RepairReport{
+		Mode:        info.Mode,
+		Outcome:     info.Outcome.String(),
+		Attempts:    info.Attempts,
+		Escalations: info.Escalations,
+		Retries:     info.Retransmits,
+		Abandoned:   info.Abandoned,
+		Messages:    info.Messages,
+		Rounds:      info.RoundEstimate,
+	}
 }
 
 // Config tunes one session.
@@ -116,6 +158,11 @@ type Config struct {
 	// TTL and IdleTimeout bound the session's lifetime; zero disables.
 	// Enforced by the owning Manager's sweeper.
 	TTL, IdleTimeout time.Duration
+	// Repair selects the per-epoch repair strategy (the zero value is the
+	// plain local worklist). With Repair.Distributed set, every epoch runs
+	// the message-passing repair protocol under Repair.Faults through the
+	// escalation ladder, and events carry the outcome in Event.Repair.
+	Repair maintain.RepairPolicy
 }
 
 // DefaultMaxEpoch bounds epoch size when Config.MaxEpoch is zero.
@@ -157,6 +204,7 @@ func New(id string, nw *udg.Network, cfg Config) (*Session, error) {
 		cfg.MaxEpoch = DefaultMaxEpoch
 	}
 	m.SetObserver(cfg.Recorder)
+	m.SetRepairPolicy(cfg.Repair)
 	now := time.Now()
 	s := &Session{
 		id:      id,
@@ -291,6 +339,7 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (Event, error) {
 		MISSize:          len(s.m.MISDominators()),
 		BackboneSize:     len(s.m.Dominators()),
 		ElapsedMicros:    time.Since(start).Microseconds(),
+		Repair:           repairReport(rep.Repair),
 	}
 	return ev, nil
 }

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -17,11 +18,17 @@ import (
 // a final tick pass reported no pending work.
 //
 // Rounds is always 0 in the returned Stats; time complexity is a
-// synchronous-model notion (use RunSync to measure it). Scheduled faults
-// (crashes, partitions, link windows) are evaluated against the engine's
-// logical clock: deliveries so far plus tick passes so far. The clock
-// advances during silence via tick passes, so a crashed node's restart is
-// always eventually reached.
+// synchronous-model notion (use RunSync to measure it). Stats.RoundEstimate
+// instead carries a Lamport-style logical round estimate: every message is
+// stamped with its sender's logical clock plus one, receivers advance their
+// clock to the maximum stamp seen, and the estimate is the largest clock in
+// the network — the longest causal message chain the run produced. Phase
+// spans and budget errors report that extent; it is schedule-dependent, so
+// it never enters canonical digests. Scheduled faults (crashes, partitions,
+// link windows) are evaluated against a separate delivery-count clock:
+// deliveries so far plus tick passes so far. That clock advances during
+// silence via tick passes, so a crashed node's restart is always eventually
+// reached.
 func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	if err := validate(g, procs); err != nil {
 		return Stats{}, err
@@ -40,6 +47,7 @@ func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 		procs:   procs,
 		tickers: tickerNodes(procs),
 		inboxes: make([]*inbox, g.N()),
+		lamport: make([]int, g.N()),
 		done:    make(chan struct{}),
 	}
 	if cfg.scramble != nil {
@@ -79,14 +87,30 @@ func RunAsync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 	}
 	wg.Wait()
 
-	stats := Stats{
-		Messages:   int(eng.messages.Load()),
-		Deliveries: int(eng.deliveries.Load()),
-		Ticks:      int(eng.tickCount.Load()),
-		Dropped:    int(eng.dropped.Load()),
-		Duplicated: int(eng.duplicated.Load()),
+	// All node goroutines have exited; the per-node Lamport clocks are
+	// quiescent and safe to read. The largest clock is the longest causal
+	// chain any node observed — the async run's logical round extent.
+	est := 0
+	for _, l := range eng.lamport {
+		if l > est {
+			est = l
+		}
 	}
-	return stats, eng.err
+	stats := Stats{
+		Messages:      int(eng.messages.Load()),
+		Deliveries:    int(eng.deliveries.Load()),
+		RoundEstimate: est,
+		Ticks:         int(eng.tickCount.Load()),
+		Dropped:       int(eng.dropped.Load()),
+		Duplicated:    int(eng.duplicated.Load()),
+	}
+	err = eng.err
+	if err != nil && (errors.Is(err, ErrMaxRounds) || errors.Is(err, ErrMaxDeliveries)) {
+		// Budget blow-outs report how deep the run got; %w keeps the
+		// sentinel visible to errors.Is per the error taxonomy.
+		err = fmt.Errorf("%w (logical round estimate %d)", err, est)
+	}
+	return stats, err
 }
 
 type asyncEngine struct {
@@ -97,6 +121,13 @@ type asyncEngine struct {
 	inboxes    []*inbox
 	rng        *lockedRand // scramble insertions
 	reorderRNG *lockedRand // fault-injected reordering insertions
+
+	// lamport is the per-node logical clock behind Stats.RoundEstimate.
+	// Entry v is written only by node v's goroutine (on delivery) and read
+	// for stamping only by node v's own goroutine (sends happen inside
+	// that node's handlers), so no synchronization is needed; the final
+	// sweep runs after every goroutine has exited.
+	lamport []int
 
 	pending    atomic.Int64
 	messages   atomic.Int64
@@ -221,11 +252,14 @@ func (e *asyncEngine) nodeLoop(wg *sync.WaitGroup, node int, proc Proc) {
 			e.taskDone()
 			continue
 		}
+		if env.lam > e.lamport[node] {
+			e.lamport[node] = env.lam
+		}
 		if e.cfg.trace != nil {
 			e.cfg.trace(Event{Kind: EventDeliver, From: env.from, To: node, Round: -1, Payload: env.payload})
 		}
 		if e.cfg.rec != nil {
-			e.cfg.rec.Event(e.cfg.classify(env.payload), obs.Deliver, -1)
+			e.cfg.rec.Event(e.cfg.classify(env.payload), obs.Deliver, e.lamport[node])
 		}
 		proc.Recv(&ctx, env.from, env.payload)
 		e.taskDone()
@@ -256,7 +290,7 @@ func (e *asyncEngine) unicast(from, to int, payload any) {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: to, Round: -1, Payload: payload})
 	}
 	if e.cfg.rec != nil {
-		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, -1)
+		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, e.lamport[from]+1)
 	}
 	e.enqueue(from, to, payload)
 }
@@ -267,7 +301,7 @@ func (e *asyncEngine) broadcast(from int, payload any) {
 		e.cfg.trace(Event{Kind: EventSend, From: from, To: -1, Round: -1, Payload: payload})
 	}
 	if e.cfg.rec != nil {
-		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, -1)
+		e.cfg.rec.Event(e.cfg.classify(payload), obs.Send, e.lamport[from]+1)
 	}
 	for _, to := range e.g.Neighbors(from) {
 		e.enqueue(from, to, payload)
@@ -302,7 +336,7 @@ func (e *asyncEngine) push(from, to int, payload any, scatter bool) {
 	if rng == nil && scatter {
 		rng = e.reorderRNG
 	}
-	env := envelope{from: from, to: to, payload: payload, sentAt: e.now()}
+	env := envelope{from: from, to: to, payload: payload, sentAt: e.now(), lam: e.lamport[from] + 1}
 	// The pending increment must happen before the push so the counter can
 	// never transiently reach zero while a message is in flight.
 	e.pending.Add(1)

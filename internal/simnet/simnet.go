@@ -82,6 +82,15 @@ type Stats struct {
 	Deliveries int
 	// Rounds is the number of synchronous rounds used (0 for RunAsync).
 	Rounds int
+	// RoundEstimate is a logical-time extent for the run: under RunSync it
+	// equals Rounds; under RunAsync it is a Lamport-style estimate — the
+	// length of the longest causal message chain any node observed. It lets
+	// async budget errors and phase spans report "how deep" a run got even
+	// though the asynchronous model has no synchronous round clock. The
+	// estimate is schedule-dependent under RunAsync and is therefore
+	// excluded from canonical digests (batch reports keep Rounds, which
+	// stays 0 for async runs).
+	RoundEstimate int
 	// Ticks counts quiescence tick passes (retry-timer epochs); 0 for
 	// protocols without Tickers.
 	Ticks int
@@ -342,6 +351,7 @@ type envelope struct {
 	payload any
 	seq     int  // global send sequence, for deterministic ordering
 	sentAt  int  // logical send time, for scheduled-fault checks
+	lam     int  // async engine: Lamport stamp (sender clock + 1)
 	tick    bool // async engine: a tick-pass token, not a message
 }
 
@@ -514,12 +524,13 @@ func (e *syncEngine) tickPass(procs []Proc, ctxs []Context, tickers []int) (bool
 
 func (e *syncEngine) stats() Stats {
 	return Stats{
-		Messages:   e.messages,
-		Deliveries: e.deliveries,
-		Rounds:     e.round,
-		Ticks:      e.ticks,
-		Dropped:    e.dropped,
-		Duplicated: e.duplicated,
+		Messages:      e.messages,
+		Deliveries:    e.deliveries,
+		Rounds:        e.round,
+		RoundEstimate: e.round,
+		Ticks:         e.ticks,
+		Dropped:       e.dropped,
+		Duplicated:    e.duplicated,
 	}
 }
 

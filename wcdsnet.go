@@ -106,6 +106,15 @@ type (
 	SessionEvent = session.Event
 	// SessionConfig tunes one TopologySession (zero value = defaults).
 	SessionConfig = session.Config
+	// RepairPolicy selects a session's per-epoch repair strategy: the
+	// zero value is the local worklist; Distributed runs the repair
+	// protocol over the simnet under Faults with the escalation ladder
+	// (bounded retries, local fallback, fixpoint rebuild) behind it.
+	RepairPolicy = maintain.RepairPolicy
+	// SessionRepairReport is the per-epoch repair field on SessionEvent:
+	// mode, Converged/Degraded/Violated outcome, retry and escalation
+	// counts.
+	SessionRepairReport = session.RepairReport
 )
 
 // Delta operation names accepted by TopologySession.Apply and the service's

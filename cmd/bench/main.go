@@ -20,18 +20,26 @@
 // measure runs the pooled parallel one, and their reports must match
 // exactly.
 //
+// A further millionNode phase (million.go) times the event-driven engine
+// on one large uniform scene — Algorithm II end to end, generate to
+// verified backbone. The scene size scales with the suite (50k quick, 250k
+// full) and -nodes overrides it; at -nodes 1000000 the phase additionally
+// enforces a hard single-digit-seconds wall-clock budget.
+//
 // If a prior BENCH_*.json exists in the output directory, bench compares
 // against the newest one and fails on a >20% regression: throughput is
 // gated only when GOMAXPROCS matches the baseline (ops/s on a different
-// core count is not comparable); allocations per scenario, measurement-core
-// allocations and per-phase protocol message/delivery counts are gated
-// always.
+// core count is not comparable, and millionNode throughput additionally
+// only when the scene size matches); allocations per scenario,
+// measurement-core allocations and per-phase protocol message/delivery
+// counts are gated always.
 //
 // Usage:
 //
-//	go run ./cmd/bench              # full suite (~100 scenarios)
-//	go run ./cmd/bench -quick       # CI smoke (~20 scenarios)
-//	go run ./cmd/bench -out bench/  # write the report elsewhere
+//	go run ./cmd/bench                  # full suite (132 scenarios + 250k-node run)
+//	go run ./cmd/bench -quick           # CI smoke (33 scenarios + 50k-node run)
+//	go run ./cmd/bench -nodes 1000000   # nightly: full scale, 10s budget enforced
+//	go run ./cmd/bench -out bench/      # write the report elsewhere
 package main
 
 import (
@@ -55,8 +63,12 @@ import (
 // protocol_phases (the merged per-phase cost breakdown of the suite's
 // distributed workloads) and retention pruning via -keep. v3 added the
 // measurement-core phases (measure/measureSerial, see measure.go) and
-// extended the gate to per-phase protocol message/delivery counts.
-const Schema = "wcdsnet-bench/v3"
+// extended the gate to per-phase protocol message/delivery counts. v4
+// added event-engine workloads to the pinned sweep plus the millionNode
+// phase (million.go): one large uniform scene through Algorithm II on the
+// event engine, sized by -nodes and recorded in million_node_size so the
+// gate only compares like against like.
+const Schema = "wcdsnet-bench/v4"
 
 // regressionTolerance is the fractional slack before the gate trips.
 const regressionTolerance = 0.20
@@ -87,6 +99,11 @@ type Report struct {
 	SpeedupNW  float64          `json:"speedup_nw"`
 	Baseline   string           `json:"baseline,omitempty"`
 
+	// MillionNodeSize is the node count of the millionNode phase's scene.
+	// Throughput at different scales is not comparable, so the gate only
+	// compares the phase when the sizes match.
+	MillionNodeSize int `json:"million_node_size,omitempty"`
+
 	// ProtocolPhases merges the per-phase protocol cost breakdown across
 	// the suite's distributed workloads (from the engineN execution). Wall
 	// times are scheduler-dependent; the counters are deterministic.
@@ -100,17 +117,21 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per phase; the fastest is reported (damps scheduler noise)")
 	noGate := flag.Bool("no-gate", false, "skip the regression comparison against the newest prior report")
 	keep := flag.Int("keep", 5, "retain only the newest N BENCH_*.json reports after writing (0 = keep all)")
+	nodes := flag.Int("nodes", 0, "node count for the millionNode event-engine phase (0 = 50k quick / 250k full; nightly passes 1000000)")
 	flag.Parse()
 
-	if err := run(*quick, *out, *workers, *reps, *noGate, *keep); err != nil {
+	if err := run(*quick, *out, *workers, *reps, *noGate, *keep, *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) error {
+func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes int) error {
 	if reps < 1 {
 		reps = 1
+	}
+	if nodes <= 0 {
+		nodes = defaultMillionNodes(quick)
 	}
 	spec := suite(quick)
 	ctx := context.Background()
@@ -164,6 +185,11 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) er
 		return fmt.Errorf("determinism violation: pooled dilation reports differ from the allocating baseline")
 	}
 
+	millionPh, err := millionNode(nodes, reps)
+	if err != nil {
+		return err
+	}
+
 	rep := &Report{
 		Schema:     Schema,
 		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
@@ -179,10 +205,12 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep int) er
 			"engineN":       phase(engineNRep),
 			"measureSerial": measureSerialPh,
 			"measure":       measurePh,
+			"millionNode":   millionPh,
 		},
-		Speedup1W:      float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
-		SpeedupNW:      float64(serialRep.WallNS) / float64(engineNRep.WallNS),
-		ProtocolPhases: phaseTotals(engineNRep),
+		Speedup1W:       float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
+		SpeedupNW:       float64(serialRep.WallNS) / float64(engineNRep.WallNS),
+		ProtocolPhases:  phaseTotals(engineNRep),
+		MillionNodeSize: nodes,
 	}
 	fmt.Printf("digest : %s (identical across serial, 1 worker, %d workers)\n", digest[:16], workers)
 	fmt.Printf("speedup: %.2fx (1 worker)  %.2fx (%d workers)\n", rep.Speedup1W, rep.SpeedupNW, workers)
@@ -261,15 +289,17 @@ func prune(dir string, keep int) ([]string, error) {
 }
 
 // suite is the pinned benchmark sweep. Full: 2 sizes × 2 degrees × 3 seeds
-// × 9 workloads = 108 scenarios over 12 networks. Quick: 1 × 1 × 3 × 9 =
-// 27 scenarios over 3 networks. Only deterministic workloads — no async
+// × 11 workloads = 132 scenarios over 12 networks. Quick: 1 × 1 × 3 × 11 =
+// 33 scenarios over 3 networks. Only deterministic workloads — no async
 // (async message counts are schedule-dependent and would break the digest
-// check). The nine workloads per network cell mirror how the sweep is used
-// in practice — one backbone per algorithm, a distributed run, sampled
-// dilation, and broadcast from several sources over the same backbone —
-// and exercise the engine's shared subcomputations: every cell builds its
-// network once, runs each centralized construction once and the detailed
-// distributed run once, no matter how many workloads consume them.
+// check; the event engine is deterministic and IS swept, both lossless and
+// lossy-reliable). The workloads per network cell mirror how the sweep is
+// used in practice — one backbone per algorithm, distributed runs on both
+// deterministic engines, sampled dilation, and broadcast from several
+// sources over the same backbone — and exercise the engine's shared
+// subcomputations: every cell builds its network once, runs each
+// centralized construction once and the detailed distributed run once, no
+// matter how many workloads consume them.
 func suite(quick bool) *wcdsnet.BatchSpec {
 	spec := &wcdsnet.BatchSpec{
 		Sizes:   []int{100, 200},
@@ -279,6 +309,9 @@ func suite(quick bool) *wcdsnet.BatchSpec {
 			{Kind: "backbone", Algorithm: "II"},
 			{Kind: "backbone", Algorithm: "I"},
 			{Kind: "backbone", Algorithm: "II", Mode: "sync"},
+			{Kind: "backbone", Algorithm: "II", Engine: "event"},
+			{Kind: "backbone", Algorithm: "II", Engine: "event",
+				Faults: &wcdsnet.FaultPlan{Seed: 11, DropRate: 0.15}, Reliable: true, MaxRounds: 4000},
 			{Kind: "dilation", Algorithm: "II", Pairs: 40, SampleSeed: 7},
 			{Kind: "broadcast", Source: 0},
 			{Kind: "broadcast", Source: 1},
@@ -396,6 +429,18 @@ func gate(rep, base *Report, name string) error {
 			return err
 		}
 	}
+	ncur, ncurOK := rep.Phases["millionNode"]
+	nold, noldOK := base.Phases["millionNode"]
+	millionComparable := ncurOK && noldOK && rep.MillionNodeSize == base.MillionNodeSize
+	if ncurOK && noldOK && !millionComparable {
+		fmt.Printf("gate   : baseline %s ran millionNode at %d nodes (now %d), skipping that phase\n",
+			name, base.MillionNodeSize, rep.MillionNodeSize)
+	}
+	if millionComparable {
+		if err := gateMallocs("millionNode", ncur, nold, name); err != nil {
+			return err
+		}
+	}
 	if err := gateProtocolPhases(rep, base, name); err != nil {
 		return err
 	}
@@ -409,6 +454,11 @@ func gate(rep, base *Report, name string) error {
 	}
 	if mcurOK && moldOK {
 		if err := gateOps("measure", "dilations/s", mcur, mold, name); err != nil {
+			return err
+		}
+	}
+	if millionComparable {
+		if err := gateOps("millionNode", "nodes/s", ncur, nold, name); err != nil {
 			return err
 		}
 	}

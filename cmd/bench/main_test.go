@@ -71,6 +71,47 @@ func TestGateMeasurePhase(t *testing.T) {
 	}
 }
 
+func withMillion(rep *Report, nodes int, ops, mallocs float64) *Report {
+	rep.MillionNodeSize = nodes
+	rep.Phases["millionNode"] = Phase{OpsPerSec: ops, MallocPerOp: mallocs}
+	return rep
+}
+
+func TestGateMillionNodePhase(t *testing.T) {
+	base := withMillion(report(1000, 2000, 1, 108, false), 250_000, 400_000, 30)
+	cases := []struct {
+		name string
+		cur  *Report
+		fail bool
+	}{
+		{"identical", withMillion(report(1000, 2000, 1, 108, false), 250_000, 400_000, 30), false},
+		{"alloc regression", withMillion(report(1000, 2000, 1, 108, false), 250_000, 400_000, 50), true},
+		{"throughput regression", withMillion(report(1000, 2000, 1, 108, false), 250_000, 200_000, 30), true},
+		{"alloc gates on any cores", withMillion(report(1000, 2000, 4, 108, false), 250_000, 400_000, 50), true},
+		{"throughput skipped on different cores", withMillion(report(1000, 2000, 4, 108, false), 250_000, 200_000, 30), false},
+		{"different scene size skipped", withMillion(report(1000, 2000, 1, 108, false), 1_000_000, 100_000, 90), false},
+		{"no millionNode phase in current run", report(1000, 2000, 1, 108, false), false},
+	}
+	for _, c := range cases {
+		err := gate(c.cur, base, "baseline.json")
+		if (err != nil) != c.fail {
+			t.Errorf("%s: gate error = %v, want failure=%v (err=%v)", c.name, err, c.fail, err)
+		}
+	}
+}
+
+// TestMillionNodeSmoke runs the phase itself at toy scale: the backbone
+// must dominate, repetitions must agree, and the reported rate be sane.
+func TestMillionNodeSmoke(t *testing.T) {
+	ph, err := millionNode(2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.OpsPerSec <= 0 || ph.WallNS <= 0 {
+		t.Fatalf("degenerate phase measurement: %+v", ph)
+	}
+}
+
 func withPhases(rep *Report, spans ...wcdsnet.PhaseSpan) *Report {
 	rep.ProtocolPhases = spans
 	return rep

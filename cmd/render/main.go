@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"wcdsnet"
 	"wcdsnet/internal/mis"
@@ -63,7 +64,12 @@ func run() error {
 	}
 
 	// fig2: Algorithm II's WCDS with the weakly induced subgraph in black.
-	res2, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)
+	// The construction runs distributed on the event engine with phase
+	// accounting so the figure carries its own per-phase cost legend
+	// (Deferred selection makes the backbone identical to the centralized
+	// reference, so the picture is unchanged by the engine choice).
+	res2, st2, err := wcdsnet.Run(nw, wcdsnet.AlgoII,
+		wcdsnet.WithEngine(wcdsnet.EngineEvent), wcdsnet.WithPhases())
 	if err != nil {
 		return err
 	}
@@ -72,6 +78,8 @@ func run() error {
 		Additional:   res2.AdditionalDominators,
 		Spanner:      res2.Spanner,
 		ShowAllEdges: true,
+		LegendTitle:  "Algorithm II, event engine: per-phase cost",
+		Legend:       phaseLegend(st2.Phases),
 	}); err != nil {
 		return err
 	}
@@ -121,6 +129,17 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+// phaseLegend turns a run's phase spans into legend lines via the same
+// formatter the CLI and README use (wcdsnet.FormatPhaseTable), so the
+// figure annotation can never drift from the textual reports.
+func phaseLegend(spans []wcdsnet.PhaseSpan) []string {
+	table := strings.TrimRight(wcdsnet.FormatPhaseTable(spans), "\n")
+	if table == "" {
+		return nil
+	}
+	return strings.Split(table, "\n")
 }
 
 func maxIDNode(ids []int) int {

@@ -10,7 +10,7 @@
 //	-degree 10      target average degree
 //	-seed 42        RNG seed
 //	-algo II        backbone construction: I, II, greedy-wcds, greedy-cds
-//	-engine sync    distributed engine for I/II: sync, async, centralized
+//	-engine sync    distributed engine for I/II: sync, async, event, centralized
 //	-dilation 500   dilation sample pairs (0 = exhaustive, -1 = skip)
 //	-svg out.svg    write an SVG rendering of the backbone
 //	-json out.json  write the result as JSON
@@ -66,7 +66,7 @@ func run() error {
 		degree   = flag.Float64("degree", 10, "target average degree")
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		algo     = flag.String("algo", "II", "algorithm: I, II, greedy-wcds, greedy-cds")
-		engine   = flag.String("engine", "sync", "engine for I/II: sync, async, centralized")
+		engine   = flag.String("engine", "sync", "engine for I/II: sync, async, event, centralized")
 		dilation = flag.Int("dilation", 500, "dilation sample pairs (0 = exhaustive, -1 = skip)")
 		svgPath  = flag.String("svg", "", "write SVG rendering to this path")
 		jsonPath = flag.String("json", "", "write JSON result to this path")
@@ -82,7 +82,7 @@ func run() error {
 			return fmt.Errorf("-phases requires -algo I or II (got %q)", *algo)
 		}
 		if *engine == "centralized" {
-			return fmt.Errorf("-phases requires a distributed engine (sync or async); centralized runs have no phases")
+			return fmt.Errorf("-phases requires a distributed engine (sync, async or event); centralized runs have no phases")
 		}
 	}
 
@@ -250,6 +250,8 @@ func runAlgo(nw *wcdsnet.Network, algo, engine string, seed int64, phases bool) 
 		opts = append(opts, wcdsnet.Distributed())
 	case "async":
 		opts = append(opts, wcdsnet.Async(seed))
+	case "event":
+		opts = append(opts, wcdsnet.WithEngine(wcdsnet.EngineEvent))
 	default:
 		return wcdsnet.Result{}, nil, 0, 0, fmt.Errorf("unknown engine %q", engine)
 	}

@@ -75,6 +75,97 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+func TestWorkloadEngineNormalize(t *testing.T) {
+	norm := func(w Workload) (Workload, error) {
+		err := w.normalize(0)
+		return w, err
+	}
+	// Engine alone implies the matching distributed mode and vice versa.
+	for _, eng := range []string{"sync", "async", "event"} {
+		w, err := norm(Workload{Engine: eng})
+		if err != nil {
+			t.Fatalf("engine %q: %v", eng, err)
+		}
+		if w.Mode != eng || w.Engine != eng {
+			t.Errorf("engine %q normalized to mode=%q engine=%q", eng, w.Mode, w.Engine)
+		}
+		w, err = norm(Workload{Mode: eng})
+		if err != nil {
+			t.Fatalf("mode %q: %v", eng, err)
+		}
+		if w.Mode != eng || w.Engine != eng {
+			t.Errorf("mode %q normalized to mode=%q engine=%q", eng, w.Mode, w.Engine)
+		}
+	}
+	// Centralized keeps an empty engine; contradictions are rejected.
+	w, err := norm(Workload{})
+	if err != nil || w.Mode != "centralized" || w.Engine != "" {
+		t.Errorf("default workload normalized to mode=%q engine=%q (err %v)", w.Mode, w.Engine, err)
+	}
+	for _, bad := range []Workload{
+		{Mode: "centralized", Engine: "event"},
+		{Mode: "sync", Engine: "event"},
+		{Engine: "turbo"},
+	} {
+		if _, err := norm(bad); err == nil {
+			t.Errorf("accepted contradictory workload %+v", bad)
+		}
+	}
+	// The event engine's label matches the mode spelling, so sweeps name it.
+	w, _ = norm(Workload{Engine: "EVENT"})
+	if got := w.label(); got != "backbone-II-event" {
+		t.Errorf("event workload label %q", got)
+	}
+}
+
+// TestRunEventWorkloadMatchesSync: through the batch engine, an event-engine
+// Deferred backbone workload reports the same backbone as the sync workload
+// on every cell (schedule-independent), and its digest is stable.
+func TestRunEventWorkloadMatchesSync(t *testing.T) {
+	spec := func() *Spec {
+		return &Spec{
+			Sizes:   []int{30, 50},
+			Degrees: []float64{6},
+			Seeds:   []int64{1, 2},
+			Workloads: []Workload{
+				{Kind: Backbone, Algorithm: "II", Mode: "sync"},
+				{Kind: Backbone, Algorithm: "II", Engine: "event"},
+				{Kind: Backbone, Algorithm: "II", Engine: "event",
+					Faults: &simnet.FaultPlan{Seed: 4, DropRate: 0.2}, Reliable: true, MaxRounds: 4000},
+			},
+		}
+	}
+	ctx := context.Background()
+	rep, err := Run(ctx, spec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d scenarios failed", rep.Failed)
+	}
+	for i := 0; i < len(rep.Results); i += 3 {
+		sync, event, lossy := rep.Results[i], rep.Results[i+1], rep.Results[i+2]
+		if sync.Backbone != event.Backbone || sync.MIS != event.MIS {
+			t.Errorf("cell %d: event backbone %d/%d != sync %d/%d",
+				i/3, event.Backbone, event.MIS, sync.Backbone, sync.MIS)
+		}
+		if lossy.Backbone != sync.Backbone {
+			t.Errorf("cell %d: reliable lossy event backbone %d != sync %d",
+				i/3, lossy.Backbone, sync.Backbone)
+		}
+		if lossy.Retransmits == 0 {
+			t.Errorf("cell %d: lossy run reports no retransmissions", i/3)
+		}
+	}
+	again, err := Run(ctx, spec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest() != again.Digest() {
+		t.Errorf("event workload digest unstable:\n%s", firstDiff(rep.Canonical(), again.Canonical()))
+	}
+}
+
 // TestRunMatchesSerial is the engine's core contract: serial baseline,
 // 1-worker engine and N-worker engine must produce byte-identical
 // per-scenario results (canonical form, wall time excluded).

@@ -400,8 +400,12 @@ func fillBackbone(r *Result, nw *udg.Network, res wcds.Result) {
 // mid-flight; rec (when non-nil) collects the per-phase breakdown.
 func runnerFor(ctx context.Context, w *Workload, rec *obs.Spans) wcds.Runner {
 	opts := []simnet.Option{simnet.WithContext(ctx)}
-	async := w.Mode == "async"
-	if async {
+	eng, _ := simnet.ParseEngine(w.Engine)
+	// The async engine has always scrambled with the workload's seed (0 by
+	// default), so existing sweep digests are preserved; the event engine's
+	// native schedule is already deterministic and only scrambles when a
+	// seed is given explicitly.
+	if eng == simnet.EngineAsync || (eng == simnet.EngineEvent && w.ScheduleSeed != 0) {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(w.ScheduleSeed))))
 	}
 	if w.Faults != nil {
@@ -418,10 +422,7 @@ func runnerFor(ctx context.Context, w *Workload, rec *obs.Spans) wcds.Runner {
 		if rec != nil {
 			ropt.Observer, ropt.Phase = rec, wcds.PhaseOf
 		}
-		return wcds.ReliableRunner(async, ropt, opts...)
+		return wcds.ReliableRunner(eng, ropt, opts...)
 	}
-	if async {
-		return wcds.AsyncRunner(opts...)
-	}
-	return wcds.SyncRunner(opts...)
+	return wcds.EngineRunner(eng, opts...)
 }

@@ -58,12 +58,21 @@ type Workload struct {
 	Kind Kind `json:"kind,omitempty"`
 	// Algorithm is "I" or "II" (default "II"; Backbone and Dilation).
 	Algorithm string `json:"algorithm,omitempty"`
-	// Mode is "centralized" (default), "sync" or "async" (Backbone only).
+	// Mode is "centralized" (default), "sync", "async" or "event"
+	// (Backbone only). For distributed runs it is the same enum as Engine;
+	// setting either is enough, setting both to different values is an
+	// error.
 	Mode string `json:"mode,omitempty"`
+	// Engine selects the simulation engine of a distributed run: "sync",
+	// "async" or "event". Normalization keeps Mode and Engine equal for
+	// distributed workloads; "" with a centralized Mode stays "".
+	Engine string `json:"engine,omitempty"`
 	// Selection is "deferred" (default) or "eager" (distributed Algorithm
 	// II only).
 	Selection string `json:"selection,omitempty"`
-	// ScheduleSeed scrambles the async schedule (mode "async").
+	// ScheduleSeed scrambles the delivery schedule (engines "async" and
+	// "event"; the event engine scrambles only for a non-zero seed — its
+	// native schedule is already deterministic).
 	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
 	// Faults injects a fault plan into distributed backbone runs.
 	Faults *simnet.FaultPlan `json:"faults,omitempty"`
@@ -98,16 +107,37 @@ func (w *Workload) normalize(i int) error {
 	default:
 		return fmt.Errorf("batch: workload %d: unknown algorithm %q (want I or II)", i, w.Algorithm)
 	}
-	switch strings.ToLower(w.Mode) {
-	case "", "centralized":
-		w.Mode = "centralized"
-	case "sync":
-		w.Mode = "sync"
-	case "async":
-		w.Mode = "async"
+	mode := strings.ToLower(w.Mode)
+	switch mode {
+	case "", "centralized", "sync", "async", "event":
 	default:
-		return fmt.Errorf("batch: workload %d: unknown mode %q (want centralized, sync or async)", i, w.Mode)
+		return fmt.Errorf("batch: workload %d: unknown mode %q (want centralized, sync, async or event)", i, w.Mode)
 	}
+	engine := strings.ToLower(w.Engine)
+	switch engine {
+	case "", "sync", "async", "event":
+	default:
+		return fmt.Errorf("batch: workload %d: unknown engine %q (want sync, async or event)", i, w.Engine)
+	}
+	// Mode and Engine are one knob wearing two names (Mode predates the
+	// event engine and carries the extra "centralized" value): fill each
+	// from the other and reject contradictions.
+	switch {
+	case engine == "":
+		if mode == "" {
+			mode = "centralized"
+		}
+		if mode != "centralized" {
+			engine = mode
+		}
+	case mode == "":
+		mode = engine
+	case mode == "centralized":
+		return fmt.Errorf("batch: workload %d: engine %q contradicts centralized mode", i, w.Engine)
+	case mode != engine:
+		return fmt.Errorf("batch: workload %d: mode %q and engine %q disagree", i, w.Mode, w.Engine)
+	}
+	w.Mode, w.Engine = mode, engine
 	switch strings.ToLower(w.Selection) {
 	case "", "deferred":
 		w.Selection = "deferred"

@@ -280,7 +280,11 @@ func reliableAlgo2(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Res
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(plan.Seed))))
 	}
 	ropt := reliable.Options{MaxRetries: cfg.MaxRetries, Observer: rec, Phase: wcds.PhaseOf}
-	runner := wcds.ReliableRunner(cfg.Async, ropt, opts...)
+	eng := simnet.EngineSync
+	if cfg.Async {
+		eng = simnet.EngineAsync
+	}
+	runner := wcds.ReliableRunner(eng, ropt, opts...)
 	res, st, err := wcds.Algo2Distributed(nw.G, nw.ID, wcds.Deferred, runner)
 	return res, st, rec.Snapshot(), err
 }

@@ -30,6 +30,27 @@ func New(n int) *Graph {
 	return &Graph{adj: make([][]int, n)}
 }
 
+// NewWithDegrees returns an empty graph with len(deg) nodes whose adjacency
+// lists are pre-sized to the given per-node degree capacities, carved from
+// one contiguous arena. Bulk constructions that already know every node's
+// final degree (e.g. a counted two-pass build) avoid the per-node append
+// growth that dominates large-graph assembly; exceeding a node's hinted
+// capacity is safe but falls back to ordinary slice growth.
+func NewWithDegrees(deg []int) *Graph {
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	arena := make([]int, total)
+	adj := make([][]int, len(deg))
+	off := 0
+	for i, d := range deg {
+		adj[i] = arena[off : off : off+d]
+		off += d
+	}
+	return &Graph{adj: adj}
+}
+
 // FromEdges builds a graph with n nodes and the given edge list. Duplicate
 // and self-loop entries are rejected with an error, as are out-of-range
 // endpoints.

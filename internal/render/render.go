@@ -6,6 +6,7 @@
 package render
 
 import (
+	"encoding/xml"
 	"fmt"
 	"os"
 	"strings"
@@ -34,6 +35,11 @@ type Options struct {
 	// with level numbers instead when non-nil.
 	Labels bool
 	Levels []int
+	// LegendTitle and Legend draw a monospace annotation box in the
+	// top-left corner, one entry per line — cmd/render feeds it the
+	// per-phase cost table of the distributed run behind the figure.
+	LegendTitle string
+	Legend      []string
 }
 
 // SVG renders the network scene to an SVG document string.
@@ -132,7 +138,56 @@ func SVG(nw *udg.Network, opts Options) string {
 				x+r+2, y-r-2, 1.6*r, nw.ID[v])
 		}
 	}
+	if opts.LegendTitle != "" || len(opts.Legend) > 0 {
+		writeLegend(&b, opts, width)
+	}
 	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// writeLegend draws the annotation box: a translucent panel in the top-left
+// corner with the title bold and one monospace line per legend entry. Sized
+// from the longest line so phase tables of any width fit.
+func writeLegend(b *strings.Builder, opts Options, width int) {
+	const fontPx = 12.0
+	lineH := fontPx + 4
+	longest := len(opts.LegendTitle)
+	for _, line := range opts.Legend {
+		if len(line) > longest {
+			longest = len(line)
+		}
+	}
+	lines := len(opts.Legend)
+	if opts.LegendTitle != "" {
+		lines++
+	}
+	// 0.62em is a safe advance width for common monospace faces.
+	boxW := float64(longest)*fontPx*0.62 + 16
+	if maxW := float64(width) - 16; boxW > maxW {
+		boxW = maxW
+	}
+	boxH := float64(lines)*lineH + 12
+	fmt.Fprintf(b, `<rect x="8" y="8" width="%.1f" height="%.1f" fill="white" fill-opacity="0.85" stroke="#888888" rx="4"/>`+"\n",
+		boxW, boxH)
+	y := 8 + lineH
+	if opts.LegendTitle != "" {
+		fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="%.1f" font-family="monospace" font-weight="bold" fill="#111111">%s</text>`+"\n",
+			y, fontPx, escapeText(opts.LegendTitle))
+		y += lineH
+	}
+	for _, line := range opts.Legend {
+		fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="%.1f" font-family="monospace" xml:space="preserve" fill="#333333">%s</text>`+"\n",
+			y, fontPx, escapeText(line))
+		y += lineH
+	}
+}
+
+// escapeText makes a string safe as SVG text content.
+func escapeText(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return ""
+	}
 	return b.String()
 }
 

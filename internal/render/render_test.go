@@ -70,6 +70,35 @@ func TestSVGLevelsAndTree(t *testing.T) {
 	}
 }
 
+func TestSVGLegend(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nw, err := udg.GenConnectedAvgDegree(rng, 15, 6, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(nw, Options{
+		LegendTitle: "Algorithm II <event> & phases",
+		Legend: []string{
+			"  mis      msgs=42     deliveries=180    rounds=9",
+			"  recruit  msgs=15     deliveries=60     rounds=4",
+		},
+	})
+	wellFormed(t, svg) // the '<' and '&' in the title must be escaped
+	for _, want := range []string{"font-family=\"monospace\"", "mis", "recruit", "deliveries=180"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("legend output missing %q", want)
+		}
+	}
+	if !strings.Contains(svg, "&lt;event&gt; &amp; phases") {
+		t.Error("legend title not XML-escaped")
+	}
+	// No legend fields → no annotation panel.
+	plain := SVG(nw, Options{})
+	if strings.Contains(plain, "monospace") {
+		t.Error("legend panel drawn without legend options")
+	}
+}
+
 func TestSVGEmptyNetwork(t *testing.T) {
 	nw, err := udg.New(nil, nil, 1)
 	if err != nil {

@@ -33,8 +33,12 @@ const Version = "v1"
 // fault-tolerant session repair: POST /v1/session accepts faults, reliable,
 // maxRetries, maxRounds and async, and every per-epoch event on the delta
 // stream carries a repair field with the Converged/Degraded/Violated
-// outcome taxonomy plus retry and escalation counts.
-const SchemaVersion = 4
+// outcome taxonomy plus retry and escalation counts. Revision 5 added
+// engine selection: backbone, batch and session requests accept an engine
+// field ("sync", "async" or "event" — the million-node single-scheduler
+// engine), mode accepts "event", and backbone responses echo engine; the
+// session async flag remains as a deprecated alias for engine "async".
+const SchemaVersion = 5
 
 // Sentinel errors shared by the facade, the batch engine and the service
 // handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
 	"strings"
@@ -87,6 +88,105 @@ func TestCacheKeysDistinguishRequests(t *testing.T) {
 	d.Seed = 4
 	if d.CacheKey() == a.CacheKey() {
 		t.Fatal("seed not part of the cache key")
+	}
+}
+
+func TestNormalizeEngine(t *testing.T) {
+	cases := []struct {
+		mode, engine         string
+		wantMode, wantEngine string
+		wantErr              bool
+	}{
+		// Defaults and cross-fill in both directions.
+		{"", "", "centralized", "", false},
+		{"centralized", "", "centralized", "", false},
+		{"sync", "", "sync", "sync", false},
+		{"async", "", "async", "async", false},
+		{"event", "", "event", "event", false},
+		{"", "sync", "sync", "sync", false},
+		{"", "async", "async", "async", false},
+		{"", "event", "event", "event", false},
+		// Agreement and case-folding.
+		{"event", "event", "event", "event", false},
+		{"EVENT", "Event", "event", "event", false},
+		// Contradictions.
+		{"centralized", "event", "", "", true},
+		{"sync", "event", "", "", true},
+		{"async", "sync", "", "", true},
+		// Unknown values.
+		{"turbo", "", "", "", true},
+		{"", "turbo", "", "", true},
+	}
+	for _, c := range cases {
+		mode, engine, err := NormalizeEngine(c.mode, c.engine)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("NormalizeEngine(%q, %q) accepted, want error", c.mode, c.engine)
+			} else if !errors.Is(err, ErrInvalidInput) {
+				t.Errorf("NormalizeEngine(%q, %q) error does not wrap ErrInvalidInput: %v", c.mode, c.engine, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("NormalizeEngine(%q, %q): %v", c.mode, c.engine, err)
+			continue
+		}
+		if mode != c.wantMode || engine != c.wantEngine {
+			t.Errorf("NormalizeEngine(%q, %q) = (%q, %q), want (%q, %q)",
+				c.mode, c.engine, mode, engine, c.wantMode, c.wantEngine)
+		}
+	}
+}
+
+func TestBackboneEngineRoundTrip(t *testing.T) {
+	// engine alone implies the matching distributed mode, and the pair
+	// round-trips through JSON in normalized form.
+	req := BackboneRequest{NetworkSpec: NetworkSpec{N: 40, AvgDegree: 6, Seed: 3}, Engine: "Event"}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Mode != "event" || req.Engine != "event" {
+		t.Fatalf("normalized to mode=%q engine=%q, want event/event", req.Mode, req.Engine)
+	}
+	blob, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BackboneRequest
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode != "event" || back.Engine != "event" {
+		t.Fatalf("round-trip lost the engine: mode=%q engine=%q", back.Mode, back.Engine)
+	}
+	if back.CacheKey() != req.CacheKey() {
+		t.Fatal("round-tripped request hashes differently")
+	}
+
+	// The engine distinguishes cache keys: identical networks on different
+	// engines are different computations (stats differ even when the
+	// backbone agrees).
+	mk := func(engine string) string {
+		r := BackboneRequest{NetworkSpec: NetworkSpec{N: 40, AvgDegree: 6, Seed: 3}, Engine: engine}
+		if err := r.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return r.CacheKey()
+	}
+	if mk("sync") == mk("event") || mk("async") == mk("event") {
+		t.Fatal("engine not part of the backbone cache key")
+	}
+
+	// Mode "event" is the same request as engine "event".
+	viaMode := BackboneRequest{NetworkSpec: NetworkSpec{N: 40, AvgDegree: 6, Seed: 3}, Mode: "event"}
+	if err := viaMode.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if viaMode.CacheKey() != mk("event") {
+		t.Fatal("mode=event and engine=event hash differently")
 	}
 }
 

@@ -48,6 +48,62 @@ func TestSessionRequestNormalizeFaults(t *testing.T) {
 	}
 }
 
+func TestSessionRequestEngineAlias(t *testing.T) {
+	spec := NetworkSpec{N: 30, AvgDegree: 8, Seed: 1}
+	cases := []struct {
+		name       string
+		engine     string
+		async      bool
+		wantEngine string
+		wantAsync  bool
+		wantRepair simnet.Engine
+		wantErr    bool
+	}{
+		{"default", "", false, "", false, simnet.EngineSync, false},
+		{"engine sync", "sync", false, "sync", false, simnet.EngineSync, false},
+		{"engine event", "event", false, "event", false, simnet.EngineEvent, false},
+		{"case folded", "ASYNC", false, "async", true, simnet.EngineAsync, false},
+		{"legacy async", "", true, "async", true, simnet.EngineAsync, false},
+		{"async agrees", "async", true, "async", true, simnet.EngineAsync, false},
+		{"async contradicts", "event", true, "", false, simnet.EngineSync, true},
+		{"unknown", "turbo", false, "", false, simnet.EngineSync, true},
+	}
+	for _, c := range cases {
+		req := SessionRequest{NetworkSpec: spec, Engine: c.engine, Async: c.async}
+		err := req.Normalize(1000)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: accepted engine=%q async=%v", c.name, c.engine, c.async)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if req.Engine != c.wantEngine || req.Async != c.wantAsync {
+			t.Errorf("%s: normalized to engine=%q async=%v, want %q/%v",
+				c.name, req.Engine, req.Async, c.wantEngine, c.wantAsync)
+		}
+		if got := req.RepairEngine(); got != c.wantRepair {
+			t.Errorf("%s: RepairEngine() = %v, want %v", c.name, got, c.wantRepair)
+		}
+	}
+
+	// An engine request is fault-bearing on its own: it switches the session
+	// to distributed repair even without a fault plan.
+	req := SessionRequest{NetworkSpec: spec, Engine: "event"}
+	if err := req.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !req.FaultBearing() {
+		t.Error("engine-only request not fault-bearing")
+	}
+	if !strings.Contains(req.Canonical(), "eng=event") {
+		t.Errorf("canonical form omits the engine: %s", req.Canonical())
+	}
+}
+
 func TestSessionCanonicalIncludesRepairConfig(t *testing.T) {
 	a := SessionRequest{NetworkSpec: NetworkSpec{N: 30, AvgDegree: 8, Seed: 1}}
 	b := a

@@ -138,12 +138,20 @@ type BackboneRequest struct {
 	NetworkSpec
 	// Algorithm is "I" or "II" (default "II").
 	Algorithm string `json:"algorithm,omitempty"`
-	// Mode is "centralized" (default), "sync" or "async".
+	// Mode is "centralized" (default), "sync", "async" or "event". For
+	// distributed runs it is the same enum as Engine; setting either is
+	// enough, setting both to different values is rejected.
 	Mode string `json:"mode,omitempty"`
+	// Engine selects the simulation engine of a distributed run: "sync",
+	// "async" or "event" (the million-node single-scheduler engine).
+	// Normalization keeps Mode and Engine equal for distributed requests.
+	// Schema v5.
+	Engine string `json:"engine,omitempty"`
 	// Selection is Algorithm II's connector-selection mode: "deferred"
 	// (default, schedule-independent) or "eager".
 	Selection string `json:"selection,omitempty"`
-	// ScheduleSeed scrambles the async engine's schedule (mode "async").
+	// ScheduleSeed scrambles the delivery schedule (engines "async" and
+	// "event"; the event engine scrambles only for a non-zero seed).
 	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
 
 	// Faults injects the given fault plan into the distributed run
@@ -169,6 +177,7 @@ type BackboneResponse struct {
 	AvgDegree            float64 `json:"avgDegree"`
 	Algorithm            string  `json:"algorithm"`
 	Mode                 string  `json:"mode"`
+	Engine               string  `json:"engine,omitempty"`
 	Dominators           []int   `json:"dominators"`
 	MISDominators        []int   `json:"misDominators,omitempty"`
 	AdditionalDominators []int   `json:"additionalDominators,omitempty"`
@@ -202,6 +211,44 @@ type BackboneResponse struct {
 	Abandoned      int `json:"abandoned,omitempty"`
 }
 
+// NormalizeEngine canonicalises the paired mode/engine enums shared by the
+// backbone, batch and session surfaces (schema v5). Mode predates the
+// event engine and carries the extra "centralized" value; Engine names the
+// simulation engine of a distributed run. Either may be given — each is
+// filled from the other, contradictions are rejected, and the normalized
+// pair satisfies mode == engine for every distributed mode (engine is ""
+// exactly when mode is "centralized").
+func NormalizeEngine(mode, engine string) (string, string, error) {
+	mode = strings.ToLower(mode)
+	switch mode {
+	case "", "centralized", "sync", "async", "event":
+	default:
+		return "", "", Errorf("unknown mode %q (want centralized, sync, async or event)", mode)
+	}
+	engine = strings.ToLower(engine)
+	switch engine {
+	case "", "sync", "async", "event":
+	default:
+		return "", "", Errorf("unknown engine %q (want sync, async or event)", engine)
+	}
+	switch {
+	case engine == "":
+		if mode == "" {
+			mode = "centralized"
+		}
+		if mode != "centralized" {
+			engine = mode
+		}
+	case mode == "":
+		mode = engine
+	case mode == "centralized":
+		return "", "", Errorf("engine %q contradicts centralized mode", engine)
+	case mode != engine:
+		return "", "", Errorf("mode %q and engine %q disagree", mode, engine)
+	}
+	return mode, engine, nil
+}
+
 // Normalize canonicalises the request in place (default and case-fold the
 // enum fields) and validates the field combination.
 func (req *BackboneRequest) Normalize() error {
@@ -213,16 +260,11 @@ func (req *BackboneRequest) Normalize() error {
 	default:
 		return Errorf("unknown algorithm %q (want I or II)", req.Algorithm)
 	}
-	switch strings.ToLower(req.Mode) {
-	case "", "centralized":
-		req.Mode = "centralized"
-	case "sync":
-		req.Mode = "sync"
-	case "async":
-		req.Mode = "async"
-	default:
-		return Errorf("unknown mode %q (want centralized, sync or async)", req.Mode)
+	mode, engine, err := NormalizeEngine(req.Mode, req.Engine)
+	if err != nil {
+		return err
 	}
+	req.Mode, req.Engine = mode, engine
 	switch strings.ToLower(req.Selection) {
 	case "", "deferred":
 		req.Selection = "deferred"
@@ -236,7 +278,7 @@ func (req *BackboneRequest) Normalize() error {
 	}
 	faulty := req.Faults != nil || req.Reliable || req.MaxRetries != 0 || req.MaxRounds != 0
 	if faulty && req.Mode == "centralized" {
-		return Errorf("faults/reliable/maxRetries/maxRounds require mode sync or async")
+		return Errorf("faults/reliable/maxRetries/maxRounds require a distributed mode (sync, async or event)")
 	}
 	if req.MaxRetries < 0 {
 		return Errorf("maxRetries %d must be non-negative", req.MaxRetries)
@@ -262,7 +304,7 @@ func (req *BackboneRequest) Normalize() error {
 // describes.
 func (req *BackboneRequest) CacheKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "backbone|algo=%s|mode=%s|sel=%s|sched=%d|", req.Algorithm, req.Mode, req.Selection, req.ScheduleSeed)
+	fmt.Fprintf(&b, "backbone|algo=%s|mode=%s|eng=%s|sel=%s|sched=%d|", req.Algorithm, req.Mode, req.Engine, req.Selection, req.ScheduleSeed)
 	fmt.Fprintf(&b, "rel=%v,retries=%d,rounds=%d|", req.Reliable, req.MaxRetries, req.MaxRounds)
 	if req.Faults != nil {
 		// FaultPlan marshals deterministically (fixed field order, omitempty),

@@ -125,6 +125,7 @@ func (s *Service) computeBackbone(ctx context.Context, req *BackboneRequest) (*B
 		AvgDegree:      nw.G.AvgDegree(),
 		Algorithm:      req.Algorithm,
 		Mode:           req.Mode,
+		Engine:         req.Engine,
 		Messages:       st.Messages,
 		Rounds:         st.Rounds,
 		Ticks:          st.Ticks,
@@ -176,8 +177,12 @@ func runnerFor(ctx context.Context, req *BackboneRequest) (wcds.Runner, *obs.Spa
 	}
 	rec := obs.NewSpans()
 	opts := []simnet.Option{simnet.WithContext(ctx), wcds.ObserveOption(rec)}
-	async := req.Mode == "async"
-	if async {
+	eng, _ := simnet.ParseEngine(req.Engine)
+	// The async engine has always scrambled with the request's seed (0 by
+	// default), so existing cache keys keep their meaning; the event
+	// engine's native schedule is deterministic and scrambles only when a
+	// seed is given explicitly.
+	if eng == simnet.EngineAsync || (eng == simnet.EngineEvent && req.ScheduleSeed != 0) {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(req.ScheduleSeed))))
 	}
 	if req.Faults != nil {
@@ -188,12 +193,9 @@ func runnerFor(ctx context.Context, req *BackboneRequest) (wcds.Runner, *obs.Spa
 	}
 	if req.Reliable {
 		ropt := reliable.Options{MaxRetries: req.MaxRetries, Observer: rec, Phase: wcds.PhaseOf}
-		return wcds.ReliableRunner(async, ropt, opts...), rec
+		return wcds.ReliableRunner(eng, ropt, opts...), rec
 	}
-	if async {
-		return wcds.AsyncRunner(opts...), rec
-	}
-	return wcds.SyncRunner(opts...), rec
+	return wcds.EngineRunner(eng, opts...), rec
 }
 
 func selectionFor(sel string) wcds.SelectionMode {

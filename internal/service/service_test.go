@@ -89,6 +89,62 @@ func toInts(t *testing.T, v any) []int {
 	return out
 }
 
+// TestBackboneEngineField drives the schema-v5 engine field over the wire:
+// an event-engine run answers with the engine echoed, the same backbone as
+// sync, and a distinct cache entry; contradictions are 400s.
+func TestBackboneEngineField(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	scenario := map[string]any{"seed": 9, "n": 120, "avgDegree": 8}
+	post := func(extra map[string]any) (*http.Response, map[string]any) {
+		req := map[string]any{}
+		for k, v := range scenario {
+			req[k] = v
+		}
+		for k, v := range extra {
+			req[k] = v
+		}
+		return postJSON(t, ts.URL+"/v1/backbone", req)
+	}
+
+	resp, viaSync := post(map[string]any{"mode": "sync"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync: status %d: %v", resp.StatusCode, viaSync)
+	}
+	resp, viaEvent := post(map[string]any{"engine": "event"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("event: status %d: %v", resp.StatusCode, viaEvent)
+	}
+	if viaEvent["engine"] != "event" || viaEvent["mode"] != "event" {
+		t.Errorf("response does not echo the normalized engine: mode=%v engine=%v",
+			viaEvent["mode"], viaEvent["engine"])
+	}
+	if viaEvent["schema"] != float64(5) {
+		t.Errorf("schema %v, want 5", viaEvent["schema"])
+	}
+	if !reflect.DeepEqual(toInts(t, viaEvent["dominators"]), toInts(t, viaSync["dominators"])) {
+		t.Errorf("event engine backbone diverges from sync on the same scenario")
+	}
+	if viaEvent["cached"] != false {
+		t.Errorf("event request hit the sync run's cache entry")
+	}
+	resp, again := post(map[string]any{"mode": "event"})
+	if resp.StatusCode != http.StatusOK || again["cached"] != true {
+		t.Errorf("mode=event did not hit the engine=event cache entry: %d %v",
+			resp.StatusCode, again["cached"])
+	}
+
+	for _, bad := range []map[string]any{
+		{"engine": "turbo"},
+		{"mode": "centralized", "engine": "event"},
+		{"mode": "sync", "engine": "event"},
+	} {
+		resp, body := post(bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400 (%v)", bad, resp.StatusCode, body)
+		}
+	}
+}
+
 func TestBackboneCacheHitOnRepeat(t *testing.T) {
 	svc, ts := newTestService(t, Options{})
 	req := map[string]any{"seed": 7, "n": 80, "avgDegree": 6}

@@ -68,7 +68,7 @@ func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			IdleTimeout: idle,
 		}
 		if req.FaultBearing() {
-			// Schema v4: any repair field switches the session to
+			// Schema v4/v5: any repair field switches the session to
 			// distributed epoch repair through the escalation ladder.
 			cfg.Repair = maintain.RepairPolicy{
 				Distributed: true,
@@ -76,7 +76,7 @@ func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 				Reliable:    req.Reliable,
 				MaxRetries:  req.MaxRetries,
 				MaxRounds:   req.MaxRounds,
-				Async:       req.Async,
+				Engine:      req.RepairEngine(),
 			}
 		}
 		sess, err := s.sessions.Open(nw, cfg)

@@ -51,8 +51,9 @@ func cancelCases() []cancelCase {
 }
 
 // Cancellation property: whenever a run is cancelled — at a random point,
-// on either engine, message- or tick-driven — it returns promptly with an
-// error wrapping context.Canceled, and it leaks no goroutines. Runs under
+// on any of the three engines, message- or tick-driven — it returns
+// promptly with an error wrapping context.Canceled, and it leaks no
+// goroutines (the event engine spawns none to begin with). Runs under
 // -race in CI.
 func TestCancelAtRandomPointReturnsPromptlyWithoutLeaks(t *testing.T) {
 	const n = 10
@@ -62,7 +63,7 @@ func TestCancelAtRandomPointReturnsPromptlyWithoutLeaks(t *testing.T) {
 
 	for iter := 0; iter < 24; iter++ {
 		for _, c := range cancelCases() {
-			for _, async := range []bool{false, true} {
+			for _, eng := range []Engine{EngineSync, EngineAsync, EngineEvent} {
 				ctx, cancel := context.WithCancel(context.Background())
 				// A random cancel point, from "before the first round" to
 				// "deep inside the run".
@@ -73,27 +74,22 @@ func TestCancelAtRandomPointReturnsPromptlyWithoutLeaks(t *testing.T) {
 				// context can end these runs.
 				opts := []Option{WithContext(ctx), WithMaxRounds(1 << 30)}
 				start := time.Now()
-				var err error
-				if async {
-					_, err = RunAsync(g, c.procs(n), opts...)
-				} else {
-					_, err = RunSync(g, c.procs(n), opts...)
-				}
+				_, err := eng.Run(g, c.procs(n), opts...)
 				elapsed := time.Since(start)
 				timer.Stop()
 				cancel()
 
 				if err == nil {
-					t.Fatalf("%s async=%v delay=%v: non-terminating run reported success", c.name, async, delay)
+					t.Fatalf("%s engine=%v delay=%v: non-terminating run reported success", c.name, eng, delay)
 				}
 				if !errors.Is(err, context.Canceled) {
-					t.Fatalf("%s async=%v delay=%v: error does not wrap context.Canceled: %v", c.name, async, delay, err)
+					t.Fatalf("%s engine=%v delay=%v: error does not wrap context.Canceled: %v", c.name, eng, delay, err)
 				}
 				// "Within one round" in wall-clock terms: a round here is
 				// microseconds, so whole seconds of overrun would mean the
 				// engine ignored the context until some unrelated exit.
 				if overrun := elapsed - delay; overrun > 5*time.Second {
-					t.Fatalf("%s async=%v: cancellation took %v past the cancel point", c.name, async, overrun)
+					t.Fatalf("%s engine=%v: cancellation took %v past the cancel point", c.name, eng, overrun)
 				}
 			}
 		}

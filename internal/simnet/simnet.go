@@ -3,7 +3,7 @@
 //
 // A protocol is a set of per-node state machines (Proc). The kernel wires
 // them over the links of a unit-disk graph and delivers messages with one
-// of two engines:
+// of three engines (see also the Engine enum):
 //
 //   - RunSync: a deterministic synchronous-round engine. All messages sent
 //     in round r are delivered in round r+1 (plus any injected delay), in a
@@ -13,10 +13,14 @@
 //     the fully asynchronous event-driven model the paper describes.
 //     Termination is detected with an activity counter (messages in flight
 //     plus handlers still running).
+//   - RunEvent: the same asynchronous model on a single-scheduler
+//     event-driven core — one goroutine draining a pooled transmission
+//     queue, struct-of-arrays node state, near-zero steady-state
+//     allocations. It is the engine that makes million-node runs feasible.
 //
-// Both engines run the identical Proc code, so every protocol in this
+// All engines run the identical Proc code, so every protocol in this
 // repository can be checked for schedule independence by running it under
-// both engines (and under randomized schedules via WithScramble).
+// each engine (and under randomized schedules via WithScramble).
 //
 // The kernel also carries a composable fault model (see faults.go): loss,
 // duplication, delay, reordering, node crash/restart, partitions and link
@@ -351,8 +355,9 @@ type envelope struct {
 	payload any
 	seq     int  // global send sequence, for deterministic ordering
 	sentAt  int  // logical send time, for scheduled-fault checks
-	lam     int  // async engine: Lamport stamp (sender clock + 1)
+	lam     int  // async/event engines: Lamport stamp (sender clock + 1)
 	tick    bool // async engine: a tick-pass token, not a message
+	sampled bool // event engine: fault fate already drawn, deliver as-is
 }
 
 // envBatchPool recycles the per-round delivery batches of the synchronous

@@ -66,9 +66,8 @@ func New(pos []geom.Point, ids []int, radius float64) (*Network, error) {
 // reuse the same buffers instead of re-allocating them per call. The pooled
 // dense-grid path and the sparse map fallback produce identical graphs.
 func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
-	g := graph.New(len(pos))
 	if len(pos) == 0 {
-		return g
+		return graph.New(0)
 	}
 	minX, minY := pos[0].X, pos[0].Y
 	maxX, maxY := minX, minY
@@ -84,6 +83,7 @@ func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
 	// degenerate extent) would waste memory on an almost-empty dense grid;
 	// hash cells instead. Generated topologies always take the dense path.
 	if !(colsF >= 1 && rowsF >= 1) || colsF*rowsF > 8*float64(len(pos))+1024 {
+		g := graph.New(len(pos))
 		buildGraphSparse(g, pos, radius)
 		g.SortAdjacency()
 		return g
@@ -111,6 +111,13 @@ func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
 		order[start[c]+fill[c]] = int32(i)
 		fill[c]++
 	}
+	// Distance pass: record each accepted pair once (j > i over disjoint
+	// cells) into the pooled flat edge buffer, counting degrees as we go.
+	// Filling a degree-counted graph afterwards replaces millions of
+	// adjacency-slice growth steps with stores into one pre-sized arena,
+	// which at million-node scale halves construction time.
+	edges := sc.edges[:0]
+	deg := make([]int, len(pos))
 	r2 := radius * radius
 	for i, p := range pos {
 		c := cellOf(p)
@@ -132,14 +139,20 @@ func BuildGraph(pos []geom.Point, radius float64) *graph.Graph {
 						continue
 					}
 					if p.Dist2(pos[j]) <= r2 {
-						// Each pair is visited once (j > i over disjoint
-						// cells), so the unchecked insert is safe.
-						g.AddEdgeUnchecked(i, j)
+						edges = append(edges, int64(i)<<32|int64(j))
+						deg[i]++
+						deg[j]++
 					}
 				}
 			}
 		}
 	}
+	g := graph.NewWithDegrees(deg)
+	for _, e := range edges {
+		// Each pair was visited once, so the unchecked insert is safe.
+		g.AddEdgeUnchecked(int(e>>32), int(e&0xffffffff))
+	}
+	sc.edges = edges
 	gridPool.Put(sc)
 	g.SortAdjacency()
 	return g
@@ -150,6 +163,7 @@ type gridScratch struct {
 	start []int32
 	fill  []int32
 	order []int32
+	edges []int64 // accepted pairs, packed (i<<32 | j)
 }
 
 var gridPool = sync.Pool{New: func() any { return &gridScratch{} }}
@@ -243,13 +257,65 @@ func SideForAvgDegree(n int, targetDeg float64) float64 {
 	return math.Sqrt(float64(n-1) * math.Pi / targetDeg)
 }
 
+// sortByCell permutes pos into row-major order of the radius-sized grid
+// cells BuildGraph bins nodes into, keeping insertion order within a cell.
+// The multiset of positions — the geometry — is unchanged; only the
+// arbitrary node numbering becomes spatially coherent, so a node's radio
+// neighbours sit near it in every per-node array. At million-node scale
+// that locality is what keeps the event engine's delivery loop out of
+// DRAM: protocol waves sweep the scene cell by cell instead of jumping
+// across a working set of hundreds of megabytes. Only generators renumber —
+// indices are theirs to assign; New never reorders caller positions.
+func sortByCell(pos []geom.Point, radius float64) {
+	if len(pos) == 0 {
+		return
+	}
+	minX, minY := pos[0].X, pos[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pos[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	colsF := math.Floor((maxX-minX)/radius) + 1
+	rowsF := math.Floor((maxY-minY)/radius) + 1
+	if !(colsF >= 1 && rowsF >= 1) || colsF*rowsF > 8*float64(len(pos))+1024 {
+		return // degenerate or sparse extent: the dense grid (and the win) vanish
+	}
+	cols := int(colsF)
+	nCells := cols * int(rowsF)
+	cellOf := func(p geom.Point) int {
+		return int((p.Y-minY)/radius)*cols + int((p.X-minX)/radius)
+	}
+	start := make([]int32, nCells+1)
+	for _, p := range pos {
+		start[cellOf(p)+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		start[c+1] += start[c]
+	}
+	out := make([]geom.Point, len(pos))
+	for _, p := range pos {
+		c := cellOf(p)
+		out[start[c]] = p
+		start[c]++
+	}
+	copy(pos, out)
+}
+
 // GenUniform places n nodes uniformly at random in the square [0,side]²
-// with unit radio radius and random IDs.
+// with unit radio radius and random IDs. Node indices run in cell-major
+// spatial order (deterministic for a given rng state; see sortByCell);
+// protocol IDs remain an independent random permutation, so the index
+// order is pure simulation bookkeeping and never leaks into the
+// algorithms' symmetry breaking.
 func GenUniform(rng *rand.Rand, n int, side float64) *Network {
 	pos := make([]geom.Point, n)
 	for i := range pos {
 		pos[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
 	}
+	sortByCell(pos, 1)
 	nw, err := New(pos, RandomIDs(rng, n), 1)
 	if err != nil {
 		// Unreachable: generated inputs are always valid.

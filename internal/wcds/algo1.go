@@ -167,6 +167,23 @@ func AsyncRunner(opts ...simnet.Option) Runner {
 	}
 }
 
+// EventRunner runs protocols on the event-driven single-scheduler engine —
+// the asynchronous model at million-node scale.
+func EventRunner(opts ...simnet.Option) Runner {
+	return func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
+		return simnet.RunEvent(g, procs, opts...)
+	}
+}
+
+// EngineRunner runs protocols on the named engine; it is the generic form
+// of SyncRunner/AsyncRunner/EventRunner for callers holding a
+// simnet.Engine value.
+func EngineRunner(eng simnet.Engine, opts ...simnet.Option) Runner {
+	return func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
+		return eng.Run(g, procs, opts...)
+	}
+}
+
 // Levels extracts the spanning-tree level of every node after a distributed
 // Algorithm I run — exposed for tests that compare the distributed marking
 // with the centralized greedy over the same ranking.

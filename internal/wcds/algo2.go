@@ -53,52 +53,89 @@ type (
 	AdditionalDomMsg struct{ V, U, X, W int }
 )
 
+// domVia is one 2HopDomList entry in a node's working state: a dominator ID
+// and the minimum intermediate (via) ID that reaches it. The lists are tiny
+// — Lemma 1 bounds adjacent dominators at five, and a constant-size disk
+// packing bounds the 2-hop set — so they live in small linear-scanned slices
+// instead of maps; at million-node scale the per-delivery map overhead used
+// to dominate the protocol's CPU profile.
+type domVia struct{ dom, via int }
+
+// algo2Shared is the run-wide read-only ID knowledge every fast-path proc
+// points at: one slice header set for the whole run instead of per-node
+// copies, which keeps the per-proc struct small enough that a delivery's
+// counter updates usually touch a single cache line (the structs are hit in
+// random order at million-node scale, so resident size is the profile).
+type algo2Shared struct {
+	ids    []int   // node index -> protocol ID
+	nodeOf []int32 // protocol ID -> node index; non-nil only for dense permutation IDs
+}
+
 // algo2Proc is one node of distributed Algorithm II. It holds only the
-// 1-hop knowledge the paper assumes: its own ID plus its neighbours' IDs
-// (supplied up front, or learned via the HELLO phase of the zero-knowledge
-// pipeline).
+// 1-hop knowledge the paper assumes: its own ID plus its neighbours' IDs.
+// That knowledge arrives one of two ways, and the representation differs:
+//
+//   - Fast path (Algo2DistributedDetailed): shared points at the caller's
+//     ID table, so neighbour-ID lookups are array indexing and the proc
+//     allocates no per-node maps up front.
+//   - Zero-knowledge path (Algo2ZeroKnowledge): shared is nil and nbrIDs is
+//     filled incrementally by HELLO beacons before wire runs.
+//
+// Field order is deliberate: the per-delivery counters and colour state
+// lead so the hot handlers stay within the first cache line.
 type algo2Proc struct {
 	ownID  int
-	nbrIDs map[int]int // neighbour node index -> protocol ID
-	mode   SelectionMode
+	shared *algo2Shared
 
+	deg           int32 // cached ctx.Degree(), set by wire
+	lowerCount    int32 // neighbours with lower ID
+	grayLowerRecv int32
+	colorsRecv    int32 // colour announcements received (one per neighbour)
+	grayNbrs      int32 // neighbours known gray
+	oneHopRecv    int32
+	twoHopRecv    int32
+
+	mode       SelectionMode
 	color      color
 	additional bool
-	idToNbr    map[int]int // neighbour protocol ID -> node index
-
-	lowerCount    int // neighbours with lower ID
-	grayLowerRecv int
-
-	colorsRecv int // colour announcements received (one per neighbour)
-	grayNbrs   int // neighbours known gray
-	oneHopRecv int
-	twoHopRecv int
-
-	oneHopDoms map[int]bool     // adjacent dominator IDs
-	twoHopDoms map[int]int      // dominator ID -> minimum via-ID
-	threeHop   map[int][2]int   // dominator ID -> (first, second) intermediate IDs
-	candidates map[int][][2]int // deferred mode: target W -> candidate (v, x) pairs
-
 	sentOneHop bool
 	sentTwoHop bool
 	selected   bool
+
+	oneHopDoms []int    // adjacent dominator IDs (deduped, unordered)
+	twoHopDoms []domVia // dominator ID -> minimum via-ID (deduped, unordered)
+
+	threeHop   map[int][2]int   // dominator ID -> (first, second) intermediate IDs; lazy
+	candidates map[int][][2]int // deferred mode: target W -> candidate (v, x) pairs; lazy
+	nbrIDs     map[int]int      // neighbour node index -> protocol ID (discovery path)
+	idToNbr    map[int]int      // neighbour protocol ID -> node index (discovery path)
 }
 
+// newAlgo2Proc builds a proc for the zero-knowledge pipeline, which fills
+// nbrIDs via setNeighborID. The fast path constructs the struct directly
+// with shared set and no maps at all (threeHop and candidates are allocated
+// lazily — only ~the dominator fraction of nodes ever writes them).
 func newAlgo2Proc(ownID int, mode SelectionMode) *algo2Proc {
 	return &algo2Proc{
-		ownID:      ownID,
-		mode:       mode,
-		nbrIDs:     make(map[int]int),
-		oneHopDoms: make(map[int]bool),
-		twoHopDoms: make(map[int]int),
-		threeHop:   make(map[int][2]int),
-		candidates: make(map[int][][2]int),
+		ownID:  ownID,
+		mode:   mode,
+		nbrIDs: make(map[int]int),
 	}
 }
 
-// idOf maps a neighbour's node index to its protocol ID; it panics on a
-// non-neighbour because that would be a kernel-level bug.
+// idOf maps a neighbour's node index to its protocol ID. The kernel only
+// delivers along edges, so the fast path indexes the shared table directly
+// (and stays small enough to inline into the per-delivery handlers); the
+// discovery path keeps the defensive panic on a non-neighbour because there
+// the map genuinely encodes who the neighbours are.
 func (p *algo2Proc) idOf(from int) int {
+	if s := p.shared; s != nil {
+		return s.ids[from]
+	}
+	return p.discoveredIDOf(from)
+}
+
+func (p *algo2Proc) discoveredIDOf(from int) int {
 	id, ok := p.nbrIDs[from]
 	if !ok {
 		panic(fmt.Sprintf("wcds: message from unknown neighbour %d", from))
@@ -106,16 +143,107 @@ func (p *algo2Proc) idOf(from int) int {
 	return id
 }
 
-// wire finalises the 1-hop knowledge (nbrIDs must be complete) and fires
-// the initial MIS rule: "each node which has the lowest ID among all its
-// white neighbours colours itself black" — initially everyone is white, so
-// the rule fires exactly at local ID minima.
+// nbrOf is the reverse lookup: a neighbour's protocol ID to its node index.
+// With dense permutation IDs (the udg.RandomIDs case) it is one shared-table
+// load; otherwise the fast path scans the adjacency list (constant expected
+// degree in a UDG) and the discovery path uses the idToNbr map built by
+// wire. Callers send to the result, and Context.Send still panics on a
+// non-neighbour, so the defensive neighbour check survives all paths.
+func (p *algo2Proc) nbrOf(ctx *simnet.Context, id int) (int, bool) {
+	if s := p.shared; s != nil {
+		if s.nodeOf != nil {
+			return int(s.nodeOf[id]), true
+		}
+		for _, w := range ctx.Neighbors() {
+			if s.ids[w] == id {
+				return w, true
+			}
+		}
+		return 0, false
+	}
+	w, ok := p.idToNbr[id]
+	return w, ok
+}
+
+// hasOneHopDom reports whether id is a known adjacent dominator.
+func (p *algo2Proc) hasOneHopDom(id int) bool {
+	for _, d := range p.oneHopDoms {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// addOneHopDom records an adjacent dominator, deduplicating. The first
+// insert sizes the slice for Lemma 1's five-dominator packing bound (plus
+// slack for additional dominators that join later) so the common case never
+// regrows.
+func (p *algo2Proc) addOneHopDom(id int) {
+	if p.hasOneHopDom(id) {
+		return
+	}
+	if p.oneHopDoms == nil {
+		p.oneHopDoms = make([]int, 0, 8)
+	}
+	p.oneHopDoms = append(p.oneHopDoms, id)
+}
+
+// foldTwoHop records that dominator dom is reachable through via, keeping
+// the minimum via-ID (the canonical 2HopDomList entry).
+func (p *algo2Proc) foldTwoHop(dom, via int) {
+	for i := range p.twoHopDoms {
+		if p.twoHopDoms[i].dom == dom {
+			if via < p.twoHopDoms[i].via {
+				p.twoHopDoms[i].via = via
+			}
+			return
+		}
+	}
+	if p.twoHopDoms == nil {
+		p.twoHopDoms = make([]domVia, 0, 16)
+	}
+	p.twoHopDoms = append(p.twoHopDoms, domVia{dom: dom, via: via})
+}
+
+// hasTwoHop reports whether dom appears in the 2HopDomList.
+func (p *algo2Proc) hasTwoHop(dom int) bool {
+	for i := range p.twoHopDoms {
+		if p.twoHopDoms[i].dom == dom {
+			return true
+		}
+	}
+	return false
+}
+
+// setThreeHop records a three-hop connector path, allocating the map on
+// first use.
+func (p *algo2Proc) setThreeHop(dom int, pair [2]int) {
+	if p.threeHop == nil {
+		p.threeHop = make(map[int][2]int)
+	}
+	p.threeHop[dom] = pair
+}
+
+// wire finalises the 1-hop knowledge (nbrIDs must be complete on the
+// discovery path) and fires the initial MIS rule: "each node which has the
+// lowest ID among all its white neighbours colours itself black" — initially
+// everyone is white, so the rule fires exactly at local ID minima.
 func (p *algo2Proc) wire(ctx *simnet.Context) {
-	p.idToNbr = make(map[int]int, len(p.nbrIDs))
-	for w, id := range p.nbrIDs {
-		p.idToNbr[id] = w
-		if id < p.ownID {
-			p.lowerCount++
+	p.deg = int32(ctx.Degree())
+	if s := p.shared; s != nil {
+		for _, w := range ctx.Neighbors() {
+			if s.ids[w] < p.ownID {
+				p.lowerCount++
+			}
+		}
+	} else {
+		p.idToNbr = make(map[int]int, len(p.nbrIDs))
+		for w, id := range p.nbrIDs {
+			p.idToNbr[id] = w
+			if id < p.ownID {
+				p.lowerCount++
+			}
 		}
 	}
 	if p.lowerCount == 0 {
@@ -142,7 +270,7 @@ func (p *algo2Proc) Recv(ctx *simnet.Context, from int, payload any) {
 	switch m := payload.(type) {
 	case MISDominatorMsg:
 		p.colorsRecv++
-		p.oneHopDoms[p.idOf(from)] = true
+		p.addOneHopDom(p.idOf(from))
 		if p.color == white {
 			p.color = gray
 			ctx.Broadcast(GrayMsg{})
@@ -189,9 +317,7 @@ func (p *algo2Proc) recordOneHopReport(ctx *simnet.Context, from int, m OneHopDo
 		if dom == me {
 			continue // "different from its own ID"
 		}
-		if cur, ok := p.twoHopDoms[dom]; !ok || via < cur {
-			p.twoHopDoms[dom] = via
-		}
+		p.foldTwoHop(dom, via)
 	}
 	if p.mode == Eager && p.color == black {
 		// Paper's removal rule: a dominator that learns a target is
@@ -213,15 +339,18 @@ func (p *algo2Proc) recordTwoHopReport(ctx *simnet.Context, from int, m TwoHopDo
 		}
 		switch p.mode {
 		case Deferred:
+			if p.candidates == nil {
+				p.candidates = make(map[int][][2]int)
+			}
 			p.candidates[e.Dom] = append(p.candidates[e.Dom], [2]int{v, e.Via})
 		case Eager:
-			if _, twoHop := p.twoHopDoms[e.Dom]; twoHop {
+			if p.hasTwoHop(e.Dom) {
 				continue
 			}
 			if _, done := p.threeHop[e.Dom]; done {
 				continue
 			}
-			p.threeHop[e.Dom] = [2]int{v, e.Via}
+			p.setThreeHop(e.Dom, [2]int{v, e.Via})
 			ctx.Send(from, SelectionMsg{U: me, W: e.Dom, X: e.Via})
 		}
 	}
@@ -233,11 +362,11 @@ func (p *algo2Proc) handleAdditionalDom(ctx *simnet.Context, from int, m Additio
 	case m.V:
 		// Direct announcement from the new dominator: it is now an
 		// adjacent dominator of ours.
-		p.oneHopDoms[m.V] = true
+		p.addOneHopDom(m.V)
 		if m.X == me {
 			// We are the named second intermediate: relay to the far
 			// dominator W, which is our neighbour by construction.
-			w, ok := p.idToNbr[m.W]
+			w, ok := p.nbrOf(ctx, m.W)
 			if !ok {
 				panic(fmt.Sprintf("wcds: node %d asked to relay to non-neighbour ID %d", ctx.Node(), m.W))
 			}
@@ -246,13 +375,19 @@ func (p *algo2Proc) handleAdditionalDom(ctx *simnet.Context, from int, m Additio
 	case m.X:
 		if m.W == me {
 			// Forwarded copy: record the reverse path to dominator U.
-			p.threeHop[m.U] = [2]int{m.X, m.V}
+			p.setThreeHop(m.U, [2]int{m.X, m.V})
 		}
 	}
 }
 
-// runChecks re-evaluates every counter-guarded transition.
+// runChecks re-evaluates every counter-guarded transition. Every transition
+// requires a colour announcement from each neighbour, so the common early
+// case (still collecting colours) is a single compare — this runs on every
+// delivery, which at million-node scale is tens of millions of calls.
 func (p *algo2Proc) runChecks(ctx *simnet.Context) {
+	if p.colorsRecv != p.deg {
+		return
+	}
 	p.maybeSendOneHop(ctx)
 	p.maybeSendTwoHop(ctx)
 	p.maybeSelect(ctx)
@@ -261,14 +396,12 @@ func (p *algo2Proc) runChecks(ctx *simnet.Context) {
 // maybeSendOneHop: a gray node that has heard a colour announcement from
 // every neighbour broadcasts its 1HopDomList.
 func (p *algo2Proc) maybeSendOneHop(ctx *simnet.Context) {
-	if p.color != gray || p.sentOneHop || p.colorsRecv != ctx.Degree() {
+	if p.color != gray || p.sentOneHop || p.colorsRecv != p.deg {
 		return
 	}
 	p.sentOneHop = true
-	doms := make([]int, 0, len(p.oneHopDoms))
-	for dom := range p.oneHopDoms {
-		doms = append(doms, dom)
-	}
+	doms := make([]int, len(p.oneHopDoms))
+	copy(doms, p.oneHopDoms)
 	sort.Ints(doms)
 	ctx.Broadcast(OneHopDomsMsg{Doms: doms})
 }
@@ -277,16 +410,16 @@ func (p *algo2Proc) maybeSendOneHop(ctx *simnet.Context) {
 // neighbour broadcasts its 2HopDomList, excluding dominators it is itself
 // adjacent to.
 func (p *algo2Proc) maybeSendTwoHop(ctx *simnet.Context) {
-	if p.color != gray || p.sentTwoHop || !p.sentOneHop || p.colorsRecv != ctx.Degree() || p.oneHopRecv != p.grayNbrs {
+	if p.color != gray || p.sentTwoHop || !p.sentOneHop || p.colorsRecv != p.deg || p.oneHopRecv != p.grayNbrs {
 		return
 	}
 	p.sentTwoHop = true
 	entries := make([]TwoHopEntry, 0, len(p.twoHopDoms))
-	for dom, via := range p.twoHopDoms {
-		if p.oneHopDoms[dom] {
+	for _, e := range p.twoHopDoms {
+		if p.hasOneHopDom(e.dom) {
 			continue
 		}
-		entries = append(entries, TwoHopEntry{Dom: dom, Via: via})
+		entries = append(entries, TwoHopEntry{Dom: e.dom, Via: e.via})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Dom < entries[j].Dom })
 	ctx.Broadcast(TwoHopDomsMsg{Entries: entries})
@@ -299,8 +432,7 @@ func (p *algo2Proc) maybeSelect(ctx *simnet.Context) {
 	if p.mode != Deferred || p.color != black || p.selected {
 		return
 	}
-	deg := ctx.Degree()
-	if p.colorsRecv != deg || p.oneHopRecv != deg || p.twoHopRecv != deg {
+	if p.colorsRecv != p.deg || p.oneHopRecv != p.deg || p.twoHopRecv != p.deg {
 		return
 	}
 	p.selected = true
@@ -311,7 +443,7 @@ func (p *algo2Proc) maybeSelect(ctx *simnet.Context) {
 	sort.Ints(targets)
 	me := p.ownID
 	for _, w := range targets {
-		if _, twoHop := p.twoHopDoms[w]; twoHop {
+		if p.hasTwoHop(w) {
 			continue // actually reachable in two hops; no connector needed
 		}
 		best := p.candidates[w][0]
@@ -320,9 +452,9 @@ func (p *algo2Proc) maybeSelect(ctx *simnet.Context) {
 				best = c
 			}
 		}
-		p.threeHop[w] = best
+		p.setThreeHop(w, best)
 		p.candidates[w] = nil
-		v, ok := p.idToNbr[best[0]]
+		v, ok := p.nbrOf(ctx, best[0])
 		if !ok {
 			panic(fmt.Sprintf("wcds: node %d selected non-neighbour ID %d", ctx.Node(), best[0]))
 		}
@@ -351,35 +483,61 @@ type Tables struct {
 
 // Algo2Distributed runs the full Algorithm II protocol and returns the
 // WCDS (MIS dominators plus additional dominators), the run cost, and any
-// engine error. The graph must be connected and ids unique.
+// engine error. The graph must be connected and ids unique. Unlike the
+// Detailed variant it never materialises per-node Tables, which matters at
+// million-node scale (two maps per node, all immediately garbage).
 func Algo2Distributed(g *graph.Graph, ids []int, mode SelectionMode, run Runner) (Result, simnet.Stats, error) {
-	res, _, stats, err := Algo2DistributedDetailed(g, ids, mode, run)
+	res, _, stats, err := algo2Run(g, ids, mode, run, false)
 	return res, stats, err
 }
 
 // Algo2DistributedDetailed is Algo2Distributed but also returns each node's
 // accumulated Tables (indexed by node) for routing and inspection.
 func Algo2DistributedDetailed(g *graph.Graph, ids []int, mode SelectionMode, run Runner) (Result, []Tables, simnet.Stats, error) {
+	return algo2Run(g, ids, mode, run, true)
+}
+
+func algo2Run(g *graph.Graph, ids []int, mode SelectionMode, run Runner, wantTables bool) (Result, []Tables, simnet.Stats, error) {
 	procs := make([]simnet.Proc, g.N())
-	a2 := make([]*algo2Proc, g.N())
-	for i := range procs {
-		p := newAlgo2Proc(ids[i], mode)
-		// The paper's standing assumption: every node already knows the
-		// IDs of its radio neighbours (see Algo2ZeroKnowledge for the
-		// variant that discovers them in-protocol).
-		for _, w := range g.Neighbors(i) {
-			p.nbrIDs[w] = ids[w]
+	// The paper's standing assumption: every node already knows the IDs of
+	// its radio neighbours. Here that is one shared read-only table rather
+	// than a per-node map (see Algo2ZeroKnowledge for the variant that
+	// discovers neighbours in-protocol), and the procs themselves live in
+	// one contiguous allocation instead of a million heap objects.
+	// When the IDs are a dense permutation of 0..n-1 (udg.RandomIDs always
+	// is), nodes additionally share the O(1) inverse table; arbitrary
+	// unique IDs fall back to adjacency scans in nbrOf.
+	var nodeOf []int32
+	dense := true
+	for _, id := range ids {
+		if id < 0 || id >= g.N() {
+			dense = false
+			break
 		}
-		a2[i] = p
-		procs[i] = a2[i]
+	}
+	if dense {
+		nodeOf = make([]int32, g.N())
+		for v, id := range ids {
+			nodeOf[id] = int32(v)
+		}
+	}
+	shared := &algo2Shared{ids: ids, nodeOf: nodeOf}
+	a2 := make([]algo2Proc, g.N())
+	for i := range procs {
+		a2[i] = algo2Proc{ownID: ids[i], mode: mode, shared: shared}
+		procs[i] = &a2[i]
 	}
 	stats, err := run(g, procs)
 	if err != nil {
 		return Result{}, nil, stats, err
 	}
 	var misDoms, additional []int
-	tables := make([]Tables, g.N())
-	for v, p := range a2 {
+	var tables []Tables
+	if wantTables {
+		tables = make([]Tables, g.N())
+	}
+	for v := range a2 {
+		p := &a2[v]
 		switch {
 		case p.color == black:
 			misDoms = append(misDoms, v)
@@ -388,7 +546,9 @@ func Algo2DistributedDetailed(g *graph.Graph, ids []int, mode SelectionMode, run
 		case p.color == white:
 			return Result{}, nil, stats, fmt.Errorf("wcds: node %d still white after Algorithm II quiesced", v)
 		}
-		tables[v] = p.snapshotTables(ids[v])
+		if wantTables {
+			tables[v] = p.snapshotTables(ids[v])
+		}
 	}
 	return newResult(g, misDoms, additional), tables, stats, nil
 }
@@ -402,13 +562,14 @@ func (p *algo2Proc) snapshotTables(ownID int) Tables {
 		TwoHopDoms:     make(map[int]int, len(p.twoHopDoms)),
 		ThreeHopDoms:   make(map[int][2]int, len(p.threeHop)),
 	}
-	for dom := range p.oneHopDoms {
-		t.OneHopDoms = append(t.OneHopDoms, dom)
+	if len(p.oneHopDoms) > 0 {
+		t.OneHopDoms = make([]int, len(p.oneHopDoms))
+		copy(t.OneHopDoms, p.oneHopDoms)
+		sort.Ints(t.OneHopDoms)
 	}
-	sort.Ints(t.OneHopDoms)
-	for dom, via := range p.twoHopDoms {
-		if !p.oneHopDoms[dom] {
-			t.TwoHopDoms[dom] = via
+	for _, e := range p.twoHopDoms {
+		if !p.hasOneHopDom(e.dom) {
+			t.TwoHopDoms[e.dom] = e.via
 		}
 	}
 	for dom, pair := range p.threeHop {

@@ -16,18 +16,10 @@ import (
 // Deferred-mode Algorithm II run over a faulty network converges to the
 // same WCDS as a lossless run instead of failing with undecided nodes. A
 // lossless run through this runner performs zero retransmissions.
-func ReliableRunner(async bool, ropt reliable.Options, opts ...simnet.Option) Runner {
+func ReliableRunner(eng simnet.Engine, ropt reliable.Options, opts ...simnet.Option) Runner {
 	return func(g *graph.Graph, procs []simnet.Proc) (simnet.Stats, error) {
 		wrapped, col := reliable.Wrap(procs, ropt)
-		var (
-			st  simnet.Stats
-			err error
-		)
-		if async {
-			st, err = simnet.RunAsync(g, wrapped, opts...)
-		} else {
-			st, err = simnet.RunSync(g, wrapped, opts...)
-		}
+		st, err := eng.Run(g, wrapped, opts...)
 		col.MergeInto(&st)
 		return st, err
 	}

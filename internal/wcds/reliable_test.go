@@ -29,28 +29,28 @@ func TestReliableAlgo2EqualsCentralizedUnderLoss(t *testing.T) {
 		}
 		want := Algo2Centralized(nw.G, nw.ID)
 		for _, rate := range rates {
-			for _, async := range []bool{false, true} {
+			for _, eng := range []simnet.Engine{simnet.EngineSync, simnet.EngineAsync, simnet.EngineEvent} {
 				plan := simnet.FaultPlan{Seed: int64(seed), DropRate: rate}
-				runner := ReliableRunner(async, reliable.Options{}, simnet.WithFaults(plan))
+				runner := ReliableRunner(eng, reliable.Options{}, simnet.WithFaults(plan))
 				res, st, err := Algo2Distributed(nw.G, nw.ID, Deferred, runner)
 				if err != nil {
-					t.Fatalf("seed %d rate %v async %v: %v", seed, rate, async, err)
+					t.Fatalf("seed %d rate %v engine %v: %v", seed, rate, eng, err)
 				}
 				if !equalInts(res.MISDominators, want.MISDominators) ||
 					!equalInts(res.AdditionalDominators, want.AdditionalDominators) {
-					t.Fatalf("seed %d rate %v async %v: reliable run diverged from centralized",
-						seed, rate, async)
+					t.Fatalf("seed %d rate %v engine %v: reliable run diverged from centralized",
+						seed, rate, eng)
 				}
 				if !IsWCDS(nw.G, res.Dominators) {
-					t.Fatalf("seed %d rate %v async %v: result is not a WCDS", seed, rate, async)
+					t.Fatalf("seed %d rate %v engine %v: result is not a WCDS", seed, rate, eng)
 				}
 				if st.Retransmits == 0 {
-					t.Errorf("seed %d rate %v async %v: lossy run reports zero retransmissions",
-						seed, rate, async)
+					t.Errorf("seed %d rate %v engine %v: lossy run reports zero retransmissions",
+						seed, rate, eng)
 				}
 				if st.Abandoned != 0 {
-					t.Errorf("seed %d rate %v async %v: %d frames abandoned within default budget",
-						seed, rate, async, st.Abandoned)
+					t.Errorf("seed %d rate %v engine %v: %d frames abandoned within default budget",
+						seed, rate, eng, st.Abandoned)
 				}
 			}
 		}
@@ -68,21 +68,21 @@ func TestReliableLosslessAddsNoRetransmissions(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := Algo2Centralized(nw.G, nw.ID)
-		for _, async := range []bool{false, true} {
-			runner := ReliableRunner(async, reliable.Options{})
+		for _, eng := range []simnet.Engine{simnet.EngineSync, simnet.EngineAsync, simnet.EngineEvent} {
+			runner := ReliableRunner(eng, reliable.Options{})
 			res, st, err := Algo2Distributed(nw.G, nw.ID, Deferred, runner)
 			if err != nil {
-				t.Fatalf("seed %d async %v: %v", seed, async, err)
+				t.Fatalf("seed %d engine %v: %v", seed, eng, err)
 			}
 			if !equalInts(res.Dominators, want.Dominators) {
-				t.Fatalf("seed %d async %v: lossless reliable run diverged", seed, async)
+				t.Fatalf("seed %d engine %v: lossless reliable run diverged", seed, eng)
 			}
 			if st.Retransmits != 0 || st.DupsSuppressed != 0 || st.Abandoned != 0 {
-				t.Errorf("seed %d async %v: lossless overhead: retransmits=%d dups=%d abandoned=%d",
-					seed, async, st.Retransmits, st.DupsSuppressed, st.Abandoned)
+				t.Errorf("seed %d engine %v: lossless overhead: retransmits=%d dups=%d abandoned=%d",
+					seed, eng, st.Retransmits, st.DupsSuppressed, st.Abandoned)
 			}
 			if st.Acks == 0 {
-				t.Errorf("seed %d async %v: reliable run sent no acks", seed, async)
+				t.Errorf("seed %d engine %v: reliable run sent no acks", seed, eng)
 			}
 		}
 	}
@@ -100,7 +100,7 @@ func TestReliableAlgo1SurvivesLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 		plan := simnet.FaultPlan{Seed: int64(seed), DropRate: 0.25}
-		runner := ReliableRunner(seed%2 == 1, reliable.Options{}, simnet.WithFaults(plan))
+		runner := ReliableRunner(simnet.Engine(seed%3), reliable.Options{}, simnet.WithFaults(plan))
 		res, st, err := Algo1Distributed(nw.G, nw.ID, runner)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -129,7 +129,7 @@ func TestReliableAlgo2SurvivesCrashRestart(t *testing.T) {
 		plan := simnet.FaultPlan{Seed: int64(seed), Crashes: []simnet.CrashWindow{
 			{Node: crashed, From: 2, Until: 40},
 		}}
-		runner := ReliableRunner(false, reliable.Options{},
+		runner := ReliableRunner(simnet.EngineSync, reliable.Options{},
 			simnet.WithFaults(plan), simnet.WithMaxRounds(5000))
 		res, st, err := Algo2Distributed(nw.G, nw.ID, Deferred, runner)
 		if err != nil {

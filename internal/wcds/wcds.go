@@ -55,11 +55,24 @@ func WeaklyInduced(g *graph.Graph, set []int) *graph.Graph {
 	for _, v := range set {
 		in[v] = true
 	}
-	h := graph.New(g.N())
+	// Two passes: count each node's induced degree, then fill pre-sized
+	// adjacency lists. The adjacency iteration with u < v visits every edge
+	// exactly once, so the unchecked insert is safe, and the counted build
+	// keeps million-node spanner assembly allocation-flat.
+	deg := make([]int, g.N())
 	for u := 0; u < g.N(); u++ {
 		for _, v := range g.Neighbors(u) {
 			if u < v && (in[u] || in[v]) {
-				_ = h.AddEdge(u, v)
+				deg[u]++
+				deg[v]++
+			}
+		}
+	}
+	h := graph.NewWithDegrees(deg)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v && (in[u] || in[v]) {
+				h.AddEdgeUnchecked(u, v)
 			}
 		}
 	}

@@ -82,11 +82,27 @@ type RunStats struct {
 	Phases []PhaseSpan
 }
 
+// Engine selects the simulation engine of a distributed run; re-exported
+// from internal/simnet so callers need only this package.
+type Engine = simnet.Engine
+
+const (
+	// EngineSync is the deterministic synchronous-round engine.
+	EngineSync = simnet.EngineSync
+	// EngineAsync is the goroutine-per-node asynchronous engine.
+	EngineAsync = simnet.EngineAsync
+	// EngineEvent is the event-driven single-scheduler engine: the
+	// asynchronous model without a goroutine or channel per node, built for
+	// million-node networks.
+	EngineEvent = simnet.EngineEvent
+)
+
 // runOptions is assembled by the Option list; the zero value is the
 // centralized reference construction.
 type runOptions struct {
 	distributed   bool
-	async         bool
+	engine        Engine
+	scrambled     bool
 	scheduleSeed  int64
 	selection     SelectionMode
 	faults        *FaultPlan
@@ -104,15 +120,34 @@ type runOptions struct {
 type Option func(*runOptions)
 
 // Distributed runs the protocol on the deterministic synchronous-round
-// engine instead of the centralized reference.
+// engine instead of the centralized reference. Equivalent to
+// WithEngine(EngineSync).
 func Distributed() Option {
 	return func(o *runOptions) { o.distributed = true }
 }
 
-// Async runs the protocol on the goroutine-per-node asynchronous engine
-// with a seeded schedule scramble. Implies Distributed.
-func Async(scheduleSeed int64) Option {
-	return func(o *runOptions) { o.distributed, o.async, o.scheduleSeed = true, true, scheduleSeed }
+// WithEngine runs the protocol on the named simulation engine — the one
+// engine selector of the API. Implies Distributed.
+//
+// EngineSync is the deterministic synchronous-round reference; EngineAsync
+// is the goroutine-per-node asynchronous engine; EngineEvent implements
+// the same asynchronous model on a single-scheduler event-driven core and
+// is the choice for very large networks (see the README's million-node
+// walkthrough). All three construct the same WCDS in Deferred mode.
+func WithEngine(eng Engine) Option {
+	return func(o *runOptions) { o.distributed, o.engine = true, eng }
+}
+
+// WithScheduleSeed scrambles the delivery schedule with a seeded RNG, for
+// exploring schedule-dependence: the async engine interleaves node
+// goroutines through a scrambled inbox, the event engine inserts
+// transmissions at seeded-random queue positions. The synchronous engine
+// ignores it (its round schedule is fixed), as do plain
+// WithEngine(EngineAsync)/WithEngine(EngineEvent) runs without this
+// option, which use the engine's native deterministic order. Implies
+// Distributed.
+func WithScheduleSeed(seed int64) Option {
+	return func(o *runOptions) { o.distributed, o.scrambled, o.scheduleSeed = true, true, seed }
 }
 
 // WithSelection picks Algorithm II's connector-selection mode (Deferred by
@@ -176,7 +211,7 @@ func WithPhases() Option {
 // RunStats); see the Option constructors for what each adds.
 //
 //	res, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)                  // centralized
-//	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.Async(7))
+//	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.WithEngine(wcdsnet.EngineEvent))
 //	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoI,
 //	    wcdsnet.WithFaults(plan), wcdsnet.WithReliable(wcdsnet.ReliableOptions{}))
 //
@@ -194,6 +229,9 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 	o.selection = Deferred
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if !o.engine.Valid() {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: unknown engine %v: %w", o.engine, ErrInvalidInput)
 	}
 	if o.maxRounds < 0 {
 		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: maxRounds %d must be non-negative: %w", o.maxRounds, ErrInvalidInput)
@@ -255,7 +293,7 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 
 func (o *runOptions) compileRunner(rec *obs.Spans) wcds.Runner {
 	var opts []simnet.Option
-	if o.async {
+	if o.scrambled && o.engine != EngineSync {
 		opts = append(opts, simnet.WithScramble(rand.New(rand.NewSource(o.scheduleSeed))))
 	}
 	if o.faults != nil {
@@ -278,12 +316,9 @@ func (o *runOptions) compileRunner(rec *obs.Spans) wcds.Runner {
 		if rec != nil {
 			ropt.Observer, ropt.Phase = rec, wcds.PhaseOf
 		}
-		return wcds.ReliableRunner(o.async, ropt, opts...)
+		return wcds.ReliableRunner(o.engine, ropt, opts...)
 	}
-	if o.async {
-		return wcds.AsyncRunner(opts...)
-	}
-	return wcds.SyncRunner(opts...)
+	return wcds.EngineRunner(o.engine, opts...)
 }
 
 // --- batch engine ------------------------------------------------------------

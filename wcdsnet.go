@@ -191,45 +191,6 @@ func ServeHandler(opts ServiceOptions) (http.Handler, *Service) {
 	return svc.Handler(), svc
 }
 
-// AlgorithmI runs the centralized reference of the paper's Algorithm I
-// (leader + spanning tree + level-ranked MIS): a WCDS of size ≤ 5·opt whose
-// black edges form a sparse spanner. The network must be connected.
-//
-// Deprecated: use Run(nw, AlgoI).
-func AlgorithmI(nw *Network) Result {
-	res, _, _ := Run(nw, AlgoI)
-	return res
-}
-
-// AlgorithmII runs the centralized reference of the paper's Algorithm II
-// (ID-ranked MIS + additional dominators): a fully localized WCDS whose
-// spanner has topological dilation 3 and geometric dilation 6.
-//
-// Deprecated: use Run(nw, AlgoII).
-func AlgorithmII(nw *Network) Result {
-	res, _, _ := Run(nw, AlgoII)
-	return res
-}
-
-// AlgorithmIDistributed executes the full three-phase Algorithm I protocol
-// on the simulation kernel and reports its message cost.
-//
-// Deprecated: use Run(nw, AlgoI, Distributed()) or
-// Run(nw, AlgoI, Async(seed)).
-func AlgorithmIDistributed(nw *Network, async bool, seed int64) (Result, RunStats, error) {
-	return Run(nw, AlgoI, engineOpt(async, seed))
-}
-
-// AlgorithmIIDistributed executes the Algorithm II protocol on the
-// simulation kernel. In Deferred mode the result equals AlgorithmII exactly
-// under every engine and schedule.
-//
-// Deprecated: use Run(nw, AlgoII, Distributed(), WithSelection(mode)) or
-// Run(nw, AlgoII, Async(seed), WithSelection(mode)).
-func AlgorithmIIDistributed(nw *Network, mode SelectionMode, async bool, seed int64) (Result, RunStats, error) {
-	return Run(nw, AlgoII, engineOpt(async, seed), WithSelection(mode))
-}
-
 // AlgorithmIIWithTables is a distributed Algorithm II run (Deferred,
 // synchronous) returning each node's accumulated routing tables as well.
 // It stays a separate entry point: tables are a protocol byproduct the
@@ -237,90 +198,6 @@ func AlgorithmIIDistributed(nw *Network, mode SelectionMode, async bool, seed in
 func AlgorithmIIWithTables(nw *Network) (Result, []Tables, RunStats, error) {
 	res, tabs, st, err := wcds.Algo2DistributedDetailed(nw.G, nw.ID, wcds.Deferred, wcds.SyncRunner())
 	return res, tabs, RunStats{Stats: st}, err
-}
-
-// AlgorithmIIZeroKnowledge runs Algorithm II with in-protocol HELLO
-// neighbour discovery: every node starts knowing only its own ID. The
-// Deferred result still equals AlgorithmII exactly, at one extra beacon per
-// node.
-//
-// Deprecated: use Run(nw, AlgoII, ZeroKnowledge(), ...).
-func AlgorithmIIZeroKnowledge(nw *Network, mode SelectionMode, async bool, seed int64) (Result, RunStats, error) {
-	return Run(nw, AlgoII, engineOpt(async, seed), WithSelection(mode), ZeroKnowledge())
-}
-
-// AlgorithmIZeroKnowledge is the Algorithm I counterpart: HELLO discovery,
-// then election, levels and colour marking, from own-ID-only knowledge.
-//
-// Deprecated: use Run(nw, AlgoI, ZeroKnowledge(), ...).
-func AlgorithmIZeroKnowledge(nw *Network, async bool, seed int64) (Result, RunStats, error) {
-	return Run(nw, AlgoI, engineOpt(async, seed), ZeroKnowledge())
-}
-
-// engineOpt translates the legacy (async, seed) pair onto the Option form.
-func engineOpt(async bool, seed int64) Option {
-	if async {
-		return Async(seed)
-	}
-	return Distributed()
-}
-
-// RunConfig configures a distributed run beyond the engine choice: fault
-// injection, the reliable ack/retransmit layer and the quiescence budget.
-// The zero value is a lossless run on the synchronous engine.
-//
-// Deprecated: pass Options to Run instead (WithFaults, WithReliable,
-// WithMaxRounds, Async).
-type RunConfig struct {
-	// Async selects the goroutine-per-node asynchronous engine.
-	Async bool
-	// ScheduleSeed scrambles the async delivery schedule (Async only).
-	ScheduleSeed int64
-	// Faults injects the given fault plan into the run.
-	Faults *FaultPlan
-	// Reliable wraps the protocol in the ack/retransmit layer, restoring
-	// the paper's reliable-broadcast assumption over the faulty network.
-	Reliable bool
-	// ReliableOptions tunes retries/backoff when Reliable is set.
-	ReliableOptions ReliableOptions
-	// MaxRounds overrides the engine's quiescence budget: synchronous
-	// rounds or asynchronous tick passes (0 = engine default).
-	MaxRounds int
-}
-
-// options translates the legacy config onto the Option form.
-func (cfg RunConfig) options() []Option {
-	opts := []Option{Distributed()}
-	if cfg.Async {
-		opts = append(opts, Async(cfg.ScheduleSeed))
-	}
-	if cfg.Faults != nil {
-		opts = append(opts, WithFaults(*cfg.Faults))
-	}
-	if cfg.Reliable {
-		opts = append(opts, WithReliable(cfg.ReliableOptions))
-	}
-	if cfg.MaxRounds > 0 {
-		opts = append(opts, WithMaxRounds(cfg.MaxRounds))
-	}
-	return opts
-}
-
-// AlgorithmIWithConfig runs the distributed Algorithm I under an explicit
-// RunConfig — fault injection, the reliable layer and budget control.
-//
-// Deprecated: use Run(nw, AlgoI, WithFaults(...), WithReliable(...), ...).
-func AlgorithmIWithConfig(nw *Network, cfg RunConfig) (Result, RunStats, error) {
-	return Run(nw, AlgoI, cfg.options()...)
-}
-
-// AlgorithmIIWithConfig runs the distributed Algorithm II under an explicit
-// RunConfig. With cfg.Reliable set and Deferred mode, the result equals
-// AlgorithmII exactly whenever the run converges, even at heavy loss.
-//
-// Deprecated: use Run(nw, AlgoII, WithSelection(mode), WithFaults(...), ...).
-func AlgorithmIIWithConfig(nw *Network, mode SelectionMode, cfg RunConfig) (Result, RunStats, error) {
-	return Run(nw, AlgoII, append(cfg.options(), WithSelection(mode))...)
 }
 
 // IsWCDS verifies that set is a weakly-connected dominating set of the

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"wcdsnet"
+	"wcdsnet/internal/algo"
+)
+
+// CompetitorRow is one (topology × algorithm) cell of the competitor sweep,
+// averaged over the cell's seeds: backbone size, size ratio |set|/n, sampled
+// average topological dilation, and protocol messages (zero for centralized
+// constructions).
+type CompetitorRow struct {
+	Topology  string  `json:"topology"`
+	Algorithm string  `json:"algorithm"`
+	Backbone  float64 `json:"backbone"`
+	Ratio     float64 `json:"ratio"`
+	AvgTopo   float64 `json:"avgTopo"`
+	Messages  float64 `json:"messages"`
+	Cells     int     `json:"cells"`
+}
+
+// competitorSpec is the pinned competitor sweep: every registered algorithm
+// crossed with every registered topology kind (at its default parameters),
+// one backbone workload per algorithm plus a sampled-dilation workload for
+// the kinds whose weakly induced spanner is guaranteed connected (wcds,
+// cds — a plain dominating set's spanner may be disconnected, so its
+// dilation is undefined). The paper's protocols run distributed on the
+// synchronous engine so the cells report message costs; the baselines are
+// centralized. Full: 1 size × 1 degree × 2 seeds × 6 topologies × 13
+// workloads = 156 scenarios; quick halves the seeds and shrinks the
+// networks.
+func competitorSpec(quick bool) *wcdsnet.BatchSpec {
+	var topos []wcdsnet.Topology
+	for _, kind := range wcdsnet.TopologyKinds() {
+		topos = append(topos, wcdsnet.Topology{Kind: kind})
+	}
+	var workloads []wcdsnet.BatchWorkload
+	for _, c := range algo.All() {
+		w := wcdsnet.BatchWorkload{Kind: "backbone", Algorithm: c.Name}
+		if c.Caps.Distributed {
+			w.Mode = "sync"
+		}
+		if c.Caps.Weighted {
+			w.WeightSeed = 7
+		}
+		workloads = append(workloads, w)
+		if c.Kind != algo.KindDS {
+			workloads = append(workloads,
+				wcdsnet.BatchWorkload{Kind: "dilation", Algorithm: c.Name, Pairs: 30, SampleSeed: 7})
+		}
+	}
+	spec := &wcdsnet.BatchSpec{
+		Sizes:      []int{100},
+		Degrees:    []float64{8},
+		Seeds:      []int64{1, 2},
+		Topologies: topos,
+		Workloads:  workloads,
+	}
+	if quick {
+		spec.Sizes = []int{50}
+		spec.Seeds = []int64{1}
+	}
+	return spec
+}
+
+// competitors runs the competitor sweep at one worker and at the requested
+// worker count, proves the topology axis is worker-count-invariant by digest
+// equality, asserts every backbone cell produced a valid dominating set of
+// its kind, and returns the phase timing, the digest and the per-cell table.
+func competitors(quick bool, workers, reps int) (Phase, string, []CompetitorRow, error) {
+	spec := competitorSpec(quick)
+	ctx := context.Background()
+
+	rep1, err := timed("comp1  ", reps, func() (*wcdsnet.BatchReport, error) {
+		return wcdsnet.RunBatch(ctx, spec, wcdsnet.BatchOptions{Workers: 1})
+	})
+	if err != nil {
+		return Phase{}, "", nil, err
+	}
+	repN, err := timed("compN  ", reps, func() (*wcdsnet.BatchReport, error) {
+		return wcdsnet.RunBatch(ctx, spec, wcdsnet.BatchOptions{Workers: workers})
+	})
+	if err != nil {
+		return Phase{}, "", nil, err
+	}
+	digest := rep1.Digest()
+	if d := repN.Digest(); d != digest {
+		return Phase{}, "", nil, fmt.Errorf("determinism violation: competitors(%d workers) digest %s != 1 worker %s", workers, d[:12], digest[:12])
+	}
+	rows, err := competitorRows(spec, repN)
+	if err != nil {
+		return Phase{}, "", nil, err
+	}
+	return phase(repN), digest, rows, nil
+}
+
+// competitorRows folds the sweep's per-scenario results into one row per
+// (topology × algorithm) cell, failing on any scenario error or any backbone
+// result that is not a valid set of its construction's kind.
+func competitorRows(spec *wcdsnet.BatchSpec, rep *wcdsnet.BatchReport) ([]CompetitorRow, error) {
+	type cell struct {
+		row           CompetitorRow
+		backboneCells int
+		dilationCells int
+	}
+	cells := map[[2]string]*cell{}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Err != "" {
+			return nil, fmt.Errorf("competitor scenario %d (%s %s) failed: %s", r.Index, r.Topology, r.Workload, r.Err)
+		}
+		w := &spec.Workloads[r.Index%len(spec.Workloads)]
+		k := [2]string{r.Topology, w.Algorithm}
+		c := cells[k]
+		if c == nil {
+			c = &cell{row: CompetitorRow{Topology: r.Topology, Algorithm: w.Algorithm}}
+			cells[k] = c
+		}
+		switch w.Kind {
+		case "backbone":
+			if !r.Valid {
+				return nil, fmt.Errorf("competitor scenario %d: %s backbone on %s (seed %d) is not a valid dominating set",
+					r.Index, w.Algorithm, r.Topology, r.Seed)
+			}
+			c.row.Backbone += float64(r.Backbone)
+			c.row.Ratio += r.Ratio
+			c.row.Messages += float64(r.Messages)
+			c.backboneCells++
+		case "dilation":
+			c.row.AvgTopo += r.AvgTopo
+			c.dilationCells++
+		}
+	}
+	var rows []CompetitorRow
+	for _, topo := range spec.Topologies {
+		for _, name := range wcdsnet.Algorithms() {
+			c := cells[[2]string{topo.Canonical(), name}]
+			if c == nil {
+				return nil, fmt.Errorf("competitor cell (%s, %s) produced no results", topo.Canonical(), name)
+			}
+			row := c.row
+			if c.backboneCells > 0 {
+				row.Backbone /= float64(c.backboneCells)
+				row.Ratio /= float64(c.backboneCells)
+				row.Messages /= float64(c.backboneCells)
+			}
+			if c.dilationCells > 0 {
+				row.AvgTopo /= float64(c.dilationCells)
+			}
+			row.Cells = c.backboneCells + c.dilationCells
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// printCompetitors renders the (topology × algorithm) table grouped by
+// topology, one line per algorithm.
+func printCompetitors(rows []CompetitorRow) {
+	fmt.Println("competitors (mean per cell):")
+	fmt.Printf("  %-24s %-12s %9s %7s %8s %9s\n", "topology", "algorithm", "backbone", "ratio", "avgTopo", "messages")
+	last := ""
+	for _, r := range rows {
+		topo := r.Topology
+		if topo == last {
+			topo = ""
+		} else if last != "" {
+			fmt.Println()
+		}
+		last = r.Topology
+		msg := "-"
+		if r.Messages > 0 {
+			msg = fmt.Sprintf("%.0f", r.Messages)
+		}
+		dil := "-"
+		if r.AvgTopo > 0 {
+			dil = fmt.Sprintf("%.2f", r.AvgTopo)
+		}
+		fmt.Printf("  %-24s %-12s %9.1f %7.3f %8s %9s\n",
+			topo, r.Algorithm, r.Backbone, r.Ratio, dil, msg)
+	}
+}
+
+// competitorsSmoke is the standalone -competitors mode CI runs: the quick
+// competitor sweep, digest cross-check and validity assertions, table to
+// stdout, no report file and no gate.
+func competitorsSmoke(workers int) error {
+	spec := competitorSpec(true)
+	fmt.Printf("competitor smoke: %d scenarios over %d networks (%d algorithms × %d topologies)\n",
+		spec.NumScenarios(), spec.NumNetworks(), len(wcdsnet.Algorithms()), len(spec.Topologies))
+	ph, digest, rows, err := competitors(true, workers, 1)
+	if err != nil {
+		return err
+	}
+	printCompetitors(rows)
+	fmt.Printf("digest : %s (identical at 1 and %d workers)\n", digest[:16], workers)
+	fmt.Printf("smoke  : %.1f scenarios/s — every registered (algorithm × topology) cell valid\n", ph.OpsPerSec)
+	return nil
+}

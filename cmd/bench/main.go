@@ -26,6 +26,12 @@
 // full) and -nodes overrides it; at -nodes 1000000 the phase additionally
 // enforces a hard single-digit-seconds wall-clock budget.
 //
+// The competitors phase (competitors.go) sweeps every registered algorithm
+// across every registered topology kind — backbone size, dilation and
+// message cost per (algorithm × topology) cell — digest-checked across
+// worker counts and validity-checked cell by cell. `-competitors` runs just
+// that sweep in its quick shape and exits (the CI smoke job).
+//
 // If a prior BENCH_*.json exists in the output directory, bench compares
 // against the newest one and fails on a >20% regression: throughput is
 // gated only when GOMAXPROCS matches the baseline (ops/s on a different
@@ -67,8 +73,11 @@ import (
 // added event-engine workloads to the pinned sweep plus the millionNode
 // phase (million.go): one large uniform scene through Algorithm II on the
 // event engine, sized by -nodes and recorded in million_node_size so the
-// gate only compares like against like.
-const Schema = "wcdsnet-bench/v4"
+// gate only compares like against like. v5 added the competitors phase
+// (competitors.go): every registered algorithm crossed with every
+// registered topology kind, digest-checked across worker counts, with the
+// per-cell table recorded in competitors/competitor_digest.
+const Schema = "wcdsnet-bench/v5"
 
 // regressionTolerance is the fractional slack before the gate trips.
 const regressionTolerance = 0.20
@@ -108,6 +117,12 @@ type Report struct {
 	// the suite's distributed workloads (from the engineN execution). Wall
 	// times are scheduler-dependent; the counters are deterministic.
 	ProtocolPhases []wcdsnet.PhaseSpan `json:"protocol_phases,omitempty"`
+
+	// Competitors is the (topology × algorithm) sweep table and
+	// CompetitorDigest its worker-count-invariant report digest (see
+	// competitors.go).
+	Competitors      []CompetitorRow `json:"competitors,omitempty"`
+	CompetitorDigest string          `json:"competitor_digest,omitempty"`
 }
 
 func main() {
@@ -118,8 +133,16 @@ func main() {
 	noGate := flag.Bool("no-gate", false, "skip the regression comparison against the newest prior report")
 	keep := flag.Int("keep", 5, "retain only the newest N BENCH_*.json reports after writing (0 = keep all)")
 	nodes := flag.Int("nodes", 0, "node count for the millionNode event-engine phase (0 = 50k quick / 250k full; nightly passes 1000000)")
+	compOnly := flag.Bool("competitors", false, "run only the quick competitor smoke (every algorithm × topology cell) and exit; no report, no gate")
 	flag.Parse()
 
+	if *compOnly {
+		if err := competitorsSmoke(*workers); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*quick, *out, *workers, *reps, *noGate, *keep, *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -190,6 +213,11 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes 
 		return err
 	}
 
+	compPh, compDigest, compRows, err := competitors(quick, workers, reps)
+	if err != nil {
+		return err
+	}
+
 	rep := &Report{
 		Schema:     Schema,
 		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
@@ -206,11 +234,14 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes 
 			"measureSerial": measureSerialPh,
 			"measure":       measurePh,
 			"millionNode":   millionPh,
+			"competitors":   compPh,
 		},
-		Speedup1W:       float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
-		SpeedupNW:       float64(serialRep.WallNS) / float64(engineNRep.WallNS),
-		ProtocolPhases:  phaseTotals(engineNRep),
-		MillionNodeSize: nodes,
+		Speedup1W:        float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
+		SpeedupNW:        float64(serialRep.WallNS) / float64(engineNRep.WallNS),
+		ProtocolPhases:   phaseTotals(engineNRep),
+		MillionNodeSize:  nodes,
+		Competitors:      compRows,
+		CompetitorDigest: compDigest,
 	}
 	fmt.Printf("digest : %s (identical across serial, 1 worker, %d workers)\n", digest[:16], workers)
 	fmt.Printf("speedup: %.2fx (1 worker)  %.2fx (%d workers)\n", rep.Speedup1W, rep.SpeedupNW, workers)
@@ -219,6 +250,7 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes 
 			measureSerialPh.MallocPerOp, measurePh.MallocPerOp,
 			measureSerialPh.MallocPerOp/measurePh.MallocPerOp)
 	}
+	printCompetitors(compRows)
 
 	var gateErr error
 	if !noGate {

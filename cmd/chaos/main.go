@@ -13,6 +13,9 @@
 //	-seed 1          base scenario seed
 //	-n 40            nodes per generated network
 //	-deg 7           target average degree
+//	-algo II         distributed protocol under test (I or II); Algorithm I
+//	                 is held to the structural invariants, Algorithm II
+//	                 additionally to exact reference equality
 //	-intensities 0.3,0.6,1.0   comma-separated fault intensities in [0,1]
 //	-engines both    sync | async | both
 //	-retries 0       reliable-layer retry budget (0 = default 25)
@@ -45,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/chaos"
 	"wcdsnet/internal/service"
 )
@@ -62,6 +66,7 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "base scenario seed")
 		n           = flag.Int("n", 40, "nodes per generated network")
 		deg         = flag.Float64("deg", 7, "target average degree")
+		algoName    = flag.String("algo", "II", "distributed protocol under test: "+strings.Join(algo.DistributedNames(), ", "))
 		intensities = flag.String("intensities", "0.3,0.6,1.0", "comma-separated fault intensities")
 		engines     = flag.String("engines", "both", "sync | async | both")
 		retries     = flag.Int("retries", 0, "reliable retry budget (0 = default)")
@@ -105,6 +110,7 @@ func run() error {
 				N:          *n,
 				AvgDegree:  *deg,
 				Intensity:  intensity,
+				Algorithm:  *algoName,
 				Async:      async,
 				MaxRetries: *retries,
 				MaxRounds:  *rounds,
@@ -113,7 +119,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			report(rep, fmt.Sprintf("intensity=%.2f async=%v", intensity, async), *verbose)
+			report(rep, fmt.Sprintf("algo=%s intensity=%.2f async=%v", *algoName, intensity, async), *verbose)
 			violations += rep.Violations
 		}
 	}
@@ -127,6 +133,7 @@ func run() error {
 			N:          *n,
 			AvgDegree:  *deg,
 			Intensity:  levels[len(levels)-1],
+			Algorithm:  *algoName,
 			MaxRetries: *retries,
 			MaxRounds:  *rounds,
 		}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"wcdsnet/internal/graph"
+)
+
+// GreedyWeightedDS computes a dominating set minimizing total node weight
+// with the classic weighted greedy: repeatedly select the node minimizing
+// weight(v) / (newly dominated nodes in N[v]), breaking ties by smaller
+// weight and then smaller index. With unit weights this degenerates to the
+// coverage greedy; with per-node weights it models the battery/cost axis of
+// minimum-weight dominating-set work. The set is dominating but not
+// necessarily (weakly) connected. weights must have one non-negative entry
+// per node.
+func GreedyWeightedDS(g *graph.Graph, weights []float64) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("baseline: weighted DS needs %d weights, got %d", n, len(weights))
+	}
+	for v, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("baseline: negative weight %g at node %d", w, v)
+		}
+	}
+
+	dominated := make([]bool, n)
+	selected := make([]bool, n)
+	left := n
+
+	// coverage(v) = number of undominated nodes in v's closed neighbourhood.
+	coverage := func(v int) int {
+		c := 0
+		if !dominated[v] {
+			c++
+		}
+		for _, w := range g.Neighbors(v) {
+			if !dominated[w] {
+				c++
+			}
+		}
+		return c
+	}
+	pick := func(v int) {
+		selected[v] = true
+		if !dominated[v] {
+			dominated[v] = true
+			left--
+		}
+		for _, w := range g.Neighbors(v) {
+			if !dominated[w] {
+				dominated[w] = true
+				left--
+			}
+		}
+	}
+
+	var set []int
+	for left > 0 {
+		best, bestCov := -1, 0
+		bestScore := 0.0
+		for v := 0; v < n; v++ {
+			if selected[v] {
+				continue
+			}
+			cov := coverage(v)
+			if cov == 0 {
+				continue
+			}
+			score := weights[v] / float64(cov)
+			if best == -1 || score < bestScore ||
+				(score == bestScore && (weights[v] < weights[best] ||
+					(weights[v] == weights[best] && v < best))) {
+				best, bestCov, bestScore = v, cov, score
+			}
+		}
+		if best == -1 || bestCov == 0 {
+			return nil, errors.New("baseline: weighted greedy DS stalled (bug)")
+		}
+		pick(best)
+		set = append(set, best)
+	}
+	return sortedCopy(set), nil
+}
+
+// TotalWeight sums the weights of the nodes in set.
+func TotalWeight(set []int, weights []float64) float64 {
+	total := 0.0
+	for _, v := range set {
+		total += weights[v]
+	}
+	return total
+}

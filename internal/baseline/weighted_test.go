@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcdsnet/internal/graph"
+	"wcdsnet/internal/mis"
+	"wcdsnet/internal/udg"
+)
+
+// star builds a star graph: node 0 adjacent to 1..n-1.
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+func TestGreedyWeightedDSValidation(t *testing.T) {
+	g := star(4)
+	if _, err := GreedyWeightedDS(g, []float64{1, 1}); err == nil {
+		t.Error("accepted a weight slice of the wrong length")
+	}
+	if _, err := GreedyWeightedDS(g, []float64{1, 1, -0.5, 1}); err == nil {
+		t.Error("accepted a negative weight")
+	}
+}
+
+func TestGreedyWeightedDSDominatesAndPrefersLightNodes(t *testing.T) {
+	// Unit weights on a star: the hub covers everything in one pick.
+	g := star(6)
+	set, err := GreedyWeightedDS(g, []float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, []int{0}) {
+		t.Fatalf("unit-weight star: got %v, want [0]", set)
+	}
+
+	// An exorbitant hub weight flips the choice to the leaves: weight/cover
+	// of the hub is 1000/6, of a leaf 1/2.
+	w := []float64{1000, 1, 1, 1, 1, 1}
+	set, err = GreedyWeightedDS(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range set {
+		if v == 0 {
+			t.Fatalf("picked the heavy hub despite light leaves: %v", set)
+		}
+	}
+	if !mis.IsDominating(g, set) {
+		t.Fatalf("result %v is not dominating", set)
+	}
+
+	// Random networks: always dominating, deterministic in the inputs.
+	nw, err := udg.GenConnectedAvgDegree(rand.New(rand.NewSource(3)), 150, 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, nw.N())
+	rng := rand.New(rand.NewSource(17))
+	for i := range weights {
+		weights[i] = 1 + rng.Float64()
+	}
+	a, err := GreedyWeightedDS(nw.G, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mis.IsDominating(nw.G, a) {
+		t.Fatal("weighted DS does not dominate the random network")
+	}
+	b, _ := GreedyWeightedDS(nw.G, weights)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GreedyWeightedDS is not deterministic")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if got := TotalWeight([]int{0, 2}, []float64{1.5, 9, 2.5}); got != 4 {
+		t.Fatalf("TotalWeight = %v, want 4", got)
+	}
+}
+
+func TestPruneCDS(t *testing.T) {
+	// A path: pruning must discard the endpoints (degree-1 nodes are never
+	// needed) and keep the interior connected and dominating.
+	n := 7
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	set, err := PruneCDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCDS(g, set) {
+		t.Fatalf("PruneCDS(path) = %v is not a CDS", set)
+	}
+	if len(set) != n-2 {
+		t.Fatalf("PruneCDS(path) kept %d nodes, want %d", len(set), n-2)
+	}
+
+	// Disconnected input is rejected.
+	gd := graph.New(4)
+	gd.AddEdge(0, 1)
+	gd.AddEdge(2, 3)
+	if _, err := PruneCDS(gd); err == nil {
+		t.Error("PruneCDS accepted a disconnected graph")
+	}
+
+	// Random networks: a valid CDS no larger than the whole graph, and no
+	// further node removable (local minimality).
+	nw, err := udg.GenConnectedAvgDegree(rand.New(rand.NewSource(5)), 120, 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err = PruneCDS(nw.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCDS(nw.G, set) {
+		t.Fatal("PruneCDS result is not a CDS on the random network")
+	}
+	if len(set) >= nw.N() {
+		t.Fatalf("PruneCDS pruned nothing (%d of %d nodes)", len(set), nw.N())
+	}
+	for _, drop := range set {
+		reduced := make([]int, 0, len(set)-1)
+		for _, v := range set {
+			if v != drop {
+				reduced = append(reduced, v)
+			}
+		}
+		if IsCDS(nw.G, reduced) {
+			t.Fatalf("node %d is removable: PruneCDS did not reach a minimal set", drop)
+		}
+	}
+}

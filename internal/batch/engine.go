@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/route"
 	"wcdsnet/internal/simnet"
@@ -23,23 +24,29 @@ import (
 // service's limit so batch and serve agree on which cells are realisable.
 const genMaxTries = 2000
 
-// netMemo holds the shared subcomputations of one (size, degree, seed)
-// network cell. Each is computed at most once per Run, no matter how many
-// scenarios of the cell execute or which workers pick them up; RunSerial
-// gives every scenario a fresh memo instead, which is exactly the
+// netMemo holds the shared subcomputations of one (size, degree, seed,
+// topology) network cell. Each is computed at most once per Run, no matter
+// how many scenarios of the cell execute or which workers pick them up;
+// RunSerial gives every scenario a fresh memo instead, which is exactly the
 // recompute-per-scenario cost the engine exists to remove.
 type netMemo struct {
 	size   int
 	degree float64
 	seed   int64
+	// topo is the cell's scene descriptor; the zero value marks a legacy
+	// spec without a topology axis (implicit uniform, empty result label).
+	topo      udg.Topology
+	topoLabel string
 
 	netOnce sync.Once
 	nw      *udg.Network
 	netErr  error
 
-	// Centralized constructions, indexed 0 = Algorithm I, 1 = Algorithm II.
-	centOnce [2]sync.Once
-	centRes  [2]wcds.Result
+	// Centralized constructions, one per (algorithm, weight seed), each
+	// behind its own sync.Once so distinct algorithms on the same cell
+	// still build concurrently.
+	centMu sync.Mutex
+	cent   map[string]*centEntry
 
 	// Distributed Algorithm II with routing tables, plus the derived relay
 	// set (shared by every broadcast source over the cell).
@@ -49,31 +56,55 @@ type netMemo struct {
 	detErr   error
 }
 
+type centEntry struct {
+	once sync.Once
+	res  wcds.Result
+	err  error
+}
+
 func (m *netMemo) network() (*udg.Network, error) {
 	m.netOnce.Do(func() {
 		rng := rand.New(rand.NewSource(m.seed))
-		m.nw, m.netErr = udg.GenConnectedAvgDegree(rng, m.size, m.degree, genMaxTries)
+		if m.topo.Kind == "" {
+			// Legacy path kept verbatim so pre-topology specs reproduce
+			// their exact networks (and error strings) byte for byte.
+			m.nw, m.netErr = udg.GenConnectedAvgDegree(rng, m.size, m.degree, genMaxTries)
+		} else {
+			m.nw, m.netErr = m.topo.GenConnected(rng, m.size, m.degree, genMaxTries)
+		}
 	})
 	return m.nw, m.netErr
 }
 
-func (m *netMemo) centralized(algo string) (*udg.Network, wcds.Result, error) {
+func (m *netMemo) centralized(name string, weightSeed int64) (*udg.Network, wcds.Result, error) {
 	nw, err := m.network()
 	if err != nil {
 		return nil, wcds.Result{}, err
 	}
-	i := 0
-	if algo == "II" {
-		i = 1
-	}
-	m.centOnce[i].Do(func() {
-		if i == 0 {
-			m.centRes[i] = wcds.Algo1Centralized(nw.G, nw.ID)
-		} else {
-			m.centRes[i] = wcds.Algo2Centralized(nw.G, nw.ID)
+	key := fmt.Sprintf("%s|%d", name, weightSeed)
+	m.centMu.Lock()
+	e := m.cent[key]
+	if e == nil {
+		if m.cent == nil {
+			m.cent = map[string]*centEntry{}
 		}
+		e = &centEntry{}
+		m.cent[key] = e
+	}
+	m.centMu.Unlock()
+	e.once.Do(func() {
+		c, ok := algo.Lookup(name)
+		if !ok {
+			e.err = fmt.Errorf("batch: unknown algorithm %q (want %s)", name, algo.NamesString())
+			return
+		}
+		in := algo.Input{G: nw.G, IDs: nw.ID}
+		if c.Caps.Weighted {
+			in.Weights = algo.Weights(weightSeed, nw.N())
+		}
+		e.res, e.err = c.Run(in)
 	})
-	return nw, m.centRes[i], nil
+	return nw, e.res, e.err
 }
 
 func (m *netMemo) detailed(ctx context.Context) (*udg.Network, wcds.Result, []bool, error) {
@@ -141,7 +172,9 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
 	memos := make([]*netMemo, spec.NumNetworks())
 	for _, sc := range scens {
 		if memos[sc.Net] == nil {
-			memos[sc.Net] = &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed}
+			topo, label := spec.topologyAt(sc.Topology)
+			memos[sc.Net] = &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed,
+				topo: topo, topoLabel: label}
 		}
 	}
 
@@ -226,7 +259,9 @@ func RunSerial(ctx context.Context, spec *Spec) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			break
 		}
-		memo := &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed}
+		topo, label := spec.topologyAt(sc.Topology)
+		memo := &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed,
+			topo: topo, topoLabel: label}
 		res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memo, 1)
 		if res.cancelled {
 			break
@@ -255,7 +290,7 @@ func runScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, m
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed,
-				Workload: w.label(), Err: fmt.Sprintf("panic: %v", r)}
+				Topology: memo.topoLabel, Workload: w.label(), Err: fmt.Sprintf("panic: %v", r)}
 		}
 		res.WallNS = time.Since(start).Nanoseconds()
 	}()
@@ -269,10 +304,11 @@ func isCancel(err error) bool {
 }
 
 func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, measureWorkers int) Result {
-	r := Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed, Workload: w.label()}
+	r := Result{Index: sc.Index, Size: sc.Size, Degree: sc.Degree, Seed: sc.Seed,
+		Topology: memo.topoLabel, Workload: w.label()}
 	switch w.Kind {
 	case Dilation:
-		nw, res, err := memo.centralized(w.Algorithm)
+		nw, res, err := memo.centralized(w.Algorithm, w.WeightSeed)
 		if err != nil {
 			r.Err = err.Error()
 			return r
@@ -324,13 +360,18 @@ func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, 
 		return r
 
 	default: // Backbone
+		construction, okAlgo := algo.Lookup(w.Algorithm)
+		if !okAlgo {
+			r.Err = fmt.Sprintf("batch: unknown algorithm %q (want %s)", w.Algorithm, algo.NamesString())
+			return r
+		}
 		if w.Mode == "centralized" {
-			nw, res, err := memo.centralized(w.Algorithm)
+			nw, res, err := memo.centralized(w.Algorithm, w.WeightSeed)
 			if err != nil {
 				r.Err = err.Error()
 				return r
 			}
-			fillBackbone(&r, nw, res)
+			fillBackbone(&r, nw, res, construction)
 			r.Converged = true
 			return r
 		}
@@ -345,15 +386,11 @@ func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, 
 		)
 		rec := obs.NewSpans()
 		runner := runnerFor(ctx, w, rec)
-		if w.Algorithm == "I" {
-			res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
-		} else {
-			mode := wcds.Deferred
-			if w.Selection == "eager" {
-				mode = wcds.Eager
-			}
-			res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, mode, runner)
+		mode := wcds.Deferred
+		if w.Selection == "eager" {
+			mode = wcds.Eager
 		}
+		res, st, err = algo.DistributedRun(construction, nw.G, nw.ID, mode, false, runner)
 		r.Messages = st.Messages
 		r.Rounds = st.Rounds
 		r.Dropped = st.Dropped
@@ -375,13 +412,15 @@ func execScenario(ctx context.Context, sc Scenario, w *Workload, memo *netMemo, 
 			}
 			return r
 		}
-		fillBackbone(&r, nw, res)
+		fillBackbone(&r, nw, res, construction)
 		r.Converged = true
 		return r
 	}
 }
 
-func fillBackbone(r *Result, nw *udg.Network, res wcds.Result) {
+// fillBackbone records the backbone metrics, validating the output with the
+// construction's own kind predicate (WCDS / CDS / DS).
+func fillBackbone(r *Result, nw *udg.Network, res wcds.Result, c *algo.Construction) {
 	r.Edges = nw.G.M()
 	r.Backbone = len(res.Dominators)
 	r.MIS = len(res.MISDominators)
@@ -389,7 +428,7 @@ func fillBackbone(r *Result, nw *udg.Network, res wcds.Result) {
 	if res.Spanner != nil {
 		r.SpannerEdges = res.Spanner.M()
 	}
-	r.Valid = wcds.IsWCDS(nw.G, res.Dominators)
+	r.Valid = c.Valid(nw.G, res.Dominators)
 	if nw.N() > 0 {
 		r.Ratio = float64(r.Backbone) / float64(nw.N())
 	}

@@ -14,11 +14,16 @@ import (
 // kinds leave the other groups zero. WallNS is the only
 // non-deterministic field and is excluded from Canonical.
 type Result struct {
-	Index    int     `json:"index"`
-	Size     int     `json:"size"`
-	Degree   float64 `json:"degree"`
-	Seed     int64   `json:"seed"`
-	Workload string  `json:"workload"`
+	Index  int     `json:"index"`
+	Size   int     `json:"size"`
+	Degree float64 `json:"degree"`
+	Seed   int64   `json:"seed"`
+	// Topology is the cell's canonical scene descriptor (e.g.
+	// "clusters:k=4,sigma=0.75"); empty for specs without a topology axis,
+	// keeping their canonical lines byte-identical to the pre-topology
+	// engine.
+	Topology string `json:"topology,omitempty"`
+	Workload string `json:"workload"`
 
 	// Err is a hard scenario failure (unrealisable cell, engine error on a
 	// lossless run, panic). Failure is a detectable non-convergence of a
@@ -73,7 +78,11 @@ type Result struct {
 // independence.
 func (r *Result) Canonical() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|%g|%d|%s|", r.Index, r.Size, r.Degree, r.Seed, r.Workload)
+	fmt.Fprintf(&b, "%d|%d|%g|%d|", r.Index, r.Size, r.Degree, r.Seed)
+	if r.Topology != "" {
+		fmt.Fprintf(&b, "topo=%s|", r.Topology)
+	}
+	fmt.Fprintf(&b, "%s|", r.Workload)
 	fmt.Fprintf(&b, "err=%s|fail=%s|", r.Err, r.Failure)
 	fmt.Fprintf(&b, "e=%d,b=%d,m=%d,a=%d,s=%d,v=%t,r=%g,c=%t,msg=%d,rnd=%d,drop=%d,rtx=%d|",
 		r.Edges, r.Backbone, r.MIS, r.Additional, r.SpannerEdges, r.Valid, r.Ratio,
@@ -118,25 +127,31 @@ func (r *Report) finish() {
 			r.Failed++
 			continue
 		}
-		add(res.Workload, "wallMS", float64(res.WallNS)/1e6)
+		// Topology-axis sweeps aggregate per (topology, workload) so scene
+		// families stay comparable; legacy keys are unchanged.
+		label := res.Workload
+		if res.Topology != "" {
+			label = res.Topology + "/" + res.Workload
+		}
+		add(label, "wallMS", float64(res.WallNS)/1e6)
 		if res.Backbone > 0 {
-			add(res.Workload, "ratio", res.Ratio)
+			add(label, "ratio", res.Ratio)
 		}
 		if res.Messages > 0 {
-			add(res.Workload, "messages", float64(res.Messages))
+			add(label, "messages", float64(res.Messages))
 		}
 		if res.Rounds > 0 {
-			add(res.Workload, "rounds", float64(res.Rounds))
+			add(label, "rounds", float64(res.Rounds))
 		}
 		if res.Pairs > 0 {
-			add(res.Workload, "avgTopo", res.AvgTopo)
+			add(label, "avgTopo", res.AvgTopo)
 		}
 		if res.FloodTx > 0 {
-			add(res.Workload, "saving", res.Saving)
+			add(label, "saving", res.Saving)
 		}
 		for _, sp := range res.Phases {
 			if sp.Messages > 0 {
-				add(res.Workload, "phase:"+sp.Name+"/messages", float64(sp.Messages))
+				add(label, "phase:"+sp.Name+"/messages", float64(sp.Messages))
 			}
 		}
 	}

@@ -32,7 +32,9 @@ import (
 	"math"
 	"strings"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/simnet"
+	"wcdsnet/internal/udg"
 )
 
 // Kind names a workload: the measurement taken on a network cell.
@@ -56,8 +58,13 @@ const (
 type Workload struct {
 	// Kind selects the measurement (default Backbone).
 	Kind Kind `json:"kind,omitempty"`
-	// Algorithm is "I" or "II" (default "II"; Backbone and Dilation).
+	// Algorithm names a registered construction (default "II"; Backbone
+	// and Dilation accept any algo.Names() entry, Broadcast is II-only).
+	// Algorithms without a distributed protocol run centralized only.
 	Algorithm string `json:"algorithm,omitempty"`
+	// WeightSeed seeds the per-node weight vector of weighted algorithms
+	// (0 = unit weights; rejected for unweighted algorithms).
+	WeightSeed int64 `json:"weightSeed,omitempty"`
 	// Mode is "centralized" (default), "sync", "async" or "event"
 	// (Backbone only). For distributed runs it is the same enum as Engine;
 	// setting either is enough, setting both to different values is an
@@ -99,13 +106,22 @@ func (w *Workload) normalize(i int) error {
 	default:
 		return fmt.Errorf("batch: workload %d: unknown kind %q", i, w.Kind)
 	}
-	switch w.Algorithm {
-	case "", "II", "ii", "2":
+	if w.Algorithm == "" {
 		w.Algorithm = "II"
-	case "I", "i", "1":
-		w.Algorithm = "I"
-	default:
-		return fmt.Errorf("batch: workload %d: unknown algorithm %q (want I or II)", i, w.Algorithm)
+	}
+	construction, ok := algo.Lookup(w.Algorithm)
+	if !ok {
+		return fmt.Errorf("batch: workload %d: unknown algorithm %q (want %s)", i, w.Algorithm, algo.NamesString())
+	}
+	w.Algorithm = construction.Name
+	if w.Kind == Broadcast && construction.Name != "II" {
+		return fmt.Errorf("batch: workload %d: broadcast workloads support algorithm II only (got %q)", i, w.Algorithm)
+	}
+	if w.WeightSeed != 0 && !construction.Caps.Weighted {
+		return fmt.Errorf("batch: workload %d: weightSeed applies to weighted algorithms only (got %q)", i, w.Algorithm)
+	}
+	if w.Kind == Dilation && construction.Kind == algo.KindDS {
+		return fmt.Errorf("batch: workload %d: dilation is undefined for %q: a plain dominating set's weakly-induced spanner need not be connected", i, w.Algorithm)
 	}
 	mode := strings.ToLower(w.Mode)
 	switch mode {
@@ -138,6 +154,10 @@ func (w *Workload) normalize(i int) error {
 		return fmt.Errorf("batch: workload %d: mode %q and engine %q disagree", i, w.Mode, w.Engine)
 	}
 	w.Mode, w.Engine = mode, engine
+	if w.Mode != "centralized" && !construction.Caps.Distributed {
+		return fmt.Errorf("batch: workload %d: algorithm %q has no distributed protocol (want mode centralized; distributed algorithms: %s)",
+			i, w.Algorithm, strings.Join(algo.DistributedNames(), ", "))
+	}
 	switch strings.ToLower(w.Selection) {
 	case "", "deferred":
 		w.Selection = "deferred"
@@ -169,11 +189,18 @@ func (w *Workload) normalize(i int) error {
 func (w *Workload) label() string {
 	switch w.Kind {
 	case Dilation:
-		return fmt.Sprintf("dilation-%s-p%d", w.Algorithm, w.Pairs)
+		tag := fmt.Sprintf("dilation-%s-p%d", w.Algorithm, w.Pairs)
+		if w.WeightSeed != 0 {
+			tag += fmt.Sprintf("-w%d", w.WeightSeed)
+		}
+		return tag
 	case Broadcast:
 		return fmt.Sprintf("broadcast-src%d", w.Source)
 	default:
 		tag := fmt.Sprintf("backbone-%s-%s", w.Algorithm, w.Mode)
+		if w.WeightSeed != 0 {
+			tag += fmt.Sprintf("-w%d", w.WeightSeed)
+		}
 		if w.Faults != nil {
 			tag += "-faulty"
 		}
@@ -185,10 +212,14 @@ func (w *Workload) label() string {
 }
 
 // Spec is a declarative sweep: the cartesian product of Sizes × Degrees ×
-// Seeds defines the network cells, and every Workload runs once per cell.
-// Scenario i of the expansion is sizes-major, workloads-minor:
+// Seeds × Topologies defines the network cells, and every Workload runs
+// once per cell. Scenario i of the expansion is sizes-major,
+// workloads-minor:
 //
-//	index = ((si·|Degrees| + di)·|Seeds| + ki)·|Workloads| + wi
+//	index = (((si·|Degrees| + di)·|Seeds| + ki)·|Topologies| + ti)·|Workloads| + wi
+//
+// An absent Topologies axis means one implicit uniform topology — the
+// pre-topology expansion, index for index.
 type Spec struct {
 	// Sizes lists node counts.
 	Sizes []int `json:"sizes"`
@@ -196,6 +227,10 @@ type Spec struct {
 	Degrees []float64 `json:"degrees"`
 	// Seeds lists network generation seeds.
 	Seeds []int64 `json:"seeds"`
+	// Topologies lists the scene families swept (default: the uniform
+	// square). Left nil when absent so legacy specs keep their exact JSON
+	// form (and cache keys).
+	Topologies []udg.Topology `json:"topologies,omitempty"`
 	// Workloads lists the measurements taken on every cell (default: one
 	// centralized Algorithm II backbone).
 	Workloads []Workload `json:"workloads,omitempty"`
@@ -207,8 +242,9 @@ type Scenario struct {
 	Size     int
 	Degree   float64
 	Seed     int64
+	Topology int // index into Spec.Topologies (0 when the axis is absent)
 	Workload int // index into Spec.Workloads
-	Net      int // index of the (size, degree, seed) network cell
+	Net      int // index of the (size, degree, seed, topology) network cell
 }
 
 // Validate normalizes the workloads in place and checks every axis. It
@@ -235,6 +271,11 @@ func (s *Spec) Validate() error {
 	if len(s.Seeds) == 0 {
 		return fmt.Errorf("batch: no seeds given")
 	}
+	for i := range s.Topologies {
+		if err := s.Topologies[i].Normalize(); err != nil {
+			return fmt.Errorf("batch: topology %d: %v", i, err)
+		}
+	}
 	if len(s.Workloads) == 0 {
 		s.Workloads = []Workload{{}}
 	}
@@ -255,18 +296,27 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// numTopologies returns the topology-axis length (1 for the implicit
+// uniform topology of a legacy spec).
+func (s *Spec) numTopologies() int {
+	if len(s.Topologies) == 0 {
+		return 1
+	}
+	return len(s.Topologies)
+}
+
 // NumScenarios returns the expansion size without expanding.
 func (s *Spec) NumScenarios() int {
 	w := len(s.Workloads)
 	if w == 0 {
 		w = 1
 	}
-	return len(s.Sizes) * len(s.Degrees) * len(s.Seeds) * w
+	return len(s.Sizes) * len(s.Degrees) * len(s.Seeds) * s.numTopologies() * w
 }
 
 // NumNetworks returns the number of distinct network cells.
 func (s *Spec) NumNetworks() int {
-	return len(s.Sizes) * len(s.Degrees) * len(s.Seeds)
+	return len(s.Sizes) * len(s.Degrees) * len(s.Seeds) * s.numTopologies()
 }
 
 // Expand validates the spec and returns the deterministic scenario list.
@@ -279,19 +329,33 @@ func (s *Spec) Expand() ([]Scenario, error) {
 	for _, size := range s.Sizes {
 		for _, deg := range s.Degrees {
 			for _, seed := range s.Seeds {
-				for wi := range s.Workloads {
-					scens = append(scens, Scenario{
-						Index:    len(scens),
-						Size:     size,
-						Degree:   deg,
-						Seed:     seed,
-						Workload: wi,
-						Net:      net,
-					})
+				for ti := 0; ti < s.numTopologies(); ti++ {
+					for wi := range s.Workloads {
+						scens = append(scens, Scenario{
+							Index:    len(scens),
+							Size:     size,
+							Degree:   deg,
+							Seed:     seed,
+							Topology: ti,
+							Workload: wi,
+							Net:      net,
+						})
+					}
+					net++
 				}
-				net++
 			}
 		}
 	}
 	return scens, nil
+}
+
+// topologyAt returns the descriptor of topology index ti (the zero-value
+// uniform descriptor when the axis is absent) and its result label ("" for
+// legacy specs, so pre-topology canonical lines are byte-identical).
+func (s *Spec) topologyAt(ti int) (udg.Topology, string) {
+	if len(s.Topologies) == 0 {
+		return udg.Topology{}, ""
+	}
+	t := s.Topologies[ti]
+	return t, t.Canonical()
 }

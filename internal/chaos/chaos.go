@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/mis"
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
@@ -106,6 +107,11 @@ type Config struct {
 	AvgDegree float64
 	// Intensity scales RandomPlan (0..1).
 	Intensity float64
+	// Algorithm picks the distributed protocol under test from the registry
+	// ("" = "II"). Only distributed-capable constructions are accepted; the
+	// exact-equality invariant applies to Algorithm II's Deferred mode,
+	// Algorithm I runs are held to the structural invariants.
+	Algorithm string
 	// Async selects the asynchronous engine (the sync engine otherwise).
 	Async bool
 	// MaxRetries overrides the reliable layer's retry budget (0 = default).
@@ -163,15 +169,15 @@ func (r *Report) Summary() string {
 
 // Runner executes one scenario: given the network and plan, produce a
 // result, run stats, a per-phase breakdown (nil when the runner does not
-// instrument) and an error. Run uses the in-process reliable Algorithm II;
-// cmd/chaos can substitute an HTTP-backed runner to exercise the service
-// layer end to end.
+// instrument) and an error. Run uses the in-process reliable protocol named
+// by cfg.Algorithm; cmd/chaos can substitute an HTTP-backed runner to
+// exercise the service layer end to end.
 type Runner func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error)
 
 // Run sweeps cfg.Seeds randomized scenarios through the in-process
-// reliable Algorithm II and verifies every invariant.
+// reliable distributed protocol and verifies every invariant.
 func Run(cfg Config) (*Report, error) {
-	return RunWith(cfg, reliableAlgo2)
+	return RunWith(cfg, reliableDistributed)
 }
 
 // RunWith is Run with a custom scenario runner.
@@ -185,6 +191,19 @@ func RunWith(cfg Config, run Runner) (*Report, error) {
 	if cfg.AvgDegree <= 0 {
 		cfg.AvgDegree = 7
 	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "II"
+	}
+	c, ok := algo.Lookup(cfg.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown algorithm %q (want %s)",
+			cfg.Algorithm, strings.Join(algo.DistributedNames(), ", "))
+	}
+	if !c.Caps.Distributed {
+		return nil, fmt.Errorf("chaos: algorithm %s is centralized-only; the harness sweeps distributed protocols (%s)",
+			c.Name, strings.Join(algo.DistributedNames(), ", "))
+	}
+	cfg.Algorithm = c.Name
 	rep := &Report{}
 	totals := obs.NewSpans()
 	for i := 0; i < cfg.Seeds; i++ {
@@ -233,7 +252,7 @@ func runScenario(seed int64, cfg Config, run Runner) (ScenarioResult, error) {
 	}
 
 	// The run claims convergence: every invariant must hold now.
-	if v := verify(nw, res); v != "" {
+	if v := verify(nw, res, cfg.Algorithm); v != "" {
 		sr.Outcome = Violated
 		sr.Detail = v
 		return sr, nil
@@ -243,8 +262,12 @@ func runScenario(seed int64, cfg Config, run Runner) (ScenarioResult, error) {
 }
 
 // verify checks every invariant of a converged run; it returns "" when all
-// hold, or a description of the first violation.
-func verify(nw *udg.Network, res wcds.Result) string {
+// hold, or a description of the first violation. The exact-equality check
+// against the lossless centralized reference applies to Algorithm II only:
+// its Deferred mode is schedule-independent, whereas Algorithm I's spanning
+// tree (and hence its level-ranked MIS) legitimately depends on message
+// arrival order under asynchrony.
+func verify(nw *udg.Network, res wcds.Result, algoName string) string {
 	var problems []string
 	if !wcds.IsWCDS(nw.G, res.Dominators) {
 		problems = append(problems, "result is not a WCDS")
@@ -255,15 +278,17 @@ func verify(nw *udg.Network, res wcds.Result) string {
 	if res.Spanner == nil || !res.Spanner.Connected() {
 		problems = append(problems, "weakly induced spanner is not connected")
 	}
-	want := wcds.Algo2Centralized(nw.G, nw.ID)
-	if !equalSets(res.MISDominators, want.MISDominators) ||
-		!equalSets(res.AdditionalDominators, want.AdditionalDominators) {
-		problems = append(problems, "converged result differs from the lossless centralized reference")
+	if algoName == "II" {
+		want := wcds.Algo2Centralized(nw.G, nw.ID)
+		if !equalSets(res.MISDominators, want.MISDominators) ||
+			!equalSets(res.AdditionalDominators, want.AdditionalDominators) {
+			problems = append(problems, "converged result differs from the lossless centralized reference")
+		}
 	}
 	return strings.Join(problems, "; ")
 }
 
-func reliableAlgo2(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error) {
+func reliableDistributed(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error) {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		// Generous default: heavy fault schedules legitimately need many
@@ -285,7 +310,11 @@ func reliableAlgo2(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Res
 		eng = simnet.EngineAsync
 	}
 	runner := wcds.ReliableRunner(eng, ropt, opts...)
-	res, st, err := wcds.Algo2Distributed(nw.G, nw.ID, wcds.Deferred, runner)
+	c, ok := algo.Lookup(cfg.Algorithm)
+	if !ok {
+		return wcds.Result{}, simnet.Stats{}, nil, fmt.Errorf("chaos: unknown algorithm %q", cfg.Algorithm)
+	}
+	res, st, err := algo.DistributedRun(c, nw.G, nw.ID, wcds.Deferred, false, runner)
 	return res, st, rec.Snapshot(), err
 }
 

@@ -27,8 +27,12 @@ func HTTPRunner(baseURL string, client *http.Client) Runner {
 		client = http.DefaultClient
 	}
 	return func(nw *udg.Network, plan simnet.FaultPlan, cfg Config) (wcds.Result, simnet.Stats, []obs.Span, error) {
+		algorithm := cfg.Algorithm
+		if algorithm == "" {
+			algorithm = "II"
+		}
 		req := api.BackboneRequest{
-			Algorithm: "II",
+			Algorithm: algorithm,
 			Selection: "deferred",
 			Faults:    &plan,
 			Reliable:  true,

@@ -38,7 +38,15 @@ const Version = "v1"
 // field ("sync", "async" or "event" — the million-node single-scheduler
 // engine), mode accepts "event", and backbone responses echo engine; the
 // session async flag remains as a deprecated alias for engine "async".
-const SchemaVersion = 5
+// Revision 6 opened the competitor suite: backbone, dilation and batch
+// requests accept any registered algorithm name (algo.Names, not just
+// "I"/"II"), generated network specs accept a topology descriptor
+// ({kind, params} over the udg.Gen* family), batch specs accept a
+// topologies axis, backbone requests accept weightSeed for weighted
+// algorithms, and backbone responses carry kind and valid. Legacy
+// "I"/"II" uniform requests normalize, compute and cache-key exactly as
+// under revision 5.
+const SchemaVersion = 6
 
 // Sentinel errors shared by the facade, the batch engine and the service
 // handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works

@@ -1,0 +1,156 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wcdsnet/internal/udg"
+)
+
+// TestBackboneCacheKeyLegacyCompat pins the pre-v6 cache-key rendering: a
+// request using only revision-5 fields must hash the exact canonical string
+// the v5 service hashed, so deployed caches stay warm across the upgrade.
+func TestBackboneCacheKeyLegacyCompat(t *testing.T) {
+	req := BackboneRequest{
+		NetworkSpec: NetworkSpec{Seed: 1, N: 40, AvgDegree: 7},
+		Algorithm:   "II",
+		Mode:        "sync",
+	}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := HashKey("backbone|algo=II|mode=sync|eng=sync|sel=deferred|sched=0|" +
+		"rel=false,retries=0,rounds=0|gen:seed=1,n=40,deg=7")
+	if got := req.CacheKey(); got != want {
+		t.Fatalf("legacy cache key changed:\n got %s\nwant %s", got, want)
+	}
+
+	// The new fields contribute fragments only when set.
+	weighted := req
+	weighted.Algorithm = "weighted-ds"
+	weighted.Mode, weighted.Engine = "centralized", ""
+	if err := weighted.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	unseeded := weighted
+	weighted.WeightSeed = 9
+	if weighted.CacheKey() == unseeded.CacheKey() {
+		t.Error("weightSeed does not reach the cache key")
+	}
+
+	topo := req
+	topo.Topology = &udg.Topology{Kind: "clusters"}
+	if err := topo.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.CacheKey() == req.CacheKey() {
+		t.Error("topology does not reach the cache key")
+	}
+	wantTopo := HashKey("backbone|algo=II|mode=sync|eng=sync|sel=deferred|sched=0|" +
+		"rel=false,retries=0,rounds=0|gen:seed=1,n=40,deg=7,topo=clusters:k=4,sigma=0.75")
+	if got := topo.CacheKey(); got != wantTopo {
+		t.Fatalf("topology cache key:\n got %s\nwant %s", got, wantTopo)
+	}
+}
+
+// TestBatchCacheKeyLegacyCompat pins the batch cache key's JSON rendering
+// for a topology-less spec: the topologies axis must be invisible when
+// absent.
+func TestBatchCacheKeyLegacyCompat(t *testing.T) {
+	var req BatchRequest
+	blob := `{"sizes":[40],"degrees":[7],"seeds":[1],` +
+		`"workloads":[{"kind":"backbone","algorithm":"II"}]}`
+	if err := json.Unmarshal([]byte(blob), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Normalize(1000, 10000); err != nil {
+		t.Fatal(err)
+	}
+	rendered, err := json.Marshal(&req.BatchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rendered), "topologies") {
+		t.Fatalf("topology-less spec marshals a topologies field: %s", rendered)
+	}
+	if strings.Contains(string(rendered), "weightSeed") {
+		t.Fatalf("weightless workload marshals a weightSeed field: %s", rendered)
+	}
+}
+
+// TestBackboneNormalizeRegistry: the validation errors enumerate the real
+// registry instead of the historical "want I or II".
+func TestBackboneNormalizeRegistry(t *testing.T) {
+	req := BackboneRequest{NetworkSpec: NetworkSpec{Seed: 1, N: 10, AvgDegree: 4}}
+	req.Algorithm = "dijkstra"
+	err := req.Normalize()
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	for _, name := range []string{"I", "II", "mis-cds", "greedy-wcds", "greedy-cds", "weighted-ds", "prune-cds"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
+	}
+
+	// Aliases normalize to the canonical name.
+	req.Algorithm = "butenko"
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Algorithm != "prune-cds" {
+		t.Errorf("alias normalized to %q", req.Algorithm)
+	}
+
+	// Distributed modes are rejected for centralized-only constructions.
+	req = BackboneRequest{NetworkSpec: NetworkSpec{Seed: 1, N: 10, AvgDegree: 4},
+		Algorithm: "greedy-cds", Mode: "sync"}
+	if err := req.Normalize(); err == nil || !strings.Contains(err.Error(), "I, II") {
+		t.Errorf("centralized-only mode error %v does not list distributed protocols", err)
+	}
+
+	// weightSeed is gated on the weighted capability.
+	req = BackboneRequest{NetworkSpec: NetworkSpec{Seed: 1, N: 10, AvgDegree: 4},
+		Algorithm: "II", WeightSeed: 3}
+	if err := req.Normalize(); err == nil || !strings.Contains(err.Error(), "weighted") {
+		t.Errorf("weightSeed gate error %v", err)
+	}
+
+	// Topology applies to generated specs only. The spec-level checks run in
+	// NetworkSpec.Validate, which the handlers invoke alongside Normalize.
+	sp := NetworkSpec{
+		Positions: [][2]float64{{0, 0}, {0.5, 0}},
+		Topology:  &udg.Topology{Kind: "uniform"},
+	}
+	if err := sp.Validate(1000); err == nil || !strings.Contains(err.Error(), "generated") {
+		t.Errorf("explicit+topology error %v", err)
+	}
+
+	// Unknown topology kinds enumerate the registered kinds.
+	sp = NetworkSpec{Seed: 1, N: 10, AvgDegree: 4, Topology: &udg.Topology{Kind: "torus"}}
+	if err := sp.Validate(1000); err == nil || !strings.Contains(err.Error(), udg.KindsString()) {
+		t.Errorf("unknown topology kind error %v", err)
+	}
+}
+
+// TestDilationNormalizeRegistry: dilation requests take any registered
+// construction too.
+func TestDilationNormalizeRegistry(t *testing.T) {
+	req := DilationRequest{NetworkSpec: NetworkSpec{Seed: 1, N: 10, AvgDegree: 4}, Algorithm: "greedy-cds"}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	req.Algorithm = "nope"
+	if err := req.Normalize(); err == nil || !strings.Contains(err.Error(), "greedy-wcds") {
+		t.Errorf("dilation unknown algorithm error %v", err)
+	}
+
+	// Dilation is statically undefined for a plain dominating set: its
+	// weakly-induced spanner need not be connected. Reject up front, not
+	// with a runtime spanner error.
+	req.Algorithm = "weighted-ds"
+	if err := req.Normalize(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("dilation on a ds-kind construction error %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/geom"
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
@@ -22,6 +23,9 @@ type NetworkSpec struct {
 	Seed      int64   `json:"seed,omitempty"`
 	N         int     `json:"n,omitempty"`
 	AvgDegree float64 `json:"avgDegree,omitempty"`
+	// Topology selects the scene family of a generated spec (schema v6;
+	// see udg.Kinds). Absent means the uniform square, exactly as before.
+	Topology *udg.Topology `json:"topology,omitempty"`
 
 	// Explicit topology (mirrors wcdsnet.NewNetwork). IDs defaults to
 	// 0..len(positions)-1 and Radius to 1.
@@ -38,6 +42,8 @@ func (sp *NetworkSpec) Validate(maxNodes int) error {
 	switch {
 	case explicit && (sp.N != 0 || sp.AvgDegree != 0):
 		return Errorf("give either positions or n/avgDegree, not both")
+	case explicit && sp.Topology != nil:
+		return Errorf("topology applies to generated specs only, not explicit positions")
 	case explicit:
 		if len(sp.Positions) == 0 {
 			return Errorf("ids given without positions")
@@ -66,6 +72,11 @@ func (sp *NetworkSpec) Validate(maxNodes int) error {
 		}
 		if !(sp.AvgDegree > 0) || math.IsInf(sp.AvgDegree, 0) { // catches NaN and non-positive
 			return Errorf("avgDegree %v must be positive and finite", sp.AvgDegree)
+		}
+		if sp.Topology != nil {
+			if err := sp.Topology.Normalize(); err != nil {
+				return Errorf("%v", err)
+			}
 		}
 		return nil
 	default:
@@ -98,7 +109,13 @@ func (sp *NetworkSpec) Build() (*udg.Network, error) {
 		return nw, nil
 	}
 	rng := rand.New(rand.NewSource(sp.Seed))
-	nw, err := udg.GenConnectedAvgDegree(rng, sp.N, sp.AvgDegree, 2000)
+	var nw *udg.Network
+	var err error
+	if sp.Topology != nil {
+		nw, err = sp.Topology.GenConnected(rng, sp.N, sp.AvgDegree, 2000)
+	} else {
+		nw, err = udg.GenConnectedAvgDegree(rng, sp.N, sp.AvgDegree, 2000)
+	}
 	if err != nil {
 		// The parameters parsed but no connected instance exists for them
 		// (e.g. avgDegree ≈ n): the client's input is at fault, not us.
@@ -129,15 +146,25 @@ func (sp *NetworkSpec) Canonical(b *strings.Builder) {
 		return
 	}
 	fmt.Fprintf(b, "gen:seed=%d,n=%d,deg=%g", sp.Seed, sp.N, sp.AvgDegree)
+	// The topology fragment appears only when the field does, so every
+	// pre-v6 generated spec keeps its exact cache key.
+	if sp.Topology != nil {
+		fmt.Fprintf(b, ",topo=%s", sp.Topology.Canonical())
+	}
 }
 
 // --- backbone --------------------------------------------------------------
 
-// BackboneRequest asks for a WCDS construction over the given network.
+// BackboneRequest asks for a backbone construction over the given network.
 type BackboneRequest struct {
 	NetworkSpec
-	// Algorithm is "I" or "II" (default "II").
+	// Algorithm names a registered construction (default "II"; see
+	// algo.Names). Algorithms without a distributed protocol run
+	// centralized only. Schema v6 widened this beyond "I"/"II".
 	Algorithm string `json:"algorithm,omitempty"`
+	// WeightSeed seeds the per-node weight vector of weighted algorithms
+	// (0 = unit weights; rejected for unweighted algorithms). Schema v6.
+	WeightSeed int64 `json:"weightSeed,omitempty"`
 	// Mode is "centralized" (default), "sync", "async" or "event". For
 	// distributed runs it is the same enum as Engine; setting either is
 	// enough, setting both to different values is rejected.
@@ -183,9 +210,16 @@ type BackboneResponse struct {
 	AdditionalDominators []int   `json:"additionalDominators,omitempty"`
 	SpannerEdges         int     `json:"spannerEdges"`
 	IsWCDS               bool    `json:"isWCDS"`
-	Messages             int     `json:"messages,omitempty"`
-	Rounds               int     `json:"rounds,omitempty"`
-	Cached               bool    `json:"cached"`
+	// Kind and Valid report the construction's output class ("wcds",
+	// "cds" or "ds") and whether the result satisfies that class's own
+	// predicate — for CDS algorithms induced connectivity, for plain DS
+	// algorithms domination only. For Algorithms I/II, Valid == IsWCDS.
+	// Schema v6.
+	Kind     string `json:"kind,omitempty"`
+	Valid    bool   `json:"valid,omitempty"`
+	Messages int    `json:"messages,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	Cached   bool   `json:"cached"`
 	// Schema echoes SchemaVersion so clients can detect which additive
 	// revision of this response they are reading.
 	Schema int `json:"schema"`
@@ -252,19 +286,26 @@ func NormalizeEngine(mode, engine string) (string, string, error) {
 // Normalize canonicalises the request in place (default and case-fold the
 // enum fields) and validates the field combination.
 func (req *BackboneRequest) Normalize() error {
-	switch req.Algorithm {
-	case "", "II", "ii", "2":
+	if req.Algorithm == "" {
 		req.Algorithm = "II"
-	case "I", "i", "1":
-		req.Algorithm = "I"
-	default:
-		return Errorf("unknown algorithm %q (want I or II)", req.Algorithm)
+	}
+	construction, ok := algo.Lookup(req.Algorithm)
+	if !ok {
+		return Errorf("unknown algorithm %q (want %s)", req.Algorithm, algo.NamesString())
+	}
+	req.Algorithm = construction.Name
+	if req.WeightSeed != 0 && !construction.Caps.Weighted {
+		return Errorf("weightSeed applies to weighted algorithms only (got %q)", req.Algorithm)
 	}
 	mode, engine, err := NormalizeEngine(req.Mode, req.Engine)
 	if err != nil {
 		return err
 	}
 	req.Mode, req.Engine = mode, engine
+	if req.Mode != "centralized" && !construction.Caps.Distributed {
+		return Errorf("algorithm %q has no distributed protocol (want mode centralized; distributed algorithms: %s)",
+			req.Algorithm, strings.Join(algo.DistributedNames(), ", "))
+	}
 	switch strings.ToLower(req.Selection) {
 	case "", "deferred":
 		req.Selection = "deferred"
@@ -306,6 +347,10 @@ func (req *BackboneRequest) CacheKey() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "backbone|algo=%s|mode=%s|eng=%s|sel=%s|sched=%d|", req.Algorithm, req.Mode, req.Engine, req.Selection, req.ScheduleSeed)
 	fmt.Fprintf(&b, "rel=%v,retries=%d,rounds=%d|", req.Reliable, req.MaxRetries, req.MaxRounds)
+	// v6 fields contribute fragments only when set, preserving pre-v6 keys.
+	if req.WeightSeed != 0 {
+		fmt.Fprintf(&b, "wseed=%d|", req.WeightSeed)
+	}
 	if req.Faults != nil {
 		// FaultPlan marshals deterministically (fixed field order, omitempty),
 		// so the JSON form is a sound cache-key fragment.
@@ -323,7 +368,9 @@ func (req *BackboneRequest) CacheKey() string {
 // given network.
 type DilationRequest struct {
 	NetworkSpec
-	// Algorithm is "I" or "II" (default "II").
+	// Algorithm names a registered construction (default "II"; see
+	// algo.Names). All dilation runs are centralized. Schema v6 widened
+	// this beyond "I"/"II".
 	Algorithm string `json:"algorithm,omitempty"`
 	// Pairs is the number of sampled node pairs; <= 0 measures every
 	// non-adjacent pair (quadratic — capped by the service's MaxNodes).
@@ -354,13 +401,16 @@ type DilationResponse struct {
 
 // Normalize canonicalises the algorithm field.
 func (req *DilationRequest) Normalize() error {
-	switch req.Algorithm {
-	case "", "II", "ii", "2":
+	if req.Algorithm == "" {
 		req.Algorithm = "II"
-	case "I", "i", "1":
-		req.Algorithm = "I"
-	default:
-		return Errorf("unknown algorithm %q (want I or II)", req.Algorithm)
+	}
+	construction, ok := algo.Lookup(req.Algorithm)
+	if !ok {
+		return Errorf("unknown algorithm %q (want %s)", req.Algorithm, algo.NamesString())
+	}
+	req.Algorithm = construction.Name
+	if construction.Kind == algo.KindDS {
+		return Errorf("dilation is undefined for %q: a plain dominating set's weakly-induced spanner need not be connected", req.Algorithm)
 	}
 	if req.MeasureWorkers < 0 {
 		return Errorf("measureWorkers %d must be non-negative", req.MeasureWorkers)

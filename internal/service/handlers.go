@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/batch"
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/route"
@@ -104,20 +105,29 @@ func (s *Service) computeBackbone(ctx context.Context, req *BackboneRequest) (*B
 	if err != nil {
 		return nil, err
 	}
+	construction, ok := algo.Lookup(req.Algorithm)
+	if !ok {
+		// Normalize already vetted the name; this guards direct callers.
+		return nil, api.Errorf("unknown algorithm %q (want %s)", req.Algorithm, algo.NamesString())
+	}
 	var (
 		res wcds.Result
 		st  simnet.Stats
 	)
 	runner, rec := runnerFor(ctx, req)
-	switch {
-	case req.Algorithm == "I" && runner == nil:
-		res = wcds.Algo1Centralized(nw.G, nw.ID)
-	case req.Algorithm == "I":
-		res, st, err = wcds.Algo1Distributed(nw.G, nw.ID, runner)
-	case runner == nil:
-		res = wcds.Algo2Centralized(nw.G, nw.ID)
-	default:
-		res, st, err = wcds.Algo2Distributed(nw.G, nw.ID, selectionFor(req.Selection), runner)
+	if runner == nil {
+		in := algo.Input{G: nw.G, IDs: nw.ID}
+		if construction.Caps.Weighted {
+			in.Weights = algo.Weights(req.WeightSeed, nw.N())
+		}
+		res, err = construction.Run(in)
+		if err != nil {
+			// The comparator constructions fail only on inputs outside their
+			// contract (a disconnected explicit scene): the client's fault.
+			return nil, api.Errorf("construction failed: %v", err)
+		}
+	} else {
+		res, st, err = algo.DistributedRun(construction, nw.G, nw.ID, selectionFor(req.Selection), false, runner)
 	}
 	resp := &BackboneResponse{
 		N:              nw.N(),
@@ -163,6 +173,8 @@ func (s *Service) computeBackbone(ctx context.Context, req *BackboneRequest) (*B
 	resp.AdditionalDominators = res.AdditionalDominators
 	resp.SpannerEdges = spannerEdges(res.Spanner)
 	resp.IsWCDS = wcds.IsWCDS(nw.G, res.Dominators)
+	resp.Kind = string(construction.Kind)
+	resp.Valid = construction.Valid(nw.G, res.Dominators)
 	return resp, nil
 }
 
@@ -233,11 +245,17 @@ func computeDilation(req *DilationRequest) (*DilationResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	var res wcds.Result
-	if req.Algorithm == "I" {
-		res = wcds.Algo1Centralized(nw.G, nw.ID)
-	} else {
-		res = wcds.Algo2Centralized(nw.G, nw.ID)
+	construction, ok := algo.Lookup(req.Algorithm)
+	if !ok {
+		return nil, api.Errorf("unknown algorithm %q (want %s)", req.Algorithm, algo.NamesString())
+	}
+	in := algo.Input{G: nw.G, IDs: nw.ID}
+	if construction.Caps.Weighted {
+		in.Weights = algo.Weights(0, nw.N())
+	}
+	res, err := construction.Run(in)
+	if err != nil {
+		return nil, api.Errorf("construction failed: %v", err)
 	}
 	var pairs [][2]int
 	if req.Pairs <= 0 {

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestBackboneEndpointRegistryAlgorithms drives the v6 surface end to end:
+// any registered construction, on any registered topology, served over HTTP
+// with the kind/valid fields describing what came back.
+func TestBackboneEndpointRegistryAlgorithms(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+
+	cases := []struct {
+		body map[string]any
+		kind string
+	}{
+		{map[string]any{"seed": 3, "n": 80, "avgDegree": 7, "algorithm": "greedy-cds",
+			"topology": map[string]any{"kind": "clusters", "params": map[string]float64{"k": 3}}}, "cds"},
+		{map[string]any{"seed": 3, "n": 80, "avgDegree": 7, "algorithm": "weighted-ds", "weightSeed": 5}, "ds"},
+		{map[string]any{"seed": 3, "n": 80, "avgDegree": 7, "algorithm": "prune-cds",
+			"topology": map[string]any{"kind": "annulus"}}, "cds"},
+		{map[string]any{"seed": 3, "n": 80, "avgDegree": 7, "algorithm": "I", "mode": "sync",
+			"topology": map[string]any{"kind": "corridor"}}, "wcds"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/backbone", c.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%v: status %d: %v", c.body, resp.StatusCode, body)
+		}
+		if body["kind"] != c.kind {
+			t.Errorf("%v: kind %v, want %q", c.body["algorithm"], body["kind"], c.kind)
+		}
+		if body["valid"] != true {
+			t.Errorf("%v: backbone not valid: %v", c.body["algorithm"], body)
+		}
+	}
+}
+
+// TestBackboneEndpointRegistryErrors: 400s enumerate the real registries,
+// not the historical "want I or II".
+func TestBackboneEndpointRegistryErrors(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+
+	cases := []struct {
+		body    map[string]any
+		wantSub string
+	}{
+		{map[string]any{"seed": 1, "n": 20, "avgDegree": 5, "algorithm": "dijkstra"}, "prune-cds"},
+		{map[string]any{"seed": 1, "n": 20, "avgDegree": 5, "algorithm": "greedy-cds", "mode": "sync"}, "I, II"},
+		{map[string]any{"seed": 1, "n": 20, "avgDegree": 5, "algorithm": "II", "weightSeed": 2}, "weighted"},
+		{map[string]any{"seed": 1, "n": 20, "avgDegree": 5,
+			"topology": map[string]any{"kind": "torus"}}, "annulus"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/backbone", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%v: status %d, want 400 (%v)", c.body, resp.StatusCode, body)
+		}
+		msg, _ := body["error"].(string)
+		if !strings.Contains(msg, c.wantSub) {
+			t.Errorf("%v: error %q does not mention %q", c.body, msg, c.wantSub)
+		}
+	}
+}
+
+// TestBatchEndpointTopologyAxis: the fourth spec axis round-trips through
+// /v1/batch, every row is labelled, and repeating the request hits the cache
+// (the key covers the new axis).
+func TestBatchEndpointTopologyAxis(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	spec := map[string]any{
+		"sizes": []int{30}, "degrees": []float64{6}, "seeds": []int64{1},
+		"topologies": []map[string]any{
+			{"kind": "uniform"},
+			{"kind": "clusters", "params": map[string]float64{"k": 3}},
+		},
+		"workloads": []map[string]any{
+			{"kind": "backbone", "algorithm": "II"},
+			{"kind": "backbone", "algorithm": "greedy-wcds"},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	results, _ := body["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4 (2 topologies x 2 workloads)", len(results))
+	}
+	labelled := 0
+	for _, raw := range results {
+		r, _ := raw.(map[string]any)
+		if topo, _ := r["topology"].(string); topo == "clusters:k=3,sigma=0.75" {
+			labelled++
+		}
+	}
+	if labelled != 2 {
+		t.Fatalf("%d rows carry the clusters label, want 2; body %v", labelled, fmt.Sprint(body["results"])[:200])
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/batch", spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	if body2["cached"] != true {
+		t.Error("identical topology-axis batch request missed the cache")
+	}
+	if body["digest"] != body2["digest"] {
+		t.Errorf("digest changed across identical requests: %v vs %v", body["digest"], body2["digest"])
+	}
+}

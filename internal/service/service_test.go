@@ -13,7 +13,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
 	"time"
+	"wcdsnet/internal/service/api"
 
 	"wcdsnet/internal/udg"
 	"wcdsnet/internal/wcds"
@@ -118,8 +120,8 @@ func TestBackboneEngineField(t *testing.T) {
 		t.Errorf("response does not echo the normalized engine: mode=%v engine=%v",
 			viaEvent["mode"], viaEvent["engine"])
 	}
-	if viaEvent["schema"] != float64(5) {
-		t.Errorf("schema %v, want 5", viaEvent["schema"])
+	if viaEvent["schema"] != float64(api.SchemaVersion) {
+		t.Errorf("schema %v, want %d", viaEvent["schema"], api.SchemaVersion)
 	}
 	if !reflect.DeepEqual(toInts(t, viaEvent["dominators"]), toInts(t, viaSync["dominators"])) {
 		t.Errorf("event engine backbone diverges from sync on the same scenario")

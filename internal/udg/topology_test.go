@@ -1,0 +1,169 @@
+package udg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical form
+	}{
+		{"", "uniform"},
+		{"uniform", "uniform"},
+		{"UNIFORM", "uniform"},
+		{"clusters", "clusters:k=4,sigma=0.75"},
+		{"clusters:k=6", "clusters:k=6,sigma=0.75"},
+		{"clusters:sigma=0.5,k=2", "clusters:k=2,sigma=0.5"},
+		{"grid", "grid:jitter=0.25"},
+		{"grid:jitter=0", "grid:jitter=0"},
+		{"corridor:width=3", "corridor:width=3"},
+		{"annulus:inner=4", "annulus:inner=4"},
+		{"quasi:rmin=0.5,rmax=0.9", "quasi:p=0.5,rmax=0.9,rmin=0.5"},
+	}
+	for _, c := range cases {
+		topo, err := ParseTopology(c.in)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", c.in, err)
+			continue
+		}
+		if got := topo.Canonical(); got != c.want {
+			t.Errorf("ParseTopology(%q).Canonical() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTopologyRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"torus", "unknown topology kind"},
+		{"clusters:radius=2", "unknown parameter"},
+		{"clusters:k=0", "parameter k"},
+		{"clusters:sigma=-1", "parameter sigma"},
+		{"quasi:rmin=0.9,rmax=0.5", "rmax"},
+		{"grid:jitter=NaN", ""},
+		{"corridor:width", "not name=value"},
+	}
+	for _, c := range cases {
+		_, err := ParseTopology(c.in)
+		if err == nil {
+			t.Errorf("ParseTopology(%q) accepted bad input", c.in)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseTopology(%q) error %q does not mention %q", c.in, err, c.wantSub)
+		}
+	}
+	// Unknown kinds must enumerate the registered ones.
+	if _, err := ParseTopology("torus"); err == nil || !strings.Contains(err.Error(), KindsString()) {
+		t.Errorf("unknown-kind error %v does not enumerate kinds %q", err, KindsString())
+	}
+}
+
+// TestTopologyDeterminism: every kind is a pure function of (seed, n, deg) —
+// fixed seed reproduces positions and IDs exactly, a different seed does not.
+func TestTopologyDeterminism(t *testing.T) {
+	for _, kind := range Kinds() {
+		topo := Topology{Kind: kind}
+		if err := topo.Normalize(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		gen := func(seed int64) *Network {
+			nw, err := topo.GenConnected(rand.New(rand.NewSource(seed)), 120, 8, 2000)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", kind, seed, err)
+			}
+			return nw
+		}
+		a, b, c := gen(5), gen(5), gen(6)
+		if len(a.Pos) != len(b.Pos) {
+			t.Fatalf("%s: node counts differ across identical seeds", kind)
+		}
+		same := true
+		for i := range a.Pos {
+			if a.Pos[i] != b.Pos[i] || a.ID[i] != b.ID[i] {
+				t.Errorf("%s: node %d differs across identical seeds", kind, i)
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		diff := len(a.Pos) != len(c.Pos)
+		for i := 0; !diff && i < len(a.Pos); i++ {
+			diff = a.Pos[i] != c.Pos[i]
+		}
+		if !diff {
+			t.Errorf("%s: seeds 5 and 6 produced identical scenes", kind)
+		}
+	}
+}
+
+// TestTopologyConnectivityAndDegree: GenConnected delivers exactly n nodes,
+// a connected graph, and an average degree in the same ballpark as the
+// target (clustered scenes legitimately overshoot; a wide band catches
+// sizing bugs like a square sized for the wrong area).
+func TestTopologyConnectivityAndDegree(t *testing.T) {
+	const n, deg = 150, 8.0
+	for _, kind := range Kinds() {
+		topo := Topology{Kind: kind}
+		if err := topo.Normalize(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		nw, err := topo.GenConnected(rand.New(rand.NewSource(3)), n, deg, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if nw.N() != n {
+			t.Errorf("%s: got %d nodes, want %d", kind, nw.N(), n)
+		}
+		if !nw.G.Connected() {
+			t.Errorf("%s: generated graph is not connected", kind)
+		}
+		if got := nw.G.AvgDegree(); got < deg/3 || got > deg*3 {
+			t.Errorf("%s: average degree %.2f far from target %g", kind, got, deg)
+		}
+	}
+}
+
+// TestUniformTopologyMatchesLegacy: the zero-value topology must consume the
+// RNG exactly like GenConnectedAvgDegree so legacy seeds reproduce the same
+// networks byte for byte — the batch engine and service depend on this for
+// digest and cache-key stability.
+func TestUniformTopologyMatchesLegacy(t *testing.T) {
+	var topo Topology // zero value = uniform
+	got, err := topo.GenConnected(rand.New(rand.NewSource(42)), 100, 7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GenConnectedAvgDegree(rand.New(rand.NewSource(42)), 100, 7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Pos {
+		if got.Pos[i] != want.Pos[i] || got.ID[i] != want.ID[i] {
+			t.Fatalf("node %d: uniform topology diverges from GenConnectedAvgDegree", i)
+		}
+	}
+}
+
+func TestTopologyCanonicalStability(t *testing.T) {
+	// Canonical materializes every effective parameter so two descriptors
+	// that generate identically render identically.
+	a, err := ParseTopology("clusters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseTopology("clusters:k=4,sigma=0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("defaulted and explicit descriptors render differently: %q vs %q", a.Canonical(), b.Canonical())
+	}
+}

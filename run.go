@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"wcdsnet/internal/algo"
 	"wcdsnet/internal/batch"
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service/api"
@@ -14,7 +15,11 @@ import (
 	"wcdsnet/internal/wcds"
 )
 
-// Algorithm names a WCDS construction of the paper.
+// Algorithm names a backbone construction from the registered competitor
+// suite (internal/algo). The paper's Algorithms I and II remain the
+// distributed protocols; the rest are centralized baselines the paper
+// compares against. Use ParseAlgorithm for string names and Algorithms for
+// the full list.
 type Algorithm int
 
 const (
@@ -24,17 +29,59 @@ const (
 	// AlgoII is Algorithm II: ID-ranked MIS + additional dominators, fully
 	// localized, dilation-3 spanner.
 	AlgoII
+	// AlgoMISCDS is the MIS-tree connected dominating set baseline.
+	AlgoMISCDS
+	// AlgoGreedyWCDS is Chen & Liestman's greedy WCDS baseline.
+	AlgoGreedyWCDS
+	// AlgoGreedyCDS is Guha & Khuller's greedy CDS baseline.
+	AlgoGreedyCDS
+	// AlgoWeightedDS is the greedy minimum-weight dominating set over
+	// per-node weights (see WithWeights / WithWeightSeed).
+	AlgoWeightedDS
+	// AlgoPruneCDS is the Butenko-style prune-from-whole-graph CDS
+	// heuristic.
+	AlgoPruneCDS
 )
 
+// algoName maps the facade constants onto registry names; kept in lockstep
+// with internal/algo's registration order.
+var algoName = map[Algorithm]string{
+	AlgoI:          "I",
+	AlgoII:         "II",
+	AlgoMISCDS:     "mis-cds",
+	AlgoGreedyWCDS: "greedy-wcds",
+	AlgoGreedyCDS:  "greedy-cds",
+	AlgoWeightedDS: "weighted-ds",
+	AlgoPruneCDS:   "prune-cds",
+}
+
 func (a Algorithm) String() string {
-	switch a {
-	case AlgoI:
-		return "I"
-	case AlgoII:
-		return "II"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
+	if name, ok := algoName[a]; ok {
+		return name
 	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a registry name or alias ("II", "algo2",
+// "greedy-cds", "butenko", ...) case-insensitively onto its Algorithm
+// constant. Errors wrap ErrInvalidInput and enumerate the registered names.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	c, ok := algo.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("wcdsnet: unknown algorithm %q (want %s): %w", name, algo.NamesString(), ErrInvalidInput)
+	}
+	for a, n := range algoName {
+		if n == c.Name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("wcdsnet: algorithm %q has no facade constant: %w", c.Name, ErrInvalidInput)
+}
+
+// Algorithms lists the registered construction names in registration order —
+// the values -algo flags and service requests accept.
+func Algorithms() []string {
+	return algo.Names()
 }
 
 // Sentinel errors of the unified Run API, shared with the HTTP service
@@ -113,6 +160,8 @@ type runOptions struct {
 	zeroKnowledge bool
 	phases        bool
 	ctx           context.Context
+	weights       []float64
+	weightSeed    int64
 }
 
 // Option configures Run. Options compose; each documents whether it
@@ -205,25 +254,49 @@ func WithPhases() Option {
 	return func(o *runOptions) { o.distributed, o.phases = true, true }
 }
 
-// Run is the single entry point for WCDS construction: pick the algorithm,
-// then opt into distribution, asynchrony, fault injection, reliability and
-// discovery with options. No options runs the centralized reference (zero
-// RunStats); see the Option constructors for what each adds.
+// WithWeights supplies explicit per-node weights for weighted constructions
+// (AlgoWeightedDS). Only accepted by algorithms with the weighted
+// capability; the slice must have one non-negative entry per node.
+func WithWeights(w []float64) Option {
+	return func(o *runOptions) { o.weights = w }
+}
+
+// WithWeightSeed draws per-node weights uniformly from [1, 2) with a
+// dedicated seeded RNG — the reproducible form the batch engine and the
+// service's weightSeed field use. Seed 0 means unit weights. Ignored when
+// WithWeights supplies an explicit slice; only accepted by weighted
+// algorithms.
+func WithWeightSeed(seed int64) Option {
+	return func(o *runOptions) { o.weightSeed = seed }
+}
+
+// Run is the single entry point for backbone construction: pick the
+// algorithm from the registered suite, then opt into distribution,
+// asynchrony, fault injection, reliability and discovery with options. No
+// options runs the centralized construction (zero RunStats); see the Option
+// constructors for what each adds. Distributed options are only accepted by
+// the paper's protocols (AlgoI, AlgoII); the baselines are centralized-only.
 //
 //	res, _, err := wcdsnet.Run(nw, wcdsnet.AlgoII)                  // centralized
 //	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoII, wcdsnet.WithEngine(wcdsnet.EngineEvent))
 //	res, st, err := wcdsnet.Run(nw, wcdsnet.AlgoI,
 //	    wcdsnet.WithFaults(plan), wcdsnet.WithReliable(wcdsnet.ReliableOptions{}))
+//	res, _, err := wcdsnet.Run(nw, wcdsnet.AlgoWeightedDS, wcdsnet.WithWeightSeed(7))
 //
 // Errors wrap the package sentinels: ErrInvalidInput for bad arguments and
 // ErrBudgetExceeded when a distributed run exhausts its round or delivery
 // budget (test with errors.Is).
-func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) {
+func Run(nw *Network, a Algorithm, opts ...Option) (Result, RunStats, error) {
 	if nw == nil {
 		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: nil network: %w", ErrInvalidInput)
 	}
-	if algo != AlgoI && algo != AlgoII {
-		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: unknown algorithm %d (want AlgoI or AlgoII): %w", int(algo), ErrInvalidInput)
+	name, ok := algoName[a]
+	if !ok {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: unknown algorithm %d (want %s): %w", int(a), algo.NamesString(), ErrInvalidInput)
+	}
+	construction, ok := algo.Lookup(name)
+	if !ok {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: algorithm %q not registered: %w", name, ErrInvalidInput)
 	}
 	var o runOptions
 	o.selection = Deferred
@@ -244,17 +317,35 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: %v: %w", err, ErrInvalidInput)
 		}
 	}
-
-	if !o.distributed {
-		if algo == AlgoI {
-			return wcds.Algo1Centralized(nw.G, nw.ID), RunStats{}, nil
-		}
-		if o.selection != Deferred {
-			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: selection mode %v requires a distributed run: %w", o.selection, ErrInvalidInput)
-		}
-		return wcds.Algo2Centralized(nw.G, nw.ID), RunStats{}, nil
+	if (o.weights != nil || o.weightSeed != 0) && !construction.Caps.Weighted {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: algorithm %s does not take node weights: %w", name, ErrInvalidInput)
 	}
 
+	if !o.distributed {
+		// Algorithm I's centralized reference has always ignored the
+		// (Algorithm II specific) selection mode; every other construction
+		// rejects a non-default mode as a distributed-only request.
+		if o.selection != Deferred && name != "I" {
+			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: selection mode %v requires a distributed run: %w", o.selection, ErrInvalidInput)
+		}
+		in := algo.Input{G: nw.G, IDs: nw.ID}
+		if construction.Caps.Weighted {
+			in.Weights = o.weights
+			if in.Weights == nil {
+				in.Weights = algo.Weights(o.weightSeed, nw.N())
+			}
+		}
+		res, err := construction.Run(in)
+		if err != nil {
+			return Result{}, RunStats{}, fmt.Errorf("wcdsnet: %v: %w", err, ErrInvalidInput)
+		}
+		return res, RunStats{}, nil
+	}
+
+	if !construction.Caps.Distributed {
+		return Result{}, RunStats{}, fmt.Errorf("wcdsnet: algorithm %s has no distributed protocol (distributed: %s): %w",
+			name, strings.Join(algo.DistributedNames(), ", "), ErrInvalidInput)
+	}
 	var rec *obs.Spans
 	if o.phases {
 		rec = obs.NewSpans()
@@ -265,16 +356,7 @@ func Run(nw *Network, algo Algorithm, opts ...Option) (Result, RunStats, error) 
 		st  RunStats
 		err error
 	)
-	switch {
-	case algo == AlgoI && o.zeroKnowledge:
-		res, st.Stats, err = wcds.Algo1ZeroKnowledge(nw.G, nw.ID, run)
-	case algo == AlgoI:
-		res, st.Stats, err = wcds.Algo1Distributed(nw.G, nw.ID, run)
-	case o.zeroKnowledge:
-		res, st.Stats, err = wcds.Algo2ZeroKnowledge(nw.G, nw.ID, o.selection, run)
-	default:
-		res, st.Stats, err = wcds.Algo2Distributed(nw.G, nw.ID, o.selection, run)
-	}
+	res, st.Stats, err = algo.DistributedRun(construction, nw.G, nw.ID, o.selection, o.zeroKnowledge, run)
 	if rec != nil {
 		st.Phases = rec.Snapshot()
 	}

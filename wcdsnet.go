@@ -57,6 +57,13 @@ type (
 	// Network is a wireless ad hoc network: positions, protocol IDs and
 	// the induced unit-disk graph.
 	Network = udg.Network
+	// Topology is a spec-addressable scene descriptor {kind, params} over
+	// the udg.Gen* generator family: "uniform", "clusters", "grid",
+	// "corridor", "annulus", "quasi". The zero value means uniform. Parse
+	// the CLI/wire form "kind:k=v,..." with ParseTopology and realise it
+	// with GenerateNetworkTopology; the batch engine sweeps it as a fourth
+	// spec axis and the service accepts it on generated network specs.
+	Topology = udg.Topology
 	// Result is a WCDS construction outcome: dominator sets plus the
 	// weakly induced sparse spanner.
 	Result = wcds.Result
@@ -147,6 +154,42 @@ func GenerateNetwork(seed int64, n int, avgDegree float64) (*Network, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	nw, err := udg.GenConnectedAvgDegree(rng, n, avgDegree, 2000)
+	if err != nil {
+		return nil, fmt.Errorf("wcdsnet: %w", err)
+	}
+	return nw, nil
+}
+
+// ParseTopology parses the CLI/wire form "kind" or "kind:name=val,..."
+// (e.g. "clusters:k=6,sigma=0.5") into a normalized Topology. Unknown kinds
+// and parameters are rejected with errors enumerating the valid choices.
+func ParseTopology(s string) (Topology, error) {
+	return udg.ParseTopology(s)
+}
+
+// TopologyKinds lists the registered scene kinds ("uniform", "clusters",
+// ...) — the values ParseTopology and the batch topologies axis accept.
+func TopologyKinds() []string {
+	return udg.Kinds()
+}
+
+// GenerateNetworkTopology is GenerateNetwork over an explicit scene
+// descriptor: it samples a connected network of n unit-radius nodes from
+// the topology's generator, sized for the target average degree, retrying
+// disconnected draws. The zero-value Topology reproduces GenerateNetwork
+// draw for draw.
+func GenerateNetworkTopology(seed int64, n int, avgDegree float64, topo Topology) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wcdsnet: node count n=%d must be positive", n)
+	}
+	if math.IsNaN(avgDegree) || math.IsInf(avgDegree, 0) || avgDegree <= 0 {
+		return nil, fmt.Errorf("wcdsnet: average degree %v must be positive and finite", avgDegree)
+	}
+	if err := topo.Normalize(); err != nil {
+		return nil, fmt.Errorf("wcdsnet: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nw, err := topo.GenConnected(rng, n, avgDegree, 2000)
 	if err != nil {
 		return nil, fmt.Errorf("wcdsnet: %w", err)
 	}

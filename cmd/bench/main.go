@@ -32,13 +32,26 @@
 // worker counts and validity-checked cell by cell. `-competitors` runs just
 // that sweep in its quick shape and exits (the CI smoke job).
 //
-// If a prior BENCH_*.json exists in the output directory, bench compares
-// against the newest one and fails on a >20% regression: throughput is
-// gated only when GOMAXPROCS matches the baseline (ops/s on a different
-// core count is not comparable, and millionNode throughput additionally
-// only when the scene size matches); allocations per scenario,
-// measurement-core allocations and per-phase protocol message/delivery
-// counts are gated always.
+// The fleet phases (fleetphase.go) time the cluster-mode coordinator on
+// the same suite through the full wire path — HTTP, JSON, NDJSON — against
+// in-process loopback workers: fleet1 drives one worker, fleetN a 3-worker
+// fleet, both with single-threaded workers so the measured scaling comes
+// from fleet size alone. Both merged digests must match serial. On a
+// multi-core runner (GOMAXPROCS >= fleet size) the N-worker fleet must
+// clear a 1.8x speedup over the single worker; below that core count the
+// two runs share cores and the phase only warns, because their timings are
+// indistinguishable.
+//
+// If prior BENCH_*.json reports exist in the output directory, bench
+// compares against the median of the last -baselines matching reports
+// (same schema and suite shape; default 3, damping one-off baseline noise)
+// and fails on a >20% regression: throughput is gated only when GOMAXPROCS
+// matches the baseline (ops/s on a different core count is not comparable,
+// and millionNode throughput additionally only when the scene size
+// matches); allocations per scenario, measurement-core allocations and
+// per-phase protocol message/delivery counts are gated always. Every phase
+// records its effective parallelism (workers actually backed by cores);
+// when an N-worker phase ran without real parallelism bench says so.
 //
 // Usage:
 //
@@ -76,8 +89,11 @@ import (
 // gate only compares like against like. v5 added the competitors phase
 // (competitors.go): every registered algorithm crossed with every
 // registered topology kind, digest-checked across worker counts, with the
-// per-cell table recorded in competitors/competitor_digest.
-const Schema = "wcdsnet-bench/v5"
+// per-cell table recorded in competitors/competitor_digest. v6 added the
+// cluster-mode fleet phases (fleet1/fleetN through the wire against
+// in-process workers, fleetphase.go), speedup_fleet/fleet_workers,
+// per-phase effective parallelism, and median-of-N baseline gating.
+const Schema = "wcdsnet-bench/v6"
 
 // regressionTolerance is the fractional slack before the gate trips.
 const regressionTolerance = 0.20
@@ -91,6 +107,29 @@ type Phase struct {
 	P95MS       float64 `json:"p95_ms"`
 	AllocPerOp  float64 `json:"alloc_bytes_per_op"`
 	MallocPerOp float64 `json:"mallocs_per_op"`
+	// Parallel is the phase's effective parallelism: the worker count
+	// actually backed by cores (min(Workers, GOMAXPROCS)). An N-worker
+	// phase with Parallel == 1 timed concurrency, not parallelism — its
+	// wall clock is indistinguishable from the 1-worker run.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// effectiveParallel is the worker count actually backed by cores.
+func effectiveParallel(workers int) int {
+	if procs := runtime.GOMAXPROCS(0); workers > procs {
+		return procs
+	}
+	return max(workers, 1)
+}
+
+// warnParallel notes when a multi-worker phase ran without real
+// parallelism, so a flat speedup on a starved runner reads as the
+// measurement artifact it is rather than a regression.
+func warnParallel(name string, ph Phase) {
+	if ph.Workers > 1 && ph.Parallel == 1 {
+		fmt.Printf("warning: %s ran %d workers at effective parallelism 1 (GOMAXPROCS=%d) — its timing is indistinguishable from a 1-worker run\n",
+			name, ph.Workers, runtime.GOMAXPROCS(0))
+	}
 }
 
 // Report is the BENCH_*.json document.
@@ -107,6 +146,12 @@ type Report struct {
 	Speedup1W  float64          `json:"speedup_1w"`
 	SpeedupNW  float64          `json:"speedup_nw"`
 	Baseline   string           `json:"baseline,omitempty"`
+
+	// SpeedupFleet is fleet1 wall over fleetN wall (cluster-mode scaling)
+	// and FleetWorkers the fleetN worker count; the gate compares fleet
+	// throughput only between runs with the same fleet size.
+	SpeedupFleet float64 `json:"speedup_fleet,omitempty"`
+	FleetWorkers int     `json:"fleet_workers,omitempty"`
 
 	// MillionNodeSize is the node count of the millionNode phase's scene.
 	// Throughput at different scales is not comparable, so the gate only
@@ -134,6 +179,8 @@ func main() {
 	keep := flag.Int("keep", 5, "retain only the newest N BENCH_*.json reports after writing (0 = keep all)")
 	nodes := flag.Int("nodes", 0, "node count for the millionNode event-engine phase (0 = 50k quick / 250k full; nightly passes 1000000)")
 	compOnly := flag.Bool("competitors", false, "run only the quick competitor smoke (every algorithm × topology cell) and exit; no report, no gate")
+	baselines := flag.Int("baselines", 3, "gate against the median of the last N matching baselines (1 = newest only)")
+	fleetN := flag.Int("fleet", 3, "worker count for the fleetN cluster-mode phase (0 disables the fleet phases)")
 	flag.Parse()
 
 	if *compOnly {
@@ -143,13 +190,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*quick, *out, *workers, *reps, *noGate, *keep, *nodes); err != nil {
+	if err := run(*quick, *out, *workers, *reps, *noGate, *keep, *nodes, *baselines, *fleetN); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes int) error {
+func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes, baselines, fleetWorkers int) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -218,6 +265,16 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes 
 		return err
 	}
 
+	var fleet1Ph, fleetNPh Phase
+	var speedupFleet float64
+	if fleetWorkers > 0 {
+		fleet1Ph, fleetNPh, err = fleetPhases(ctx, spec, digest, reps, fleetWorkers)
+		if err != nil {
+			return err
+		}
+		speedupFleet = float64(fleet1Ph.WallNS) / float64(fleetNPh.WallNS)
+	}
+
 	rep := &Report{
 		Schema:     Schema,
 		Stamp:      time.Now().UTC().Format("20060102T150405Z"),
@@ -238,13 +295,28 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes 
 		},
 		Speedup1W:        float64(serialRep.WallNS) / float64(engine1Rep.WallNS),
 		SpeedupNW:        float64(serialRep.WallNS) / float64(engineNRep.WallNS),
+		SpeedupFleet:     speedupFleet,
+		FleetWorkers:     fleetWorkers,
 		ProtocolPhases:   phaseTotals(engineNRep),
 		MillionNodeSize:  nodes,
 		Competitors:      compRows,
 		CompetitorDigest: compDigest,
 	}
+	if fleetWorkers > 0 {
+		rep.Phases["fleet1"] = fleet1Ph
+		rep.Phases["fleetN"] = fleetNPh
+	}
 	fmt.Printf("digest : %s (identical across serial, 1 worker, %d workers)\n", digest[:16], workers)
 	fmt.Printf("speedup: %.2fx (1 worker)  %.2fx (%d workers)\n", rep.Speedup1W, rep.SpeedupNW, workers)
+	if fleetWorkers > 0 {
+		fmt.Printf("fleet  : %.2fx (%d workers vs 1, effective parallelism %d)\n",
+			speedupFleet, fleetWorkers, fleetNPh.Parallel)
+		if err := checkFleetSpeedup(fleet1Ph, fleetNPh, speedupFleet); err != nil {
+			return err
+		}
+	}
+	warnParallel("engineN", rep.Phases["engineN"])
+	warnParallel("fleetN", fleetNPh)
 	if measurePh.MallocPerOp > 0 {
 		fmt.Printf("measure: %.0f → %.0f mallocs/op (%.1fx fewer than the allocating baseline)\n",
 			measureSerialPh.MallocPerOp, measurePh.MallocPerOp,
@@ -254,7 +326,7 @@ func run(quick bool, outDir string, workers, reps int, noGate bool, keep, nodes 
 
 	var gateErr error
 	if !noGate {
-		base, name, err := newestBaseline(outDir)
+		base, name, err := medianBaseline(outDir, baselines, rep)
 		if err != nil {
 			return err
 		}
@@ -402,6 +474,7 @@ func phase(rep *wcdsnet.BatchReport) Phase {
 		P95MS:       sum.P95,
 		AllocPerOp:  float64(rep.AllocBytes) / n,
 		MallocPerOp: float64(rep.Mallocs) / n,
+		Parallel:    effectiveParallel(rep.Workers),
 	}
 }
 
@@ -430,6 +503,91 @@ func newestBaseline(dir string) (*Report, string, error) {
 		return nil, "", nil
 	}
 	return &base, filepath.Base(path), nil
+}
+
+// medianBaseline gates against the median of the last n baselines that
+// match the newest one's shape (same schema, suite, core count, scene and
+// fleet size), instead of the newest alone — one anomalously fast or slow
+// baseline run then shifts the reference by at most half a sample, not the
+// whole gate. n <= 1 degrades to newest-only. The synthetic report carries
+// the newest baseline's metadata, so gate's comparability rules behave
+// exactly as with a single baseline.
+func medianBaseline(dir string, n int, cur *Report) (*Report, string, error) {
+	newest, newestName, err := newestBaseline(dir)
+	if err != nil || newest == nil || n <= 1 {
+		return newest, newestName, err
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(matches)
+	var picked []*Report
+	var names []string
+	for i := len(matches) - 1; i >= 0 && len(picked) < n; i-- {
+		blob, err := os.ReadFile(matches[i])
+		if err != nil {
+			return nil, "", fmt.Errorf("read baseline %s: %w", matches[i], err)
+		}
+		var base Report
+		if err := json.Unmarshal(blob, &base); err != nil {
+			return nil, "", fmt.Errorf("parse baseline %s: %w", matches[i], err)
+		}
+		if base.Schema != Schema || base.Quick != newest.Quick ||
+			base.Scenarios != newest.Scenarios || base.GOMAXPROCS != newest.GOMAXPROCS ||
+			base.MillionNodeSize != newest.MillionNodeSize || base.FleetWorkers != newest.FleetWorkers {
+			continue
+		}
+		picked = append(picked, &base)
+		names = append(names, filepath.Base(matches[i]))
+	}
+	if len(picked) <= 1 {
+		return newest, newestName, nil
+	}
+
+	merged := *newest
+	merged.Phases = make(map[string]Phase, len(newest.Phases))
+	for name, ph := range newest.Phases {
+		ops := make([]float64, 0, len(picked))
+		mallocs := make([]float64, 0, len(picked))
+		for _, base := range picked {
+			if bph, ok := base.Phases[name]; ok {
+				ops = append(ops, bph.OpsPerSec)
+				mallocs = append(mallocs, bph.MallocPerOp)
+			}
+		}
+		ph.OpsPerSec, ph.MallocPerOp = median(ops), median(mallocs)
+		merged.Phases[name] = ph
+	}
+	merged.ProtocolPhases = nil
+	for _, sp := range newest.ProtocolPhases {
+		msgs := make([]float64, 0, len(picked))
+		dels := make([]float64, 0, len(picked))
+		for _, base := range picked {
+			for _, bsp := range base.ProtocolPhases {
+				if bsp.Name == sp.Name {
+					msgs = append(msgs, float64(bsp.Messages))
+					dels = append(dels, float64(bsp.Deliveries))
+				}
+			}
+		}
+		sp.Messages, sp.Deliveries = int(median(msgs)), int(median(dels))
+		merged.ProtocolPhases = append(merged.ProtocolPhases, sp)
+	}
+	return &merged, fmt.Sprintf("median of %d: %s .. %s", len(picked), names[len(names)-1], names[0]), nil
+}
+
+// median of a sample; even-sized samples average the middle pair.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
 }
 
 // gate compares the report against the baseline and returns an error on a
@@ -491,6 +649,18 @@ func gate(rep, base *Report, name string) error {
 	}
 	if millionComparable {
 		if err := gateOps("millionNode", "nodes/s", ncur, nold, name); err != nil {
+			return err
+		}
+	}
+	fcur, fcurOK := rep.Phases["fleetN"]
+	fold, foldOK := base.Phases["fleetN"]
+	fleetComparable := fcurOK && foldOK && rep.FleetWorkers == base.FleetWorkers
+	if fcurOK && foldOK && !fleetComparable {
+		fmt.Printf("gate   : baseline %s ran the fleet phase at %d workers (now %d), skipping it\n",
+			name, base.FleetWorkers, rep.FleetWorkers)
+	}
+	if fleetComparable {
+		if err := gateOps("fleetN", "scenarios/s", fcur, fold, name); err != nil {
 			return err
 		}
 	}

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"wcdsnet"
@@ -143,6 +145,170 @@ func TestGateProtocolPhases(t *testing.T) {
 		if (err != nil) != c.fail {
 			t.Errorf("%s: gate error = %v, want failure=%v", c.name, err, c.fail)
 		}
+	}
+}
+
+func withFleet(rep *Report, workers int, ops float64) *Report {
+	rep.FleetWorkers = workers
+	rep.Phases["fleetN"] = Phase{Workers: workers, OpsPerSec: ops}
+	return rep
+}
+
+func TestGateFleetPhase(t *testing.T) {
+	base := withFleet(report(1000, 2000, 1, 108, false), 3, 200)
+	cases := []struct {
+		name string
+		cur  *Report
+		fail bool
+	}{
+		{"identical", withFleet(report(1000, 2000, 1, 108, false), 3, 200), false},
+		{"fleet throughput regression", withFleet(report(1000, 2000, 1, 108, false), 3, 100), true},
+		{"different fleet size skipped", withFleet(report(1000, 2000, 1, 108, false), 5, 100), false},
+		{"fleet throughput skipped on different cores", withFleet(report(1000, 2000, 4, 108, false), 3, 100), false},
+		{"no fleet phase in current run", report(1000, 2000, 1, 108, false), false},
+	}
+	for _, c := range cases {
+		err := gate(c.cur, base, "baseline.json")
+		if (err != nil) != c.fail {
+			t.Errorf("%s: gate error = %v, want failure=%v (err=%v)", c.name, err, c.fail, err)
+		}
+	}
+}
+
+func TestCheckFleetSpeedup(t *testing.T) {
+	one := Phase{Workers: 1, Parallel: 1}
+	cases := []struct {
+		name    string
+		many    Phase
+		speedup float64
+		fail    bool
+	}{
+		{"scaling ok", Phase{Workers: 3, Parallel: 3}, 2.4, false},
+		{"floor violation with real parallelism", Phase{Workers: 3, Parallel: 3}, 1.1, true},
+		{"flat on shared cores only warns", Phase{Workers: 3, Parallel: 1}, 1.0, false},
+		{"single worker exempt", Phase{Workers: 1, Parallel: 1}, 1.0, false},
+	}
+	for _, c := range cases {
+		err := checkFleetSpeedup(one, c.many, c.speedup)
+		if (err != nil) != c.fail {
+			t.Errorf("%s: error = %v, want failure=%v", c.name, err, c.fail)
+		}
+	}
+}
+
+func TestEffectiveParallel(t *testing.T) {
+	if got := effectiveParallel(1); got != 1 {
+		t.Errorf("effectiveParallel(1) = %d", got)
+	}
+	if got := effectiveParallel(0); got != 1 {
+		t.Errorf("effectiveParallel(0) = %d", got)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if got := effectiveParallel(procs + 5); got != procs {
+		t.Errorf("effectiveParallel(%d) = %d, want GOMAXPROCS=%d", procs+5, got, procs)
+	}
+}
+
+// TestFleetPhaseSmoke runs the cluster-mode phase itself at toy scale:
+// 2 in-process workers over the wire, digest-checked against serial.
+func TestFleetPhaseSmoke(t *testing.T) {
+	spec := &wcdsnet.BatchSpec{
+		Sizes:   []int{30},
+		Degrees: []float64{6},
+		Seeds:   []int64{1, 2},
+		Workloads: []wcdsnet.BatchWorkload{
+			{Kind: "backbone", Algorithm: "II", Mode: "sync"},
+			{Kind: "broadcast", Source: 0},
+		},
+	}
+	local, err := wcdsnet.RunBatchSerial(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, many, err := fleetPhases(context.Background(), spec, local.Digest(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Workers != 1 || many.Workers != 2 {
+		t.Fatalf("phase worker counts %d/%d, want 1/2", one.Workers, many.Workers)
+	}
+	if one.WallNS <= 0 || many.WallNS <= 0 || one.OpsPerSec <= 0 {
+		t.Fatalf("degenerate fleet phases: %+v %+v", one, many)
+	}
+	if many.Parallel < 1 || many.Parallel > 2 {
+		t.Fatalf("fleetN effective parallelism %d out of range", many.Parallel)
+	}
+}
+
+func TestMedianBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cur := report(1000, 2000, 1, 108, false)
+	write := func(name string, rep *Report) {
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Empty dir: nothing to gate against.
+	if base, _, err := medianBaseline(dir, 3, cur); err != nil || base != nil {
+		t.Fatalf("empty dir: base=%v err=%v", base, err)
+	}
+
+	write("BENCH_20260101T000000Z.json", report(400, 3000, 1, 108, false))
+	write("BENCH_20260201T000000Z.json", report(1200, 1900, 1, 108, false))
+	write("BENCH_20260301T000000Z.json", report(1000, 2000, 1, 108, false))
+
+	base, name, err := medianBaseline(dir, 3, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of {400, 1200, 1000} ops and {3000, 1900, 2000} mallocs.
+	if got := base.Phases["engineN"].OpsPerSec; got != 1000 {
+		t.Errorf("median ops = %v, want 1000", got)
+	}
+	if got := base.Phases["engineN"].MallocPerOp; got != 2000 {
+		t.Errorf("median mallocs = %v, want 2000", got)
+	}
+	if name == "BENCH_20260301T000000Z.json" {
+		t.Errorf("median gate reported a single baseline name: %s", name)
+	}
+
+	// n=1 degrades to newest-only.
+	base, name, err = medianBaseline(dir, 1, cur)
+	if err != nil || name != "BENCH_20260301T000000Z.json" {
+		t.Fatalf("n=1: name=%s err=%v", name, err)
+	}
+	if base.Phases["engineN"].OpsPerSec != 1000 {
+		t.Fatalf("n=1 loaded wrong report: %+v", base)
+	}
+
+	// A baseline from a different suite shape is excluded from the median.
+	write("BENCH_20260401T000000Z.json", report(5000, 100, 1, 108, false))
+	write("BENCH_20250101T000000Z.json", report(1, 1, 1, 27, true))
+	base, _, err = medianBaseline(dir, 4, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median over the four full-suite runs {400, 1200, 1000, 5000} = 1100.
+	if got := base.Phases["engineN"].OpsPerSec; got != 1100 {
+		t.Errorf("median ops with foreign-shape baseline = %v, want 1100", got)
+	}
+
+	// A mixed-core history only medians over runs matching the newest.
+	write("BENCH_20260501T000000Z.json", report(10, 9, 8, 108, false))
+	base, _, err = medianBaseline(dir, 5, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.GOMAXPROCS; got != 8 {
+		t.Errorf("merged baseline GOMAXPROCS = %d, want the newest run's 8", got)
+	}
+	if got := base.Phases["engineN"].OpsPerSec; got != 10 {
+		t.Errorf("median across mismatched cores = %v, want the newest run alone (10)", got)
 	}
 }
 

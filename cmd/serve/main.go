@@ -27,8 +27,16 @@
 //	POST /v1/backbone   {"seed":42,"n":500,"avgDegree":10,"algorithm":"II","mode":"sync"}
 //	POST /v1/dilation   {"seed":42,"n":300,"avgDegree":8,"pairs":500}
 //	POST /v1/broadcast  {"seed":42,"n":300,"avgDegree":8,"source":0}
+//	POST /v1/batch      {"sizes":[...],"degrees":[...],"seeds":[...],"workloads":[...]}
+//	POST /v1/shard      batch spec + {"lo":0,"hi":8} — one scenario range, rows
+//	                    keep global indices (cluster mode; see cmd/fleet)
 //	GET  /healthz
 //	GET  /metrics
+//
+// Batch and shard requests accept ?stream=ndjson to stream rows as they
+// finish. A group of serve processes forms a cluster-mode fleet behind
+// cmd/fleet, which fans one sweep out over /v1/shard and merges the rows
+// back digest-identically.
 package main
 
 import (

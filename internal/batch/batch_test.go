@@ -207,6 +207,59 @@ func TestRunMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunRangeMergesToFullDigest is the shard contract the fleet
+// coordinator builds on: executing disjoint [lo, hi) ranges independently
+// and concatenating their rows in index order reproduces the full run's
+// digest byte for byte, at any shard width.
+func TestRunRangeMergesToFullDigest(t *testing.T) {
+	ctx := context.Background()
+	full, err := Run(ctx, testSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{1, 3, 5, full.Scenarios} {
+		merged := &Report{
+			Scenarios: full.Scenarios,
+			Networks:  full.Networks,
+			Workers:   1,
+		}
+		for lo := 0; lo < full.Scenarios; lo += width {
+			hi := min(lo+width, full.Scenarios)
+			shard, err := RunRange(ctx, testSpec(), lo, hi, Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("RunRange(%d, %d): %v", lo, hi, err)
+			}
+			if shard.Scenarios != hi-lo || len(shard.Results) != hi-lo {
+				t.Fatalf("shard [%d, %d) carries %d/%d rows", lo, hi, shard.Scenarios, len(shard.Results))
+			}
+			for i, res := range shard.Results {
+				if res.Index != lo+i {
+					t.Fatalf("shard [%d, %d) row %d carries global index %d", lo, hi, i, res.Index)
+				}
+			}
+			merged.Results = append(merged.Results, shard.Results...)
+		}
+		merged.Finalize()
+		if merged.Digest() != full.Digest() {
+			t.Errorf("width %d: merged digest differs:\n%s",
+				width, firstDiff(full.Canonical(), merged.Canonical()))
+		}
+		if merged.Failed != full.Failed {
+			t.Errorf("width %d: merged Failed %d != %d", width, merged.Failed, full.Failed)
+		}
+	}
+}
+
+func TestRunRangeRejectsBadRange(t *testing.T) {
+	ctx := context.Background()
+	n := testSpec().NumScenarios()
+	for _, rg := range [][2]int{{-1, 2}, {0, n + 1}, {3, 3}, {5, 2}} {
+		if _, err := RunRange(ctx, testSpec(), rg[0], rg[1], Options{}); err == nil {
+			t.Errorf("RunRange accepted range [%d, %d) of %d", rg[0], rg[1], n)
+		}
+	}
+}
+
 // TestMeasureWorkersDigestStable extends the determinism contract to the
 // dilation measurement parallelism: the sweep digest must be identical for
 // every MeasureWorkers value, for every shard count.

@@ -1,0 +1,46 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"wcdsnet/internal/simnet"
+)
+
+// benchSpec mirrors the shape of cmd/bench's pinned suite at reduced
+// scale: every workload family the engine hot path serves — centralized,
+// sync rounds, the event engine lossless and lossy-reliable, sampled
+// dilation and broadcast.
+func benchSpec() *Spec {
+	return &Spec{
+		Sizes:   []int{100},
+		Degrees: []float64{8},
+		Seeds:   []int64{1, 2},
+		Workloads: []Workload{
+			{Kind: Backbone, Algorithm: "II"},
+			{Kind: Backbone, Algorithm: "I"},
+			{Kind: Backbone, Algorithm: "II", Mode: "sync"},
+			{Kind: Backbone, Algorithm: "II", Engine: "event"},
+			{Kind: Backbone, Algorithm: "II", Engine: "event",
+				Faults: &simnet.FaultPlan{Seed: 11, DropRate: 0.15}, Reliable: true, MaxRounds: 4000},
+			{Kind: Dilation, Algorithm: "II", Pairs: 40, SampleSeed: 7},
+			{Kind: Broadcast, Source: 0},
+			{Kind: Broadcast, Source: 1},
+		},
+	}
+}
+
+// BenchmarkEngineSuite is the allocation harness for the engine hot path:
+// b.ReportAllocs surfaces mallocs per sweep, and -memprofile attributes
+// them (the per-scenario figure cmd/bench gates is this divided by the
+// scenario count).
+func BenchmarkEngineSuite(b *testing.B) {
+	spec := benchSpec()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ctx, spec, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -242,6 +242,103 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// RunRange executes only the scenarios whose global index lies in [lo, hi)
+// and returns a report whose Results carry their global indices. Rows are
+// byte-identical (per-row Canonical) to the corresponding rows of a full
+// Run of the same spec, so a coordinator can execute disjoint ranges on
+// different processes and merge them back into a digest-identical report
+// (see internal/fleet). Network memos are shared within the range exactly
+// as Run shares them across the whole sweep.
+func RunRange(ctx context.Context, spec *Spec, lo, hi int, opts Options) (*Report, error) {
+	scens, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > len(scens) || lo >= hi {
+		return nil, fmt.Errorf("batch: shard range [%d, %d) out of bounds for %d scenarios", lo, hi, len(scens))
+	}
+	shard := scens[lo:hi]
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(shard))
+	measureWorkers := opts.MeasureWorkers
+	if measureWorkers <= 0 {
+		measureWorkers = 1
+	}
+
+	memos := make([]*netMemo, spec.NumNetworks())
+	networks := 0
+	for _, sc := range shard {
+		if memos[sc.Net] == nil {
+			topo, label := spec.topologyAt(sc.Topology)
+			memos[sc.Net] = &netMemo{size: sc.Size, degree: sc.Degree, seed: sc.Seed,
+				topo: topo, topoLabel: label}
+			networks++
+		}
+	}
+
+	results := make([]Result, len(shard))
+	done := make([]bool, len(shard))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var (
+		next atomic.Int64
+		cbMu sync.Mutex
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shard) || ctx.Err() != nil {
+					return
+				}
+				sc := shard[i]
+				res := runScenario(ctx, sc, &spec.Workloads[sc.Workload], memos[sc.Net], measureWorkers)
+				if res.cancelled {
+					return
+				}
+				results[i] = res
+				done[i] = true
+				if opts.OnResult != nil {
+					cbMu.Lock()
+					opts.OnResult(res)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	runtime.ReadMemStats(&ms1)
+	rep := &Report{
+		Scenarios:  len(shard),
+		Networks:   networks,
+		Workers:    workers,
+		WallNS:     time.Since(start).Nanoseconds(),
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+	}
+	if err := ctx.Err(); err != nil {
+		for i, ok := range done {
+			if ok {
+				rep.Results = append(rep.Results, results[i])
+			}
+		}
+		rep.finish()
+		return rep, err
+	}
+	rep.Results = results
+	rep.finish()
+	return rep, nil
+}
+
 // RunSerial is the pre-engine baseline: the same scenarios, one at a time,
 // each regenerating its network and recomputing every construction from
 // scratch (a fresh memo per scenario, so nothing is shared). cmd/bench

@@ -113,6 +113,13 @@ type Report struct {
 	Aggregates map[string]stats.Summary `json:"aggregates"`
 }
 
+// Finalize derives Failed and Aggregates from Results. The engines call it
+// internally; external assemblers (the fleet coordinator merging shard rows
+// back into one report) call it after filling Results in index order so the
+// merged report carries the same derived fields — and therefore the same
+// Canonical and Digest — as a local run.
+func (r *Report) Finalize() { r.finish() }
+
 // finish derives Failed and Aggregates from Results.
 func (r *Report) finish() {
 	samples := map[string][]float64{}

@@ -107,6 +107,81 @@ func TestPartitionOnUDGs(t *testing.T) {
 	}
 }
 
+// TestByClusterheadPropertyAllTopologies checks the partition invariants on
+// every registered topology family: MIS heads dominate, every cluster has
+// radius at most one, every non-head joined the adjacent head with the
+// smallest protocol ID, the clusters partition the node set, and the
+// quotient graph of a connected network is connected.
+func TestByClusterheadPropertyAllTopologies(t *testing.T) {
+	for _, kind := range udg.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			top := udg.Topology{Kind: kind}
+			if err := top.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 5; trial++ {
+				n := 60 + rng.Intn(60)
+				nw, err := top.GenConnected(rng, n, 9, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				heads := mis.Greedy(nw.G, mis.ByID(nw.ID))
+				p, err := ByClusterhead(nw.G, nw.ID, heads)
+				if err != nil {
+					t.Fatalf("trial %d: %v (MIS heads must dominate)", trial, err)
+				}
+				if p.Count() != len(heads) {
+					t.Fatalf("trial %d: %d clusters for %d heads", trial, p.Count(), len(heads))
+				}
+				if p.Radius(nw.G) > 1 {
+					t.Fatalf("trial %d: radius %d > 1", trial, p.Radius(nw.G))
+				}
+				isHead := make(map[int]bool, len(heads))
+				for _, h := range heads {
+					isHead[h] = true
+				}
+				seen := 0
+				for h, members := range p.Members {
+					if !isHead[h] || p.Head[h] != h {
+						t.Fatalf("trial %d: cluster owner %d is not a self-owned head", trial, h)
+					}
+					for _, v := range members {
+						seen++
+						if p.Head[v] != h {
+							t.Fatalf("trial %d: member %d of %d has Head %d", trial, v, h, p.Head[v])
+						}
+						if v == h {
+							continue
+						}
+						if isHead[v] {
+							t.Fatalf("trial %d: head %d is a member of %d (MIS heads not independent?)", trial, v, h)
+						}
+						if !nw.G.HasEdge(v, h) {
+							t.Fatalf("trial %d: member %d not adjacent to head %d", trial, v, h)
+						}
+						// Min-ID rule: no adjacent head has a smaller ID.
+						for _, w := range nw.G.Neighbors(v) {
+							if isHead[w] && nw.ID[w] < nw.ID[h] {
+								t.Fatalf("trial %d: node %d joined head %d (ID %d) over head %d (ID %d)",
+									trial, v, h, nw.ID[h], w, nw.ID[w])
+							}
+						}
+					}
+				}
+				if seen != nw.N() {
+					t.Fatalf("trial %d: members cover %d of %d nodes", trial, seen, nw.N())
+				}
+				q, qHeads := p.QuotientGraph(nw.G)
+				if len(qHeads) != p.Count() || !q.Connected() {
+					t.Fatalf("trial %d: quotient graph invalid (heads %d, connected %v)",
+						trial, len(qHeads), q.Connected())
+				}
+			}
+		})
+	}
+}
+
 func TestGatewaysAndInterClusterEdges(t *testing.T) {
 	// Two triangles joined by one edge: heads = one per triangle.
 	g := graph.New(6)

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over worker addresses. The coordinator
+// places each shard on the worker owning the shard's cache key, so a
+// repeated sweep lands every shard on the worker whose result cache
+// already holds it — the fleet-wide analogue of the service's
+// content-addressed cache. Virtual nodes (Replicas points per worker)
+// smooth the load split, and removing a worker moves only the shards it
+// owned: the survivors' placements are untouched, which is what keeps
+// their caches warm across a worker loss.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// NewRing builds a ring with replicas virtual nodes per address
+// (replicas <= 0 selects the default of 64).
+func NewRing(addrs []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &Ring{replicas: replicas}
+	for _, a := range addrs {
+		r.add(a)
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on address so the ring order is deterministic even in
+		// the astronomically unlikely event of a 64-bit hash collision.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+func (r *Ring) add(addr string) {
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", addr, i)), addr: addr})
+	}
+}
+
+// Remove returns a new ring without addr; r is unchanged. Shards owned by
+// surviving workers keep their owners.
+func (r *Ring) Remove(addr string) *Ring {
+	out := &Ring{replicas: r.replicas, points: make([]ringPoint, 0, len(r.points))}
+	for _, p := range r.points {
+		if p.addr != addr {
+			out.points = append(out.points, p)
+		}
+	}
+	return out
+}
+
+// Len returns the number of distinct addresses on the ring.
+func (r *Ring) Len() int {
+	seen := map[string]bool{}
+	for _, p := range r.points {
+		seen[p.addr] = true
+	}
+	return len(seen)
+}
+
+// Lookup returns the address owning key: the first ring point at or after
+// the key's hash, wrapping around. Empty string on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// ringHash maps a string onto the ring's 64-bit keyspace (the first eight
+// bytes of its SHA-256, matching the content-address family the shard
+// cache keys already use).
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

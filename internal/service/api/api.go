@@ -45,8 +45,13 @@ const Version = "v1"
 // topologies axis, backbone requests accept weightSeed for weighted
 // algorithms, and backbone responses carry kind and valid. Legacy
 // "I"/"II" uniform requests normalize, compute and cache-key exactly as
-// under revision 5.
-const SchemaVersion = 6
+// under revision 5. Revision 7 added cluster mode: POST /v1/shard executes
+// an explicit [lo, hi) index range of a batch spec and returns
+// index-addressed rows (JSON or the same NDJSON row stream as /v1/batch),
+// so a fleet coordinator (internal/fleet) can fan one spec out across
+// workers and merge a digest-identical report. Requests without a shard
+// range normalize and cache-key exactly as under revision 6.
+const SchemaVersion = 7
 
 // Sentinel errors shared by the facade, the batch engine and the service
 // handlers. Wrap them with fmt.Errorf("...: %w", ErrX) so errors.Is works

@@ -1,0 +1,79 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func shardReq(t *testing.T, lo, hi int) ShardRequest {
+	t.Helper()
+	var req ShardRequest
+	blob := `{"sizes":[40],"degrees":[7],"seeds":[1,2],` +
+		`"workloads":[{"kind":"backbone","algorithm":"II"}],` +
+		`"lo":` + jsonInt(lo) + `,"hi":` + jsonInt(hi) + `}`
+	if err := json.Unmarshal([]byte(blob), &req); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestShardRequestNormalize(t *testing.T) {
+	req := shardReq(t, 0, 2)
+	if err := req.Normalize(1000, 10000); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rg := range [][2]int{{-1, 1}, {0, 3}, {1, 1}, {2, 1}} {
+		bad := shardReq(t, rg[0], rg[1])
+		if err := bad.Normalize(1000, 10000); err == nil {
+			t.Errorf("range [%d, %d) accepted for a 2-scenario spec", rg[0], rg[1])
+		}
+	}
+
+	// The scenario bound applies to the shard width, not the full sweep.
+	narrow := shardReq(t, 1, 2)
+	if err := narrow.Normalize(1000, 1); err != nil {
+		t.Errorf("width-1 shard rejected under maxScenarios=1: %v", err)
+	}
+	wide := shardReq(t, 0, 2)
+	if err := wide.Normalize(1000, 1); err == nil {
+		t.Error("width-2 shard accepted under maxScenarios=1")
+	}
+}
+
+// TestShardCacheKeyPinned pins the shard cache-key rendering: the spec's
+// deterministic JSON plus the range, in a distinct "shard|" namespace so a
+// shard entry can never collide with a /v1/batch entry of the same spec.
+func TestShardCacheKeyPinned(t *testing.T) {
+	req := shardReq(t, 0, 2)
+	if err := req.Normalize(1000, 10000); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(&req.BatchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HashKey("shard|" + string(enc) + "|0:2")
+	if got := req.CacheKey(); got != want {
+		t.Fatalf("shard cache key:\n got %s\nwant %s", got, want)
+	}
+
+	other := shardReq(t, 1, 2)
+	if err := other.Normalize(1000, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheKey() == req.CacheKey() {
+		t.Error("distinct ranges share a cache key")
+	}
+
+	var batchTwin BatchRequest
+	batchTwin.BatchSpec = req.BatchSpec
+	if batchTwin.CacheKey() == req.CacheKey() {
+		t.Error("shard and batch requests of the same spec share a cache key")
+	}
+}

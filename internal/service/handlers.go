@@ -26,6 +26,7 @@ const (
 	endpointDilation  = "dilation"
 	endpointBroadcast = "broadcast"
 	endpointBatch     = "batch"
+	endpointShard     = "shard"
 	endpointSession   = "session"
 )
 
@@ -40,6 +41,8 @@ const maxBodyBytes = 8 << 20
 //	POST   /v1/broadcast           backbone broadcast vs. blind flood
 //	POST   /v1/batch               run a declarative sweep on the batch engine
 //	                               (?stream=ndjson streams rows as they finish)
+//	POST   /v1/shard               run one [lo, hi) index range of a sweep
+//	                               (fleet workers; ?stream=ndjson as above)
 //	POST   /v1/session             create a streaming topology session
 //	POST   /v1/session/{id}/stream NDJSON: deltas in, repair events out
 //	DELETE /v1/session/{id}        close a session
@@ -51,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/dilation", s.handleDilation)
 	mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	mux.HandleFunc("POST /v1/session/{id}/stream", s.handleSessionStream)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
@@ -472,6 +476,133 @@ func computeBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error
 	return &BatchResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}, nil
 }
 
+// --- shard -----------------------------------------------------------------
+
+// handleShard executes one [lo, hi) index range of a batch spec — the
+// fleet worker's half of cluster mode (schema v7). Rows carry their global
+// scenario indices so the coordinator can merge disjoint shards back into
+// a report whose digest is byte-identical to a local run. The node and
+// scenario bounds apply to the shard width, not the whole sweep, so a
+// fleet can run sweeps no single request would admit.
+func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req ShardRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.replyError(w, endpointShard, time.Now(), err)
+		return
+	}
+	start := time.Now()
+	if err := req.Normalize(s.opts.MaxNodes, s.opts.MaxBatchScenarios); err != nil {
+		s.replyError(w, endpointShard, start, err)
+		return
+	}
+	if r.URL.Query().Get("stream") == "ndjson" || r.Header.Get("Accept") == "application/x-ndjson" {
+		s.streamShard(w, r, &req, start)
+		return
+	}
+	s.serve(w, r, endpointShard, start, req.CacheKey(),
+		func(ctx context.Context) (any, error) { return computeShard(ctx, &req) },
+		func(v any) any { resp := *(v.(*ShardResponse)); return &resp })
+}
+
+func computeShard(ctx context.Context, req *ShardRequest) (*ShardResponse, error) {
+	spec := req.BatchSpec
+	rep, err := batch.RunRange(ctx, &spec, req.Lo, req.Hi,
+		batch.Options{Workers: req.Workers, MeasureWorkers: req.MeasureWorkers})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}, nil
+}
+
+// streamShard is streamBatch's shard twin with one deliberate difference:
+// streamed shards DO read and fill the result cache. The coordinator
+// places shards on workers by consistent hash precisely so a repeated
+// sweep lands each shard on the worker that already holds it; a cache hit
+// replays the stored rows and answers a summary with Cached set.
+func (s *Service) streamShard(w http.ResponseWriter, r *http.Request, req *ShardRequest, start time.Time) {
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	streamed := false
+	writeLine := func(v any) {
+		if !streamed {
+			streamed = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		_ = enc.Encode(v)
+		_ = rc.Flush()
+	}
+
+	key := req.CacheKey()
+	if v, ok := s.cache.Get(key); ok {
+		s.cacheHit.Inc()
+		resp := *(v.(*ShardResponse))
+		for i := range resp.Results {
+			writeLine(&resp.Results[i])
+		}
+		resp.Results = nil
+		resp.Cached = true
+		writeLine(&resp)
+		s.observe(endpointShard, start)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	rows := make(chan batch.Result)
+	type outcome struct {
+		v   any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+			spec := req.BatchSpec
+			return batch.RunRange(ctx, &spec, req.Lo, req.Hi, batch.Options{
+				Workers:        req.Workers,
+				MeasureWorkers: req.MeasureWorkers,
+				OnResult: func(res batch.Result) {
+					select {
+					case rows <- res:
+					case <-ctx.Done():
+					}
+				},
+			})
+		})
+		done <- outcome{v, err}
+	}()
+
+	for {
+		select {
+		case res := <-rows:
+			writeLine(&res)
+		case oc := <-done:
+			if oc.err != nil {
+				if !streamed {
+					s.replySubmitError(w, endpointShard, start, oc.err)
+					return
+				}
+				_ = enc.Encode(api.SessionStreamError{Error: oc.err.Error(), Fatal: true})
+				_ = rc.Flush()
+				s.observe(endpointShard, start)
+				return
+			}
+			rep := oc.v.(*batch.Report)
+			resp := &ShardResponse{Report: *rep, Digest: rep.Digest(), Schema: api.SchemaVersion}
+			s.cache.Put(key, resp)
+			summary := *resp
+			summary.Results = nil
+			writeLine(&summary)
+			s.observe(endpointShard, start)
+			return
+		}
+	}
+}
+
 // --- health and metrics ----------------------------------------------------
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -535,6 +666,8 @@ func setCached(resp any) {
 	case *BroadcastResponse:
 		t.Cached = true
 	case *BatchResponse:
+		t.Cached = true
+	case *ShardResponse:
 		t.Cached = true
 	}
 }

@@ -169,6 +169,7 @@ func New(opts Options) *Service {
 		endpointDilation:  s.reg.Histogram("wcds_service_dilation_latency_seconds", "End-to-end latency of POST /v1/dilation."),
 		endpointBroadcast: s.reg.Histogram("wcds_service_broadcast_latency_seconds", "End-to-end latency of POST /v1/broadcast."),
 		endpointBatch:     s.reg.Histogram("wcds_service_batch_latency_seconds", "End-to-end latency of POST /v1/batch."),
+		endpointShard:     s.reg.Histogram("wcds_service_shard_latency_seconds", "End-to-end latency of POST /v1/shard."),
 		endpointSession:   s.reg.Histogram("wcds_service_session_latency_seconds", "End-to-end latency of POST /v1/session (create)."),
 	}
 	s.phaseMessages = s.reg.CounterVec("wcds_service_phase_messages_total",
@@ -266,6 +267,8 @@ type (
 	BroadcastResponse = api.BroadcastResponse
 	BatchRequest      = api.BatchRequest
 	BatchResponse     = api.BatchResponse
+	ShardRequest      = api.ShardRequest
+	ShardResponse     = api.ShardResponse
 )
 
 // spannerOf is a small helper for response assembly.

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"wcdsnet/internal/service/api"
+)
+
+func shardSpec() map[string]any {
+	return map[string]any{
+		"sizes":   []int{30, 40},
+		"degrees": []float64{6},
+		"seeds":   []int64{1, 2},
+		"workloads": []map[string]any{
+			{"kind": "backbone", "algorithm": "II"},
+			{"kind": "broadcast", "source": 1},
+		},
+	}
+}
+
+// TestShardEndpointMatchesBatchRows: a shard's rows are byte-identical to
+// the corresponding slice of the full /v1/batch results — the wire-level
+// form of the RunRange contract the fleet merge depends on.
+func TestShardEndpointMatchesBatchRows(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	resp, full := postJSON(t, ts.URL+"/v1/batch", shardSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %v", resp.StatusCode, full)
+	}
+	fullRows := full["results"].([]any)
+
+	req := shardSpec()
+	req["lo"], req["hi"] = 2, 5
+	resp, body := postJSON(t, ts.URL+"/v1/shard", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard status %d: %v", resp.StatusCode, body)
+	}
+	if body["scenarios"] != float64(3) {
+		t.Fatalf("shard scenarios = %v, want 3", body["scenarios"])
+	}
+	rows, ok := body["results"].([]any)
+	if !ok || len(rows) != 3 {
+		t.Fatalf("shard results missing or short: %v", body["results"])
+	}
+	for i, row := range rows {
+		got := row.(map[string]any)
+		want := fullRows[2+i].(map[string]any)
+		if got["index"] != float64(2+i) {
+			t.Fatalf("shard row %d carries index %v", i, got["index"])
+		}
+		// Wall time is the only non-deterministic field.
+		delete(got, "wallNS")
+		delete(want, "wallNS")
+		g, _ := json.Marshal(got)
+		w, _ := json.Marshal(want)
+		if !bytes.Equal(g, w) {
+			t.Fatalf("shard row %d differs from batch row:\n%s\nvs\n%s", i, g, w)
+		}
+	}
+	if body["cached"] != false {
+		t.Fatal("first shard reported cached=true")
+	}
+
+	// Repeat: cache hit. A different range is a distinct entry.
+	resp, body = postJSON(t, ts.URL+"/v1/shard", req)
+	if resp.StatusCode != http.StatusOK || body["cached"] != true {
+		t.Fatalf("repeat shard: status %d cached %v", resp.StatusCode, body["cached"])
+	}
+	other := shardSpec()
+	other["lo"], other["hi"] = 0, 2
+	resp, body = postJSON(t, ts.URL+"/v1/shard", other)
+	if resp.StatusCode != http.StatusOK || body["cached"] != false {
+		t.Fatalf("distinct range: status %d cached %v", resp.StatusCode, body["cached"])
+	}
+}
+
+func TestShardEndpointRejectsBadRange(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	for _, rg := range [][2]int{{-1, 2}, {0, 9}, {3, 3}, {5, 2}} {
+		req := shardSpec()
+		req["lo"], req["hi"] = rg[0], rg[1]
+		resp, body := postJSON(t, ts.URL+"/v1/shard", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("range [%d, %d) answered %d: %v", rg[0], rg[1], resp.StatusCode, body)
+		}
+	}
+}
+
+// TestShardStreamNDJSON: the shard stream delivers rows then a summary,
+// and — unlike /v1/batch — a repeated streamed shard replays from the
+// result cache with Cached set, which is what gives the fleet's
+// consistent-hash placement its payoff.
+func TestShardStreamNDJSON(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	req := shardSpec()
+	req["lo"], req["hi"] = 0, 4
+	buf, _ := json.Marshal(req)
+
+	stream := func() (rows int, summary map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/shard?stream=ndjson", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case m["digest"] != nil:
+				if summary != nil {
+					t.Fatal("two summary lines")
+				}
+				summary = m
+			case m["error"] != nil:
+				t.Fatalf("stream error: %v", m["error"])
+			default:
+				rows++
+			}
+		}
+		if summary == nil {
+			t.Fatal("stream ended without a summary line")
+		}
+		return rows, summary
+	}
+
+	rows, summary := stream()
+	if rows != 4 || summary["cached"] != false {
+		t.Fatalf("first stream: %d rows, cached %v", rows, summary["cached"])
+	}
+	if summary["schema"] != float64(api.SchemaVersion) {
+		t.Fatalf("summary schema = %v", summary["schema"])
+	}
+	digest := summary["digest"]
+
+	rows, summary = stream()
+	if rows != 4 || summary["cached"] != true {
+		t.Fatalf("cached stream: %d rows, cached %v", rows, summary["cached"])
+	}
+	if summary["digest"] != digest {
+		t.Fatalf("cached digest %v != %v", summary["digest"], digest)
+	}
+}

@@ -30,6 +30,8 @@
 package reliable
 
 import (
+	"sync"
+
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/simnet"
 )
@@ -135,7 +137,7 @@ func Wrap(procs []simnet.Proc, opt Options) ([]simnet.Proc, *Collector) {
 			inner:    inner,
 			opt:      opt,
 			outBySeq: make(map[int]*outstanding),
-			seen:     make(map[int]map[int]struct{}),
+			seen:     make(map[int][]uint64),
 		}
 		col.procs[i] = p
 		out[i] = p
@@ -143,11 +145,15 @@ func Wrap(procs []simnet.Proc, opt Options) ([]simnet.Proc, *Collector) {
 	return out, col
 }
 
-// outstanding is one not-yet-fully-acked data frame.
+// outstanding is one not-yet-fully-acked data frame. Records are recycled
+// through outPool: a batch sweep frames every protocol message of every
+// scenario, and the record plus its waiting map were the hot path's
+// dominant allocations.
 type outstanding struct {
 	seq      int
 	to       int // simnet.ToAll for a broadcast
 	payload  any
+	frame    any          // the Data frame boxed once; retransmits resend it
 	waiting  map[int]bool // receivers that have not acked
 	attempts int          // transmissions so far (original included)
 	nextTick int          // earliest tick allowed to retransmit
@@ -155,6 +161,22 @@ type outstanding struct {
 }
 
 func (o *outstanding) settled() bool { return len(o.waiting) == 0 || o.given }
+
+// outPool recycles outstanding records across messages and runs. Records
+// are scrubbed on put (only the waiting map's storage is kept) so pooled
+// memory never pins protocol payloads.
+var outPool = sync.Pool{
+	New: func() any { return &outstanding{waiting: make(map[int]bool, 8)} },
+}
+
+func getOutstanding() *outstanding { return outPool.Get().(*outstanding) }
+
+func putOutstanding(o *outstanding) {
+	w := o.waiting
+	clear(w)
+	*o = outstanding{waiting: w}
+	outPool.Put(o)
+}
 
 // proc wraps one node's protocol in the reliability layer.
 type proc struct {
@@ -164,13 +186,40 @@ type proc struct {
 	nextSeq  int
 	out      []*outstanding // send order, for deterministic retransmit order
 	outBySeq map[int]*outstanding
-	seen     map[int]map[int]struct{} // sender node -> delivered seqs
-	tickNo   int
+	// seen maps a sender to the bitmap of sequence numbers already
+	// delivered. Sequences count up from zero per sender, so a bitmap
+	// stays dense where the previous per-sender set map cost a map plus
+	// bucket churn for every neighbour of every node.
+	seen   map[int][]uint64
+	tickNo int
 
 	retransmits int
 	dups        int
 	acks        int
 	abandoned   int
+}
+
+// markSeen records (from, seq) and reports whether it was already present.
+func (p *proc) markSeen(from, seq int) bool {
+	bm := p.seen[from]
+	word := seq >> 6
+	bit := uint64(1) << (seq & 63)
+	if word < len(bm) {
+		if bm[word]&bit != 0 {
+			return true
+		}
+		bm[word] |= bit
+		return false
+	}
+	if bm == nil {
+		bm = make([]uint64, 0, 4) // 256 sequence numbers before regrowth
+	}
+	for len(bm) <= word {
+		bm = append(bm, 0)
+	}
+	bm[word] |= bit
+	p.seen[from] = bm
+	return false
 }
 
 // Init installs the send hook (so the inner protocol's sends are framed
@@ -182,22 +231,26 @@ func (p *proc) Init(ctx *simnet.Context) {
 
 // sendFramed frames one outgoing protocol message and transmits it.
 func (p *proc) sendFramed(ctx *simnet.Context, to int, payload any) {
-	o := &outstanding{seq: p.nextSeq, to: to, payload: payload, waiting: make(map[int]bool)}
+	o := getOutstanding()
+	o.seq, o.to, o.payload = p.nextSeq, to, payload
+	o.frame = Data{Seq: o.seq, Payload: payload} // boxed once, reused by retries
 	p.nextSeq++
 	if to == simnet.ToAll {
 		for _, w := range ctx.Neighbors() {
 			o.waiting[w] = true
 		}
-		ctx.BroadcastDirect(Data{Seq: o.seq, Payload: payload})
+		ctx.BroadcastDirect(o.frame)
 	} else {
 		o.waiting[to] = true
-		ctx.SendDirect(to, Data{Seq: o.seq, Payload: payload})
+		ctx.SendDirect(to, o.frame)
 	}
 	o.attempts = 1
 	o.nextTick = p.tickNo + p.opt.Backoff(1)
 	if len(o.waiting) > 0 {
 		p.out = append(p.out, o)
 		p.outBySeq[o.seq] = o
+	} else {
+		putOutstanding(o) // isolated node: nothing to wait for
 	}
 }
 
@@ -208,15 +261,10 @@ func (p *proc) Recv(ctx *simnet.Context, from int, payload any) {
 		// previous ack was lost.
 		p.acks++
 		ctx.SendDirect(from, Ack{Seq: m.Seq})
-		if seqs, ok := p.seen[from]; ok {
-			if _, dup := seqs[m.Seq]; dup {
-				p.dups++
-				return
-			}
-		} else {
-			p.seen[from] = make(map[int]struct{})
+		if p.markSeen(from, m.Seq) {
+			p.dups++
+			return
 		}
-		p.seen[from][m.Seq] = struct{}{}
 		p.inner.Recv(ctx, from, m.Payload)
 	case Ack:
 		if o, ok := p.outBySeq[m.Seq]; ok {
@@ -241,6 +289,9 @@ func (p *proc) Tick(ctx *simnet.Context) bool {
 	live := p.out[:0]
 	for _, o := range p.out {
 		if o.settled() {
+			// Fully acked (removed from outBySeq by the Ack handler) or
+			// abandoned on a previous tick: no reference remains, recycle.
+			putOutstanding(o)
 			continue
 		}
 		live = append(live, o)
@@ -259,13 +310,16 @@ func (p *proc) Tick(ctx *simnet.Context) bool {
 			p.opt.Observer.Event(p.opt.Phase(o.payload), obs.Retransmit, -1)
 		}
 		if o.to == simnet.ToAll {
-			ctx.BroadcastDirect(Data{Seq: o.seq, Payload: o.payload})
+			ctx.BroadcastDirect(o.frame)
 		} else {
-			ctx.SendDirect(o.to, Data{Seq: o.seq, Payload: o.payload})
+			ctx.SendDirect(o.to, o.frame)
 		}
 		o.attempts++
 		o.nextTick = p.tickNo + p.opt.Backoff(o.attempts)
 		active = true
+	}
+	for i := len(live); i < len(p.out); i++ {
+		p.out[i] = nil // drop trailing refs so recycled records aren't pinned
 	}
 	p.out = live
 	if t, ok := p.inner.(simnet.Ticker); ok {

@@ -40,7 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"wcdsnet/internal/graph"
@@ -438,11 +438,14 @@ func RunSync(g *graph.Graph, procs []Proc, opts ...Option) (Stats, error) {
 		batch := eng.pending[next]
 		delete(eng.pending, next)
 		// Deterministic delivery order: by (receiver, send sequence).
-		sort.Slice(batch, func(a, b int) bool {
-			if batch[a].to != batch[b].to {
-				return batch[a].to < batch[b].to
+		// (to, seq) is a total order, so the unstable sort is
+		// deterministic; SortFunc avoids sort.Slice's interface boxing
+		// and reflect-based swaps on this per-round hot path.
+		slices.SortFunc(batch, func(a, b envelope) int {
+			if a.to != b.to {
+				return a.to - b.to
 			}
-			return batch[a].seq < batch[b].seq
+			return a.seq - b.seq
 		})
 		if cfg.scramble != nil {
 			cfg.scramble.Shuffle(len(batch), func(i, j int) {

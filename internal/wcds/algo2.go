@@ -175,16 +175,20 @@ func (p *algo2Proc) hasOneHopDom(id int) bool {
 	return false
 }
 
-// addOneHopDom records an adjacent dominator, deduplicating. The first
-// insert sizes the slice for Lemma 1's five-dominator packing bound (plus
-// slack for additional dominators that join later) so the common case never
-// regrows.
+// domArenaCap is the per-node oneHopDoms capacity carved from the run
+// arena: Lemma 1's five-dominator packing bound plus slack for additional
+// dominators that join later, so the common case never regrows.
+const domArenaCap = 8
+
+// addOneHopDom records an adjacent dominator, deduplicating. Procs built
+// by algo2Run share an arena-backed slice sized domArenaCap; the lazy
+// branch covers procs constructed without one.
 func (p *algo2Proc) addOneHopDom(id int) {
 	if p.hasOneHopDom(id) {
 		return
 	}
 	if p.oneHopDoms == nil {
-		p.oneHopDoms = make([]int, 0, 8)
+		p.oneHopDoms = make([]int, 0, domArenaCap)
 	}
 	p.oneHopDoms = append(p.oneHopDoms, id)
 }
@@ -523,8 +527,15 @@ func algo2Run(g *graph.Graph, ids []int, mode SelectionMode, run Runner, wantTab
 	}
 	shared := &algo2Shared{ids: ids, nodeOf: nodeOf}
 	a2 := make([]algo2Proc, g.N())
+	// One arena backs every node's oneHopDoms: almost every node ends up
+	// dominated, so per-node lazy slices were one guaranteed malloc per
+	// node per run. Full slice expressions cap each chunk at the Lemma 1
+	// packing bound; a node that outgrows its chunk spills to the heap
+	// with identical append semantics.
+	arena := make([]int, domArenaCap*g.N())
 	for i := range procs {
 		a2[i] = algo2Proc{ownID: ids[i], mode: mode, shared: shared}
+		a2[i].oneHopDoms = arena[i*domArenaCap : i*domArenaCap : (i+1)*domArenaCap]
 		procs[i] = &a2[i]
 	}
 	stats, err := run(g, procs)

@@ -9,6 +9,7 @@ import (
 
 	"wcdsnet/internal/algo"
 	"wcdsnet/internal/batch"
+	"wcdsnet/internal/fleet"
 	"wcdsnet/internal/obs"
 	"wcdsnet/internal/service/api"
 	"wcdsnet/internal/simnet"
@@ -453,3 +454,51 @@ func RunBatchSerial(ctx context.Context, spec *BatchSpec) (*BatchReport, error) 
 	}
 	return rep, err
 }
+
+// Fleet (cluster mode) types, re-exported from internal/fleet. A fleet fans
+// one BatchSpec out across N cmd/serve workers over POST /v1/shard and
+// merges the index-addressed rows into a report whose Digest is
+// byte-identical to RunBatch at any fleet size and shard width.
+type (
+	// FleetOptions configures RunBatchFleet; Workers (base URLs) is the
+	// only required field.
+	FleetOptions = fleet.Options
+	// FleetReport is the merged fleet outcome: the embedded BatchReport
+	// plus shard accounting and per-worker statistics.
+	FleetReport = fleet.Report
+	// FleetWorkerStats is one worker's share of a fleet run (shards, rows,
+	// cache hits, utilization, tail latency).
+	FleetWorkerStats = fleet.WorkerStats
+	// FleetWorker is an in-process worker (full Service behind a loopback
+	// listener) for tests and single-binary clusters; see SpawnFleetWorkers.
+	FleetWorker = fleet.LocalWorker
+)
+
+// RunBatchFleet executes the sweep in cluster mode: the spec is sliced into
+// shard ranges, placed on a consistent-hash ring over the workers' result
+// caches, streamed back row by row and merged with at-most-once accounting.
+// A worker lost mid-sweep is health-checked, removed and its orphaned
+// shards re-dispatched onto the survivors; the merged Digest stays
+// byte-identical to a local run throughout. See cmd/fleet for the CLI.
+func RunBatchFleet(ctx context.Context, spec *BatchSpec, opts FleetOptions) (*FleetReport, error) {
+	rep, err := fleet.Run(ctx, spec, opts)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("wcdsnet: %w: %w", ErrInvalidInput, err)
+	}
+	return rep, err
+}
+
+// SpawnFleetWorkers boots n in-process workers on ephemeral loopback ports,
+// each a full Service behind a real TCP listener — the complete wire path
+// without managing OS processes. Close each worker when done.
+func SpawnFleetWorkers(n int, opts ServiceOptions) ([]*FleetWorker, error) {
+	workers, err := fleet.SpawnLocal(n, opts)
+	if err != nil {
+		return nil, fmt.Errorf("wcdsnet: %w: %w", ErrInvalidInput, err)
+	}
+	return workers, nil
+}
+
+// FleetWorkerAddrs collects the base URLs of in-process workers, in the
+// form FleetOptions.Workers expects.
+func FleetWorkerAddrs(workers []*FleetWorker) []string { return fleet.Addrs(workers) }
